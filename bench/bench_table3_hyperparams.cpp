@@ -1,0 +1,80 @@
+// Reproduces Table III: the model hyper-parameters, printed from the
+// factory and asserted, plus a timing of one Table-III-exact training run
+// per model (LR and NN, 100 epochs, validation split 0.2).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "qens/common/stopwatch.h"
+#include "qens/common/string_util.h"
+#include "qens/data/air_quality_generator.h"
+
+using namespace qens;
+
+namespace {
+
+void PrintRow(const char* field, const std::string& lr,
+              const std::string& nn) {
+  std::printf("| %-16s | %-6s | %-6s |\n", field, lr.c_str(), nn.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table III — model hyper-parameters (from the factory)");
+
+  const ml::HyperParams lr = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
+  const ml::HyperParams nn = ml::PaperHyperParams(ml::ModelKind::kNeuralNetwork);
+
+  std::printf("\n| %-16s | %-6s | %-6s |\n", "Model", "LR", "NN");
+  std::printf("|------------------|--------|--------|\n");
+  PrintRow("Dense", StrFormat("%zu", lr.dense_units),
+           StrFormat("%zu", nn.dense_units));
+  PrintRow("epochs", StrFormat("%zu", lr.epochs), StrFormat("%zu", nn.epochs));
+  PrintRow("validation split", StrFormat("%.1f", lr.validation_split),
+           StrFormat("%.1f", nn.validation_split));
+  PrintRow("Learning rate", StrFormat("%.2f", lr.learning_rate),
+           StrFormat("%.3f", nn.learning_rate));
+  PrintRow("activation", ml::ActivationName(lr.hidden_activation),
+           ml::ActivationName(nn.hidden_activation));
+  PrintRow("Loss", ml::LossName(lr.loss), ml::LossName(nn.loss));
+  PrintRow("optimizer", lr.optimizer, nn.optimizer);
+
+  // One Table-III-exact fit per model on one station's (normalized) data.
+  data::AirQualityOptions data_options;
+  data_options.num_stations = 1;
+  data_options.samples_per_station = 1500;
+  data_options.heterogeneity = data::Heterogeneity::kHomogeneous;
+  data_options.single_feature = true;
+  data::AirQualityGenerator generator(data_options);
+  data::Dataset station =
+      bench::ValueOrDie(generator.GenerateStation(0), "generate data");
+  data::Normalizer fnorm = bench::ValueOrDie(
+      data::Normalizer::Fit(station.features(), data::ScalingKind::kMinMax),
+      "fit feature normalizer");
+  data::Normalizer tnorm = bench::ValueOrDie(
+      data::Normalizer::Fit(station.targets(), data::ScalingKind::kMinMax),
+      "fit target normalizer");
+  Matrix x = bench::ValueOrDie(fnorm.Transform(station.features()), "x");
+  Matrix y = bench::ValueOrDie(tnorm.Transform(station.targets()), "y");
+
+  std::printf("\nTable-III-exact training runs (one station, %zu samples):\n",
+              station.NumSamples());
+  for (ml::ModelKind kind :
+       {ml::ModelKind::kLinearRegression, ml::ModelKind::kNeuralNetwork}) {
+    Rng rng(7);
+    ml::SequentialModel model =
+        bench::ValueOrDie(ml::BuildModel(kind, x.cols(), &rng), "model");
+    auto trainer = bench::ValueOrDie(ml::BuildTrainer(kind, 7), "trainer");
+    Stopwatch watch;
+    ml::TrainReport report =
+        bench::ValueOrDie(trainer->Fit(&model, x, y), "fit");
+    std::printf(
+        "  %-3s: %zu epochs, final train loss %.5f, final val loss %.5f, "
+        "%.2fs wall\n",
+        ml::ModelKindName(kind), report.epochs_run,
+        report.final_train_loss(), report.final_val_loss(),
+        watch.ElapsedSeconds());
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+#ifndef QENS_BENCH_BENCH_UTIL_H_
+#define QENS_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// Shared configuration for the experiment benches. One place defines the
+/// "paper-scale" environment (Section V-A: N = 10 nodes, K = 5 clusters,
+/// 200 queries) so every table/figure bench runs the same deployment.
+
+#include <cstdio>
+#include <string>
+
+#include "qens/data/air_quality_generator.h"
+#include "qens/data/normalizer.h"
+#include "qens/fl/experiment.h"
+#include "qens/ml/loss.h"
+#include "qens/ml/model_factory.h"
+#include "qens/tensor/stats.h"
+
+namespace qens::bench {
+
+/// The paper's environment: 10 stations, K = 5, 200 queries, LR model.
+/// `heterogeneity` selects the Table I vs Table II/Fig. 7 regime.
+inline fl::ExperimentConfig PaperConfig(data::Heterogeneity heterogeneity,
+                                        uint64_t seed = 2023) {
+  fl::ExperimentConfig config;
+  config.data.num_stations = 10;          // Section V-A: N = 10.
+  config.data.samples_per_station = 1500;
+  config.data.heterogeneity = heterogeneity;
+  config.data.seed = seed;
+  config.data.single_feature = true;      // "one important feature and labels".
+
+  config.federation.environment.kmeans.k = 5;  // Section V-A: K = 5.
+  config.federation.ranking.epsilon = 0.15;
+  config.federation.query_driven.top_l = 3;
+  config.federation.hyper =
+      ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
+  config.federation.hyper.epochs = 40;  // Scaled from 100 for bench runtime;
+                                        // LR converges well before 40 epochs.
+  config.federation.epochs_per_cluster = 15;
+  config.federation.random_l = 3;
+  config.federation.game_theory.loss_quantile = 0.5;
+  config.federation.test_fraction = 0.2;
+  config.federation.seed = seed + 1;
+
+  config.workload.num_queries = 200;     // Section V-A: 200 queries.
+  config.workload.min_width_frac = 0.15;
+  config.workload.max_width_frac = 0.5;
+  config.workload.seed = seed + 2;
+  return config;
+}
+
+/// Abort-with-message helper for bench mains.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+inline T ValueOrDie(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Shared by the Table I and Table II benches: the Section II pre-test.
+/// The leader trains an LR model on its own data and tests it against the
+/// other participants; "all-node" probes everyone and engages the best
+/// match, "random" engages a uniformly random participant (expected loss =
+/// the per-node mean). Averaged over every choice of leader; losses are in
+/// raw PM2.5 units (training happens at normalized scale).
+struct PreTestResult {
+  double all_node_loss = 0.0;  ///< Best-matching participant (probed).
+  double random_loss = 0.0;    ///< Expected loss of a random participant.
+};
+
+inline PreTestResult RunPreTest(const data::AirQualityOptions& options,
+                                uint64_t seed) {
+  data::AirQualityGenerator generator(options);
+  std::vector<data::Dataset> stations =
+      ValueOrDie(generator.GenerateAll(), "generate stations");
+
+  // Global min-max scaling (in the protocol, from the shipped bounds).
+  data::Dataset pooled = stations[0];
+  for (size_t i = 1; i < stations.size(); ++i) {
+    pooled = ValueOrDie(pooled.Concat(stations[i]), "pool");
+  }
+  data::Normalizer fnorm = ValueOrDie(
+      data::Normalizer::Fit(pooled.features(), data::ScalingKind::kMinMax),
+      "feature norm");
+  data::Normalizer tnorm = ValueOrDie(
+      data::Normalizer::Fit(pooled.targets(), data::ScalingKind::kMinMax),
+      "target norm");
+  const double tscale = tnorm.scale()[0];
+  const double denorm = tscale > 0 ? 1.0 / (tscale * tscale) : 1.0;
+
+  std::vector<Matrix> xs, ys;
+  for (const auto& s : stations) {
+    xs.push_back(ValueOrDie(fnorm.Transform(s.features()), "x"));
+    ys.push_back(ValueOrDie(tnorm.Transform(s.targets()), "y"));
+  }
+
+  stats::RunningStats best_losses, random_losses;
+  for (size_t leader = 0; leader < stations.size(); ++leader) {
+    Rng rng(seed + leader);
+    ml::SequentialModel probe = ValueOrDie(
+        ml::BuildModel(ml::ModelKind::kLinearRegression, xs[leader].cols(),
+                       &rng),
+        "model");
+    auto trainer = ValueOrDie(
+        ml::BuildTrainer(ml::ModelKind::kLinearRegression, seed + leader),
+        "trainer");
+    trainer->mutable_options().epochs = 40;
+    CheckOk(trainer->Fit(&probe, xs[leader], ys[leader]).status(), "fit");
+
+    double best = 1e300;
+    stats::RunningStats per_node;
+    for (size_t i = 0; i < stations.size(); ++i) {
+      if (i == leader) continue;
+      Matrix pred = ValueOrDie(probe.Predict(xs[i]), "predict");
+      const double loss =
+          ValueOrDie(ml::ComputeLoss(ml::LossKind::kMse, pred, ys[i]),
+                     "loss") *
+          denorm;
+      best = std::min(best, loss);
+      per_node.Add(loss);
+    }
+    best_losses.Add(best);
+    random_losses.Add(per_node.mean());
+  }
+  return PreTestResult{best_losses.mean(), random_losses.mean()};
+}
+
+}  // namespace qens::bench
+
+#endif  // QENS_BENCH_BENCH_UTIL_H_

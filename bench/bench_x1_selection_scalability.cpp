@@ -1,0 +1,145 @@
+// Extension bench X1: the Section III-C complexity claims.
+//   - Communication: each node ships O(1) metadata (cluster boundaries),
+//     independent of its data size — measured in bytes.
+//   - Leader-side ranking: O(d) per cluster, O(N * K * d) per query,
+//     independent of the nodes' data sizes — measured with
+//     google-benchmark sweeps over N, K and d.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qens/common/rng.h"
+#include "qens/selection/ranking.h"
+
+using namespace qens;
+
+namespace {
+
+selection::NodeProfile RandomProfile(Rng* rng, size_t node_id, size_t k,
+                                     size_t dims, size_t samples) {
+  selection::NodeProfile profile;
+  profile.node_id = node_id;
+  profile.total_samples = samples;
+  for (size_t c = 0; c < k; ++c) {
+    clustering::ClusterSummary cluster;
+    cluster.size = samples / k + 1;
+    std::vector<query::Interval> intervals(dims);
+    cluster.centroid.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      const double lo = rng->Uniform(-100, 100);
+      intervals[d] = query::Interval(lo, lo + rng->Uniform(1, 40));
+      cluster.centroid[d] = 0.5 * (intervals[d].lo + intervals[d].hi);
+    }
+    cluster.bounds = query::HyperRectangle(std::move(intervals));
+    profile.clusters.push_back(std::move(cluster));
+  }
+  return profile;
+}
+
+query::RangeQuery RandomQuery(Rng* rng, size_t dims) {
+  std::vector<query::Interval> intervals(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    const double lo = rng->Uniform(-100, 100);
+    intervals[d] = query::Interval(lo, lo + rng->Uniform(1, 60));
+  }
+  query::RangeQuery q;
+  q.region = query::HyperRectangle(std::move(intervals));
+  return q;
+}
+
+/// Ranking cost vs number of nodes N (K = 5, d = 4 fixed).
+void BM_RankNodes_N(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<selection::NodeProfile> profiles;
+  for (size_t i = 0; i < n; ++i) {
+    profiles.push_back(RandomProfile(&rng, i, 5, 4, 10'000));
+  }
+  const query::RangeQuery q = RandomQuery(&rng, 4);
+  selection::RankingOptions options;
+  for (auto _ : state) {
+    auto ranks = selection::RankNodes(profiles, q, options);
+    benchmark::DoNotOptimize(ranks);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RankNodes_N)->RangeMultiplier(4)->Range(16, 16384)->Complexity();
+
+/// Ranking cost vs dimensionality d (N = 100, K = 5 fixed).
+void BM_RankNodes_D(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<selection::NodeProfile> profiles;
+  for (size_t i = 0; i < 100; ++i) {
+    profiles.push_back(RandomProfile(&rng, i, 5, dims, 10'000));
+  }
+  const query::RangeQuery q = RandomQuery(&rng, dims);
+  selection::RankingOptions options;
+  for (auto _ : state) {
+    auto ranks = selection::RankNodes(profiles, q, options);
+    benchmark::DoNotOptimize(ranks);
+  }
+  state.SetComplexityN(static_cast<int64_t>(dims));
+}
+BENCHMARK(BM_RankNodes_D)->RangeMultiplier(2)->Range(1, 32)->Complexity();
+
+/// Ranking cost vs clusters per node K (N = 100, d = 4 fixed).
+void BM_RankNodes_K(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<selection::NodeProfile> profiles;
+  for (size_t i = 0; i < 100; ++i) {
+    profiles.push_back(RandomProfile(&rng, i, k, 4, 10'000));
+  }
+  const query::RangeQuery q = RandomQuery(&rng, 4);
+  selection::RankingOptions options;
+  for (auto _ : state) {
+    auto ranks = selection::RankNodes(profiles, q, options);
+    benchmark::DoNotOptimize(ranks);
+  }
+  state.SetComplexityN(static_cast<int64_t>(k));
+}
+BENCHMARK(BM_RankNodes_K)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+/// Ranking cost MUST NOT depend on node data volume (profiles are O(1)).
+void BM_RankNodes_DataVolume(benchmark::State& state) {
+  const size_t samples = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<selection::NodeProfile> profiles;
+  for (size_t i = 0; i < 100; ++i) {
+    profiles.push_back(RandomProfile(&rng, i, 5, 4, samples));
+  }
+  const query::RangeQuery q = RandomQuery(&rng, 4);
+  selection::RankingOptions options;
+  for (auto _ : state) {
+    auto ranks = selection::RankNodes(profiles, q, options);
+    benchmark::DoNotOptimize(ranks);
+  }
+}
+BENCHMARK(BM_RankNodes_DataVolume)
+    ->RangeMultiplier(100)
+    ->Range(1000, 10'000'000);
+
+void PrintCommunicationTable() {
+  std::printf(
+      "\n=== X1 — O(1) communication: profile bytes vs node data size "
+      "(K = 5, d = 4) ===\n");
+  std::printf("%-16s %16s\n", "node samples", "profile bytes");
+  Rng rng(9);
+  for (size_t samples : {1000ul, 100'000ul, 10'000'000ul}) {
+    const selection::NodeProfile p = RandomProfile(&rng, 0, 5, 4, samples);
+    std::printf("%-16zu %16zu\n", samples, p.WireBytes());
+  }
+  std::printf("(constant: the profile never grows with the data)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCommunicationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Micro bench X3: the node-local quantization step (Eq. 1) — k-means cost
+// as a function of sample count m, cluster count K and dimensionality d.
+// This is the node-side preprocessing the paper's selection protocol
+// amortizes across queries.
+
+#include <benchmark/benchmark.h>
+
+#include "qens/clustering/kmeans.h"
+#include "qens/common/rng.h"
+
+using namespace qens;
+
+namespace {
+
+Matrix RandomData(size_t rows, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(rows, dims);
+  for (double& v : data.data()) v = rng.Uniform(-50, 50);
+  return data;
+}
+
+void BM_KMeans_Samples(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const Matrix data = RandomData(m, 4, 1);
+  clustering::KMeansOptions options;
+  options.k = 5;  // Paper's K.
+  options.max_iterations = 25;
+  const clustering::KMeans kmeans(options);
+  for (auto _ : state) {
+    auto result = kmeans.Fit(data);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(m));
+}
+BENCHMARK(BM_KMeans_Samples)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeans_Clusters(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const Matrix data = RandomData(4096, 4, 2);
+  clustering::KMeansOptions options;
+  options.k = k;
+  options.max_iterations = 25;
+  const clustering::KMeans kmeans(options);
+  for (auto _ : state) {
+    auto result = kmeans.Fit(data);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(k));
+}
+BENCHMARK(BM_KMeans_Clusters)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeans_Dims(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  const Matrix data = RandomData(4096, dims, 3);
+  clustering::KMeansOptions options;
+  options.k = 5;
+  options.max_iterations = 25;
+  const clustering::KMeans kmeans(options);
+  for (auto _ : state) {
+    auto result = kmeans.Fit(data);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(dims));
+}
+BENCHMARK(BM_KMeans_Dims)
+    ->RangeMultiplier(2)
+    ->Range(1, 16)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+/// Summaries (bounding boxes + centroids) on top of a fit.
+void BM_KMeans_FitSummaries(benchmark::State& state) {
+  const Matrix data = RandomData(4096, 4, 4);
+  clustering::KMeansOptions options;
+  options.k = 5;
+  options.max_iterations = 25;
+  const clustering::KMeans kmeans(options);
+  for (auto _ : state) {
+    auto summaries = kmeans.FitSummaries(data);
+    benchmark::DoNotOptimize(summaries);
+  }
+}
+BENCHMARK(BM_KMeans_FitSummaries)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// The paper's Section IV-A example, end to end, in the healthcare domain
+// the introduction motivates: hospitals hold private EHR-style records and
+// cannot share them. An analytics query asks for a risk model over a
+// specific AGE range ("just those with age e.g., between 20 and 50").
+//
+// Specialized hospitals (pediatric -> geriatric) hold different AGE
+// regions: the query-driven mechanism engages exactly the hospitals whose
+// cohorts cover the requested range and trains only on the matching
+// clusters, while Random can engage a pediatric clinic for a geriatric
+// query.
+//
+// Usage: hospital_federation [num_hospitals]   (default 8)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "qens/data/hospital_generator.h"
+#include "qens/fl/federation.h"
+
+using namespace qens;
+
+namespace {
+
+template <typename T>
+T Die(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_hospitals = 8;
+  if (argc > 1) num_hospitals = static_cast<size_t>(std::atoi(argv[1]));
+  if (num_hospitals < 2) {
+    std::fprintf(stderr, "usage: %s [num_hospitals>=2]\n", argv[0]);
+    return 2;
+  }
+
+  data::HospitalOptions data_options;
+  data_options.num_hospitals = num_hospitals;
+  data_options.patients_per_hospital = 1000;
+  data_options.specialized = true;
+  data::HospitalGenerator generator(data_options);
+
+  std::printf("hospitals and their cohorts:\n");
+  for (const auto& p : generator.profiles()) {
+    std::printf("  %-16s age ~ N(%.0f, %.0f)\n", p.name.c_str(),
+                p.age_center, p.age_spread);
+  }
+
+  fl::FederationOptions options;
+  options.environment.kmeans.k = 5;
+  // Eq. 2 averages the per-dimension overlaps, so dimensions the query
+  // leaves unconstrained (BMI, SBP cover the full range -> h ~ 1) dilute
+  // the AGE mismatch: a cluster entirely outside the AGE range still gets
+  // h ~ 2/3. Calibrate epsilon to the number of constrained dimensions —
+  // here only clusters with high AGE overlap should support the query.
+  options.ranking.epsilon = 0.85;
+  options.query_driven.top_l = 3;
+  options.hyper = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
+  options.hyper.epochs = 40;
+  options.epochs_per_cluster = 15;
+  options.random_l = 3;
+  options.seed = 3;
+  fl::Federation federation = Die(
+      fl::Federation::Create(Die(generator.GenerateAll(), "generate"),
+                             options),
+      "federation");
+
+  // The paper's example query: risk model for ages 20-50 (BMI/SBP
+  // unconstrained — the full observed ranges).
+  const query::HyperRectangle space = federation.RawDataSpace();
+  query::RangeQuery q;
+  q.id = 1;
+  q.region = query::HyperRectangle(std::vector<query::Interval>{
+      query::Interval(20.0, 50.0),  // AGE in [20, 50].
+      space.dim(1),                 // BMI: any.
+      space.dim(2),                 // SBP: any.
+  });
+  std::printf("\nquery: RISK model over AGE in [20, 50] (%zu test rows in "
+              "region)\n",
+              Die(federation.QueryRegionTestData(q), "test data")
+                  .NumSamples());
+
+  fl::QueryOutcome ours = Die(federation.RunQueryDriven(q), "ours");
+  fl::QueryOutcome random = Die(
+      federation.RunQuery(q, selection::PolicyKind::kRandom, false),
+      "random");
+  fl::QueryOutcome all = Die(
+      federation.RunQuery(q, selection::PolicyKind::kAllNodes, false),
+      "all");
+
+  auto print_outcome = [&](const char* label, const fl::QueryOutcome& o) {
+    if (o.skipped) {
+      std::printf("%-14s skipped\n", label);
+      return;
+    }
+    std::printf("%-14s loss %8.2f | hospitals:", label, o.loss_weighted);
+    for (size_t id : o.selected_nodes) std::printf(" %zu", id);
+    std::printf(" | %5zu patients (%.1f%%) | sim %.3fs\n", o.samples_used,
+                100.0 * o.DataFractionOfAll(), o.sim_time_total);
+  };
+  print_outcome("query-driven", ours);
+  print_outcome("random", random);
+  print_outcome("all-nodes", all);
+
+  std::printf(
+      "\nThe query-driven mechanism engages the hospitals whose cohorts "
+      "cover ages 20-50 and trains on their matching clusters only — no "
+      "patient record ever leaves a hospital.\n");
+  return 0;
+}

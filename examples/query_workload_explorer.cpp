@@ -1,0 +1,126 @@
+// Workload explorer: generates a dynamic query workload over a multi-site
+// environment and shows, per query, what the leader decides WITHOUT any
+// training — rankings, supporting clusters, and the data each query would
+// touch. Useful for tuning epsilon / top-l / query widths before paying
+// for model training.
+//
+// Usage:
+//   query_workload_explorer [num_queries] [epsilon] [top_l]
+// Defaults: 12 queries, epsilon = 0.15, top_l = 3.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "qens/data/air_quality_generator.h"
+#include "qens/fl/leader.h"
+#include "qens/query/selectivity_estimator.h"
+#include "qens/query/workload_generator.h"
+#include "qens/selection/node_profile.h"
+
+using namespace qens;
+
+namespace {
+
+template <typename T>
+T Die(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_queries = 12;
+  double epsilon = 0.15;
+  size_t top_l = 3;
+  if (argc > 1) num_queries = static_cast<size_t>(std::atoi(argv[1]));
+  if (argc > 2) epsilon = std::atof(argv[2]);
+  if (argc > 3) top_l = static_cast<size_t>(std::atoi(argv[3]));
+  if (num_queries == 0 || epsilon <= 0.0 || top_l == 0) {
+    std::fprintf(stderr, "usage: %s [num_queries>0] [epsilon>0] [top_l>0]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // Environment: 8 heterogeneous stations, quantized with K = 5.
+  data::AirQualityOptions options;
+  options.num_stations = 8;
+  options.samples_per_station = 1200;
+  options.heterogeneity = data::Heterogeneity::kHeterogeneous;
+  options.single_feature = true;
+  options.seed = 17;
+  data::AirQualityGenerator generator(options);
+  std::vector<data::Dataset> stations =
+      Die(generator.GenerateAll(), "generate");
+
+  clustering::KMeansOptions km;
+  km.k = 5;
+  std::vector<selection::NodeProfile> profiles;
+  query::HyperRectangle space = Die(stations[0].FeatureSpace(), "space");
+  size_t total_samples = 0;
+  for (size_t s = 0; s < stations.size(); ++s) {
+    km.seed = 50 + s;
+    profiles.push_back(Die(
+        selection::BuildNodeProfile(s, generator.profiles()[s].name,
+                                    stations[s], km),
+        "profile"));
+    space = Die(space.Hull(Die(stations[s].FeatureSpace(), "fs")), "hull");
+    total_samples += stations[s].NumSamples();
+  }
+
+  selection::RankingOptions ranking;
+  ranking.epsilon = epsilon;
+  selection::QueryDrivenOptions selection_options;
+  selection_options.top_l = top_l;
+  fl::Leader leader(profiles, ranking, selection_options);
+
+  query::WorkloadOptions workload_options;
+  workload_options.num_queries = num_queries;
+  workload_options.seed = 4242;
+  query::WorkloadGenerator workload(space, workload_options);
+  std::vector<query::RangeQuery> queries =
+      Die(workload.Generate(), "workload");
+
+  std::printf(
+      "environment: %zu nodes, %zu samples total, K = 5, epsilon = %.2f, "
+      "top-l = %zu\n",
+      stations.size(), total_samples, epsilon, top_l);
+  std::printf("global data space: %s\n\n", space.ToString().c_str());
+
+  for (const auto& q : queries) {
+    const fl::SelectionDecision decision = Die(leader.Decide(q), "decide");
+    size_t supporting_samples = 0;
+    for (const auto& rank : decision.selected) {
+      supporting_samples += rank.supporting_samples;
+    }
+    // Leader-side row estimate from cluster digests alone (uniform-density
+    // assumption) — how much data the query would actually touch.
+    double estimated_rows = 0.0;
+    for (const auto& profile : profiles) {
+      const query::NodeSelectivityEstimate estimate =
+          Die(query::EstimateNodeSelectivity(profile.clusters, q),
+              "estimate");
+      estimated_rows += estimate.estimated_rows;
+    }
+    std::printf("%-28s selected:", q.ToString().c_str());
+    if (decision.selected.empty()) std::printf(" (none)");
+    for (const auto& rank : decision.selected) {
+      std::printf(" n%zu[r=%.2f K'=%zu]", rank.node_id, rank.ranking,
+                  rank.supporting_clusters);
+    }
+    std::printf("  -> %zu supporting samples (%.1f%%), ~%.0f rows in region\n",
+                supporting_samples,
+                100.0 * static_cast<double>(supporting_samples) /
+                    static_cast<double>(total_samples),
+                estimated_rows);
+  }
+
+  std::printf(
+      "\n(the leader computed all of this from cluster boundaries alone — "
+      "no raw data left any node)\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Streaming edge node: the paper's nodes collect data continuously
+// (Section III-A). This example shows the node-side lifecycle:
+//
+//   1. quantize an initial data batch (Eq. 1) and publish the digests;
+//   2. absorb a stream of new observations incrementally (running-mean
+//      centroids, expanding boxes) — no re-clustering per sample;
+//   3. watch how a fixed query's overlap/ranking changes as the node's
+//      data drifts into (or out of) the query region;
+//   4. rebuild when drift exceeds a threshold and compare digests.
+//
+// Usage: streaming_edge_node [stream_length]   (default 600)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "qens/clustering/streaming_quantizer.h"
+#include "qens/common/rng.h"
+#include "qens/selection/ranking.h"
+
+using namespace qens;
+
+namespace {
+
+template <typename T>
+T Die(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Rank the node's current digests against the query.
+selection::NodeRank RankNow(const clustering::StreamingQuantizer& quantizer,
+                            const query::RangeQuery& q) {
+  selection::NodeProfile profile;
+  profile.node_id = 0;
+  profile.name = "streaming-node";
+  profile.clusters = quantizer.summaries();
+  profile.total_samples = quantizer.total_samples();
+  selection::RankingOptions options;
+  options.epsilon = 0.15;
+  return Die(selection::RankNode(profile, q, options), "rank");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t stream_length = 600;
+  if (argc > 1) stream_length = static_cast<size_t>(std::atoi(argv[1]));
+
+  // Initial batch: temperatures around 0 (a cold season).
+  Rng rng(77);
+  Matrix initial(300, 1);
+  for (double& v : initial.data()) v = rng.Gaussian(0.0, 3.0);
+
+  clustering::KMeansOptions km;
+  km.k = 5;  // The paper's K.
+  km.seed = 3;
+  clustering::StreamingQuantizer quantizer =
+      Die(clustering::StreamingQuantizer::Create(initial, km), "quantize");
+
+  // A fixed analytics query over the warm range [15, 30].
+  query::RangeQuery q;
+  q.id = 1;
+  q.region = query::HyperRectangle(
+      std::vector<query::Interval>{query::Interval(15.0, 30.0)});
+  std::printf("query: %s\n", q.ToString().c_str());
+  std::printf("initial data: %zu samples around 0 deg C\n\n",
+              quantizer.total_samples());
+
+  std::printf("%-8s %10s %8s %10s %8s %12s\n", "step", "samples", "drift",
+              "ranking", "K'", "rebuilds");
+  size_t rebuilds = 0;
+  selection::NodeRank rank = RankNow(quantizer, q);
+  std::printf("%-8d %10zu %7.1f%% %10.3f %8zu %12zu\n", 0,
+              quantizer.total_samples(), 100.0 * quantizer.Drift(),
+              rank.ranking, rank.supporting_clusters, rebuilds);
+
+  // The season warms: new observations drift toward the query's range.
+  for (size_t i = 1; i <= stream_length; ++i) {
+    const double season =
+        24.0 * static_cast<double>(i) / static_cast<double>(stream_length);
+    Die(quantizer.Absorb({season + rng.Gaussian(0.0, 2.0)}), "absorb");
+
+    if (quantizer.NeedsRebuild(0.3)) {
+      // Re-quantize (Eq. 1) over everything collected so far.
+      if (!quantizer.Rebuild().ok()) {
+        std::fprintf(stderr, "rebuild failed\n");
+        return 1;
+      }
+      ++rebuilds;
+    }
+    if (i % (stream_length / 6) == 0) {
+      rank = RankNow(quantizer, q);
+      std::printf("%-8zu %10zu %7.1f%% %10.3f %8zu %12zu\n", i,
+                  quantizer.total_samples(), 100.0 * quantizer.Drift(),
+                  rank.ranking, rank.supporting_clusters, rebuilds);
+    }
+  }
+
+  std::printf(
+      "\nAs warm-season data accumulates, clusters covering [15, 30] appear "
+      "and the node's ranking for the query rises — the leader would now "
+      "select this node where it previously would not.\n");
+  return 0;
+}

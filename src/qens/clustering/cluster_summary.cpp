@@ -1,0 +1,73 @@
+#include "qens/clustering/cluster_summary.h"
+
+#include <sstream>
+
+#include "qens/common/string_util.h"
+
+namespace qens::clustering {
+
+size_t ClusterSummary::WireBytes() const {
+  // centroid + bounding box (2 doubles/dim) + population count.
+  return centroid.size() * sizeof(double) + bounds.WireBytes() +
+         sizeof(uint64_t);
+}
+
+std::string ClusterSummary::ToString() const {
+  std::ostringstream out;
+  out << "cluster{size=" << size << ", bounds=" << bounds.ToString() << "}";
+  return out.str();
+}
+
+Result<ClusterSummary> SummarizeCluster(const Matrix& data,
+                                        const std::vector<size_t>& member_rows) {
+  if (member_rows.empty()) {
+    return Status::InvalidArgument("SummarizeCluster: no member rows");
+  }
+  ClusterSummary summary;
+  summary.size = member_rows.size();
+  summary.centroid.assign(data.cols(), 0.0);
+  for (size_t r : member_rows) {
+    if (r >= data.rows()) {
+      return Status::OutOfRange(
+          StrFormat("SummarizeCluster: row %zu >= %zu", r, data.rows()));
+    }
+    const double* p = data.RowPtr(r);
+    for (size_t c = 0; c < data.cols(); ++c) summary.centroid[c] += p[c];
+  }
+  for (double& v : summary.centroid) {
+    v /= static_cast<double>(member_rows.size());
+  }
+  QENS_ASSIGN_OR_RETURN(summary.bounds,
+                        query::HyperRectangle::BoundingBox(data, member_rows));
+  return summary;
+}
+
+Result<std::vector<ClusterSummary>> SummarizeClusters(
+    const Matrix& data, const std::vector<size_t>& assignment, size_t k) {
+  if (assignment.size() != data.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("SummarizeClusters: %zu assignments for %zu rows",
+                  assignment.size(), data.rows()));
+  }
+  std::vector<std::vector<size_t>> members(k);
+  for (size_t r = 0; r < assignment.size(); ++r) {
+    if (assignment[r] >= k) {
+      return Status::OutOfRange(
+          StrFormat("SummarizeClusters: assignment %zu >= k=%zu",
+                    assignment[r], k));
+    }
+    members[assignment[r]].push_back(r);
+  }
+  std::vector<ClusterSummary> out(k);
+  for (size_t c = 0; c < k; ++c) {
+    if (members[c].empty()) {
+      // Empty cluster: size 0, no bounds; never supports any query.
+      out[c] = ClusterSummary{};
+      continue;
+    }
+    QENS_ASSIGN_OR_RETURN(out[c], SummarizeCluster(data, members[c]));
+  }
+  return out;
+}
+
+}  // namespace qens::clustering

@@ -1,0 +1,48 @@
+#ifndef QENS_CLUSTERING_CLUSTER_SUMMARY_H_
+#define QENS_CLUSTERING_CLUSTER_SUMMARY_H_
+
+/// \file cluster_summary.h
+/// The compact per-cluster metadata a node shares with the leader: centroid,
+/// bounding hyper-rectangle, and population. This is the *only* data-derived
+/// information that leaves a node in the paper's protocol (Section III-C:
+/// "The nodes just send to the leader the boundaries of their clusters and
+/// the number of the clusters per node, yielding O(1) communication").
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/query/hyper_rectangle.h"
+#include "qens/tensor/matrix.h"
+
+namespace qens::clustering {
+
+/// Privacy-preserving cluster digest: what a node publishes per cluster.
+struct ClusterSummary {
+  std::vector<double> centroid;   ///< d-dimensional representative u_k.
+  query::HyperRectangle bounds;   ///< Per-dimension [min, max] box.
+  size_t size = 0;                ///< Number of member samples.
+
+  size_t dims() const { return centroid.size(); }
+
+  /// Serialized size in bytes (for the network accounting substrate).
+  size_t WireBytes() const;
+
+  std::string ToString() const;
+};
+
+/// Build the summary of a set of rows of `data` (the members of one
+/// cluster). Fails if `member_rows` is empty or any index is out of range.
+Result<ClusterSummary> SummarizeCluster(const Matrix& data,
+                                        const std::vector<size_t>& member_rows);
+
+/// Build summaries for all clusters of an assignment vector (values in
+/// [0, k)). Clusters with no members yield a summary with size == 0 and an
+/// empty (invalid) bounds box; callers treat those as non-supporting.
+Result<std::vector<ClusterSummary>> SummarizeClusters(
+    const Matrix& data, const std::vector<size_t>& assignment, size_t k);
+
+}  // namespace qens::clustering
+
+#endif  // QENS_CLUSTERING_CLUSTER_SUMMARY_H_

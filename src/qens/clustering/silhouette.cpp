@@ -1,0 +1,101 @@
+#include "qens/clustering/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "qens/common/string_util.h"
+
+namespace qens::clustering {
+
+Result<double> MeanSilhouette(const Matrix& data,
+                              const std::vector<size_t>& assignment,
+                              size_t k) {
+  const size_t m = data.rows();
+  if (m == 0) return Status::InvalidArgument("silhouette: empty data");
+  if (assignment.size() != m) {
+    return Status::InvalidArgument("silhouette: assignment size mismatch");
+  }
+  std::vector<size_t> sizes(k, 0);
+  for (size_t a : assignment) {
+    if (a >= k) return Status::OutOfRange("silhouette: assignment >= k");
+    ++sizes[a];
+  }
+  size_t non_empty = 0;
+  for (size_t s : sizes) non_empty += s > 0 ? 1 : 0;
+  if (non_empty < 2) {
+    return Status::InvalidArgument(
+        "silhouette: need at least 2 non-empty clusters");
+  }
+
+  // For each sample, mean distance to every cluster.
+  double total = 0.0;
+  std::vector<double> dist_sum(k);
+  for (size_t i = 0; i < m; ++i) {
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    const double* pi = data.RowPtr(i);
+    for (size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      const double* pj = data.RowPtr(j);
+      double acc = 0.0;
+      for (size_t d = 0; d < data.cols(); ++d) {
+        const double delta = pi[d] - pj[d];
+        acc += delta * delta;
+      }
+      dist_sum[assignment[j]] += std::sqrt(acc);
+    }
+    const size_t own = assignment[i];
+    if (sizes[own] <= 1) {
+      // Singleton: silhouette 0 by convention.
+      continue;
+    }
+    const double a = dist_sum[own] / static_cast<double>(sizes[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      if (c == own || sizes[c] == 0) continue;
+      b = std::min(b, dist_sum[c] / static_cast<double>(sizes[c]));
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(m);
+}
+
+Result<std::vector<KQuality>> SweepK(const Matrix& data, size_t k_min,
+                                     size_t k_max,
+                                     const KMeansOptions& base_options) {
+  if (k_min < 2) return Status::InvalidArgument("SweepK: k_min must be >= 2");
+  if (k_min > k_max) {
+    return Status::InvalidArgument("SweepK: k_min > k_max");
+  }
+  std::vector<KQuality> out;
+  out.reserve(k_max - k_min + 1);
+  for (size_t k = k_min; k <= k_max; ++k) {
+    KMeansOptions options = base_options;
+    options.k = k;
+    KMeans kmeans(options);
+    QENS_ASSIGN_OR_RETURN(KMeansResult fit, kmeans.Fit(data));
+    KQuality q;
+    q.k = k;
+    q.inertia = fit.inertia;
+    q.converged = fit.converged;
+    // Degenerate data can collapse to one cluster; report silhouette 0.
+    Result<double> sil = MeanSilhouette(data, fit.assignment, k);
+    q.silhouette = sil.ok() ? *sil : 0.0;
+    out.push_back(q);
+  }
+  return out;
+}
+
+Result<size_t> BestKBySilhouette(const std::vector<KQuality>& sweep) {
+  if (sweep.empty()) {
+    return Status::InvalidArgument("BestKBySilhouette: empty sweep");
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    if (sweep[i].silhouette > sweep[best].silhouette) best = i;
+  }
+  return sweep[best].k;
+}
+
+}  // namespace qens::clustering

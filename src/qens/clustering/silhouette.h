@@ -1,0 +1,47 @@
+#ifndef QENS_CLUSTERING_SILHOUETTE_H_
+#define QENS_CLUSTERING_SILHOUETTE_H_
+
+/// \file silhouette.h
+/// Cluster-quality diagnostics for choosing K. The paper fixes K = 5 "to
+/// avoid biases" (Section V-A); these utilities let a deployment validate
+/// or tune that choice per node: the mean silhouette coefficient
+/// (Rousseeuw 1987) and a K-sweep helper combining inertia (for the elbow
+/// heuristic) with silhouette.
+
+#include <cstdint>
+#include <vector>
+
+#include "qens/clustering/kmeans.h"
+#include "qens/common/status.h"
+#include "qens/tensor/matrix.h"
+
+namespace qens::clustering {
+
+/// Mean silhouette coefficient over all samples, in [-1, 1]; higher is
+/// better-separated. Singleton clusters score 0 (the standard convention).
+/// Requires at least 2 non-empty clusters and one row per sample;
+/// O(m^2 d) — intended for node-local sample sizes.
+Result<double> MeanSilhouette(const Matrix& data,
+                              const std::vector<size_t>& assignment,
+                              size_t k);
+
+/// One K's quality readings.
+struct KQuality {
+  size_t k = 0;
+  double inertia = 0.0;     ///< Eq. 1 objective (monotone down in k).
+  double silhouette = 0.0;  ///< Mean silhouette (peaks near the "true" k).
+  bool converged = false;
+};
+
+/// Fit k-means for each k in [k_min, k_max] and report both diagnostics.
+/// Fails when k_min < 2, k_min > k_max, or the data is degenerate.
+Result<std::vector<KQuality>> SweepK(const Matrix& data, size_t k_min,
+                                     size_t k_max,
+                                     const KMeansOptions& base_options);
+
+/// The k from `sweep` with the highest silhouette (ties break low).
+Result<size_t> BestKBySilhouette(const std::vector<KQuality>& sweep);
+
+}  // namespace qens::clustering
+
+#endif  // QENS_CLUSTERING_SILHOUETTE_H_

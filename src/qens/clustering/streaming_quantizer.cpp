@@ -1,0 +1,109 @@
+#include "qens/clustering/streaming_quantizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "qens/common/string_util.h"
+
+namespace qens::clustering {
+
+StreamingQuantizer::StreamingQuantizer(KMeansOptions options, Matrix data,
+                                       std::vector<size_t> assignment,
+                                       std::vector<ClusterSummary> summaries,
+                                       Matrix centroids)
+    : options_(options),
+      data_(std::move(data)),
+      assignment_(std::move(assignment)),
+      summaries_(std::move(summaries)),
+      centroids_(std::move(centroids)),
+      total_samples_(data_.rows()) {}
+
+Result<StreamingQuantizer> StreamingQuantizer::Create(
+    const Matrix& initial_data, const KMeansOptions& options) {
+  KMeans kmeans(options);
+  QENS_ASSIGN_OR_RETURN(KMeansResult fit, kmeans.Fit(initial_data));
+  QENS_ASSIGN_OR_RETURN(
+      std::vector<ClusterSummary> summaries,
+      SummarizeClusters(initial_data, fit.assignment, options.k));
+  return StreamingQuantizer(options, initial_data, std::move(fit.assignment),
+                            std::move(summaries), std::move(fit.centroids));
+}
+
+Result<size_t> StreamingQuantizer::Absorb(const std::vector<double>& sample) {
+  if (sample.size() != data_.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("Absorb: sample has %zu dims, quantizer has %zu",
+                  sample.size(), data_.cols()));
+  }
+  // Nearest non-empty centroid.
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    if (summaries_[c].size == 0) continue;
+    double acc = 0.0;
+    const double* u = centroids_.RowPtr(c);
+    for (size_t d = 0; d < sample.size(); ++d) {
+      const double delta = sample[d] - u[d];
+      acc += delta * delta;
+    }
+    if (acc < best_d) {
+      best_d = acc;
+      best = c;
+    }
+  }
+
+  // Append the sample to the retained data.
+  {
+    Matrix grown(data_.rows() + 1, data_.cols());
+    std::copy(data_.data().begin(), data_.data().end(),
+              grown.data().begin());
+    std::copy(sample.begin(), sample.end(), grown.RowPtr(data_.rows()));
+    data_ = std::move(grown);
+  }
+  assignment_.push_back(best);
+  ++total_samples_;
+  ++absorbed_samples_;
+
+  // Running-mean centroid update and box expansion.
+  ClusterSummary& summary = summaries_[best];
+  const double n = static_cast<double>(summary.size + 1);
+  double* u = centroids_.RowPtr(best);
+  for (size_t d = 0; d < sample.size(); ++d) {
+    u[d] += (sample[d] - u[d]) / n;
+    summary.centroid[d] = u[d];
+    summary.bounds.dim(d).lo = std::min(summary.bounds.dim(d).lo, sample[d]);
+    summary.bounds.dim(d).hi = std::max(summary.bounds.dim(d).hi, sample[d]);
+  }
+  ++summary.size;
+  return best;
+}
+
+Status StreamingQuantizer::AbsorbRows(const Matrix& rows) {
+  for (size_t r = 0; r < rows.rows(); ++r) {
+    QENS_RETURN_NOT_OK(Absorb(rows.Row(r)).status());
+  }
+  return Status::OK();
+}
+
+double StreamingQuantizer::Drift() const {
+  return total_samples_ > 0 ? static_cast<double>(absorbed_samples_) /
+                                  static_cast<double>(total_samples_)
+                            : 0.0;
+}
+
+bool StreamingQuantizer::NeedsRebuild(double threshold) const {
+  return Drift() > threshold;
+}
+
+Status StreamingQuantizer::Rebuild() {
+  KMeans kmeans(options_);
+  QENS_ASSIGN_OR_RETURN(KMeansResult fit, kmeans.Fit(data_));
+  QENS_ASSIGN_OR_RETURN(
+      summaries_, SummarizeClusters(data_, fit.assignment, options_.k));
+  assignment_ = std::move(fit.assignment);
+  centroids_ = std::move(fit.centroids);
+  absorbed_samples_ = 0;
+  return Status::OK();
+}
+
+}  // namespace qens::clustering

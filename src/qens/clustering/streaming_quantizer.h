@@ -1,0 +1,76 @@
+#ifndef QENS_CLUSTERING_STREAMING_QUANTIZER_H_
+#define QENS_CLUSTERING_STREAMING_QUANTIZER_H_
+
+/// \file streaming_quantizer.h
+/// Incremental maintenance of a node's cluster digests as new samples
+/// stream in. The paper's edge nodes "collect data locally" continuously
+/// (Section III-A); re-running k-means per sample is wasteful, so the
+/// quantizer absorbs new points into the existing structure:
+///
+///   - each new sample joins its nearest centroid's cluster;
+///   - the centroid moves by the running-mean update
+///       u  <-  u + (x - u) / n
+///   - the cluster's bounding box expands to cover the sample.
+///
+/// Absorption degrades quantization quality over time (boxes only grow),
+/// so the quantizer tracks *drift* — the fraction of absorbed samples —
+/// and reports when a full re-quantization (Rebuild) is advisable.
+
+#include <cstddef>
+#include <vector>
+
+#include "qens/clustering/cluster_summary.h"
+#include "qens/clustering/kmeans.h"
+#include "qens/common/status.h"
+#include "qens/tensor/matrix.h"
+
+namespace qens::clustering {
+
+/// Streaming wrapper over a k-means fit.
+class StreamingQuantizer {
+ public:
+  /// Quantize the initial data with `options`. Fails like KMeans::Fit.
+  static Result<StreamingQuantizer> Create(const Matrix& initial_data,
+                                           const KMeansOptions& options);
+
+  size_t k() const { return options_.k; }
+  size_t total_samples() const { return total_samples_; }
+  size_t absorbed_samples() const { return absorbed_samples_; }
+
+  /// Current digests (always consistent with everything absorbed so far).
+  const std::vector<ClusterSummary>& summaries() const { return summaries_; }
+
+  /// Absorb one d-dimensional sample. Fails on width mismatch.
+  /// Returns the cluster id the sample joined.
+  Result<size_t> Absorb(const std::vector<double>& sample);
+
+  /// Absorb every row of `rows`.
+  Status AbsorbRows(const Matrix& rows);
+
+  /// Fraction of current samples that were absorbed (vs part of the last
+  /// full quantization). High drift means the digests may be stale.
+  double Drift() const;
+
+  /// True once Drift() exceeds `threshold` (default 0.3).
+  bool NeedsRebuild(double threshold = 0.3) const;
+
+  /// Re-run full k-means over all retained samples and reset drift.
+  Status Rebuild();
+
+ private:
+  StreamingQuantizer(KMeansOptions options, Matrix data,
+                     std::vector<size_t> assignment,
+                     std::vector<ClusterSummary> summaries, Matrix centroids);
+
+  KMeansOptions options_;
+  Matrix data_;                       ///< All retained samples (row-major).
+  std::vector<size_t> assignment_;    ///< Row -> cluster id.
+  std::vector<ClusterSummary> summaries_;
+  Matrix centroids_;                  ///< (k x d) running means.
+  size_t total_samples_ = 0;
+  size_t absorbed_samples_ = 0;       ///< Since the last full quantization.
+};
+
+}  // namespace qens::clustering
+
+#endif  // QENS_CLUSTERING_STREAMING_QUANTIZER_H_

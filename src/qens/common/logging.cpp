@@ -1,0 +1,45 @@
+#include "qens/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace qens {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_emit_mutex;
+
+}  // namespace
+
+void Logging::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logging::GetLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+const char* Logging::LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logging::Emit(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[qens %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace qens

@@ -1,0 +1,63 @@
+#ifndef QENS_COMMON_LOGGING_H_
+#define QENS_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// Minimal leveled logger used across the library and the experiment
+/// harnesses. Output goes to stderr; the global threshold is process-wide.
+
+#include <sstream>
+#include <string>
+
+namespace qens {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide logging controls.
+class Logging {
+ public:
+  /// Set the minimum level that will be emitted (default: kInfo).
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Emit one line at `level` (no-op when below the threshold).
+  static void Emit(LogLevel level, const std::string& message);
+
+  /// Name of the level ("DEBUG", "INFO", ...).
+  static const char* LevelName(LogLevel level);
+};
+
+namespace internal {
+
+/// Stream-style log statement builder; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logging::Emit(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace qens
+
+#define QENS_LOG(level) \
+  ::qens::internal::LogMessage(::qens::LogLevel::k##level)
+
+#endif  // QENS_COMMON_LOGGING_H_

@@ -1,0 +1,173 @@
+#ifndef QENS_COMMON_STATUS_H_
+#define QENS_COMMON_STATUS_H_
+
+/// \file status.h
+/// Error handling primitives for the qens library.
+///
+/// Following the RocksDB/Arrow convention, no exceptions cross library
+/// boundaries: fallible operations return `Status` (or `Result<T>` for
+/// value-producing operations). A default-constructed `Status` is OK.
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qens {
+
+/// Machine-inspectable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// Construction is via the named factories (`Status::OK()`,
+/// `Status::InvalidArgument(...)`, ...). `Status` is cheap to copy for the
+/// OK case and carries its message by value otherwise.
+class Status {
+ public:
+  /// Default construction yields OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \name Named constructors
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or a non-OK Status. The library analog of `absl::StatusOr<T>`.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Status of the operation; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagate a non-OK Status from a fallible expression.
+#define QENS_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::qens::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Assign a Result's value to `lhs`, or propagate its error Status.
+#define QENS_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto QENS_CONCAT_(_res, __LINE__) = (rexpr);            \
+  if (!QENS_CONCAT_(_res, __LINE__).ok())                 \
+    return QENS_CONCAT_(_res, __LINE__).status();         \
+  lhs = std::move(QENS_CONCAT_(_res, __LINE__)).value()
+
+#define QENS_CONCAT_IMPL_(a, b) a##b
+#define QENS_CONCAT_(a, b) QENS_CONCAT_IMPL_(a, b)
+
+}  // namespace qens
+
+#endif  // QENS_COMMON_STATUS_H_

@@ -1,0 +1,4 @@
+#include "qens/common/stopwatch.h"
+
+// Header-only; this translation unit exists so the target has a symbol for
+// every listed source and to keep one-source-per-header symmetry.

@@ -1,0 +1,35 @@
+#ifndef QENS_COMMON_STOPWATCH_H_
+#define QENS_COMMON_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// Wall-clock timing for the experiment harnesses (Fig. 8 measures model
+/// building time with and without the query-driven mechanism).
+
+#include <chrono>
+
+namespace qens {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Reset the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction/Restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qens
+
+#endif  // QENS_COMMON_STOPWATCH_H_

@@ -1,0 +1,105 @@
+#include "qens/common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace qens {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  std::string t = Trim(s);
+  if (t.empty()) return Status::InvalidArgument("empty string is not a double");
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(t.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: '" + t + "'");
+  }
+  if (end == t.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a double: '" + t + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(std::string_view s) {
+  std::string t = Trim(s);
+  if (t.empty()) return Status::InvalidArgument("empty string is not an int");
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(t.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("int out of range: '" + t + "'");
+  }
+  if (end == t.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an int: '" + t + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace qens

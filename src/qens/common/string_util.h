@@ -1,0 +1,45 @@
+#ifndef QENS_COMMON_STRING_UTIL_H_
+#define QENS_COMMON_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small string helpers shared by the CSV codec, config parsing, and the
+/// experiment report printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qens/common/status.h"
+
+namespace qens {
+
+/// Split `s` on `delim`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Copy of `s` without leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Join `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cased ASCII copy.
+std::string ToLower(std::string_view s);
+
+/// Strict double parse: the whole trimmed token must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// Strict int64 parse: the whole trimmed token must be consumed.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace qens
+
+#endif  // QENS_COMMON_STRING_UTIL_H_

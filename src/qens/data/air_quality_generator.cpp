@@ -1,0 +1,173 @@
+#include "qens/data/air_quality_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "qens/common/rng.h"
+#include "qens/common/string_util.h"
+
+namespace qens::data {
+namespace {
+
+constexpr double kHoursPerDay = 24.0;
+constexpr double kHoursPerYear = 24.0 * 365.0;
+
+/// Real Beijing-area station names (the UCI dataset's 12 sites; we use the
+/// first options.num_stations of them, cycling if more are requested).
+constexpr const char* kStationNames[] = {
+    "Aotizhongxin", "Changping", "Dingling",  "Dongsi",
+    "Guanyuan",     "Gucheng",   "Huairou",   "Nongzhanguan",
+    "Shunyi",       "Tiantan",   "Wanliu",    "Wanshouxigong",
+};
+constexpr size_t kNumStationNames =
+    sizeof(kStationNames) / sizeof(kStationNames[0]);
+
+// Heterogeneous regime: one global V-shaped PM2.5 response to TEMP.
+// PM2.5 = kPmVertexLevel + kPmCurvature * (TEMP - kPmVertexTemp)^2.
+constexpr double kPmVertexTemp = 10.0;
+constexpr double kPmVertexLevel = 40.0;
+constexpr double kPmCurvature = 0.12;
+
+// Mean annual temperature of the unshifted seasonal signal.
+constexpr double kBaseMeanTemp = 14.0;
+
+}  // namespace
+
+const char* HeterogeneityName(Heterogeneity h) {
+  switch (h) {
+    case Heterogeneity::kHomogeneous:
+      return "homogeneous";
+    case Heterogeneity::kHeterogeneous:
+      return "heterogeneous";
+  }
+  return "unknown";
+}
+
+AirQualityGenerator::AirQualityGenerator(AirQualityOptions options)
+    : options_(options) {
+  BuildProfiles();
+}
+
+void AirQualityGenerator::BuildProfiles() {
+  profiles_.clear();
+  profiles_.reserve(options_.num_stations);
+  Rng rng(options_.seed);
+  for (size_t s = 0; s < options_.num_stations; ++s) {
+    StationProfile p;
+    p.name = StrFormat("%s-%zu", kStationNames[s % kNumStationNames], s);
+    if (options_.heterogeneity == Heterogeneity::kHomogeneous) {
+      // Identical process everywhere; only the noise streams differ.
+      p.temp_offset = 0.0;
+      p.pres_offset = 0.0;
+      p.humidity_gap = 6.0;
+      p.pm_base = 60.0;
+      p.pm_slope = 2.5;
+      p.noise_scale = 1.0;
+    } else {
+      // Region shifts: stations spread evenly from cold mountain sites to
+      // warm urban cores (plus jitter), so different sites hold different
+      // TEMP ranges. The PM2.5 response is the global V-curve, so each
+      // site's LOCAL regression slope differs — negative at cold sites,
+      // positive at warm ones (the paper's Section II motivation).
+      const double span = options_.num_stations > 1
+                              ? static_cast<double>(s) /
+                                    static_cast<double>(options_.num_stations - 1)
+                              : 0.5;
+      p.temp_offset = -25.0 + 50.0 * span + rng.Uniform(-1.5, 1.5);
+      double mean_temp = kBaseMeanTemp + p.temp_offset;
+      // Keep every station clear of the V vertex so its local slope has an
+      // unambiguous sign.
+      if (std::fabs(mean_temp - kPmVertexTemp) < 3.0) {
+        p.temp_offset += 6.0;
+        mean_temp = kBaseMeanTemp + p.temp_offset;
+      }
+      p.pres_offset = rng.Uniform(-12.0, 12.0);
+      p.humidity_gap = rng.Uniform(3.0, 10.0);
+      p.pm_slope = 2.0 * kPmCurvature * (mean_temp - kPmVertexTemp);
+      p.pm_base = kPmVertexLevel +
+                  kPmCurvature * (mean_temp - kPmVertexTemp) *
+                      (mean_temp - kPmVertexTemp);
+      p.noise_scale = rng.Uniform(0.6, 1.8);
+    }
+    profiles_.push_back(std::move(p));
+  }
+}
+
+std::vector<std::string> AirQualityGenerator::FeatureNames() const {
+  if (options_.single_feature) return {"TEMP"};
+  return {"TEMP", "PRES", "DEWP", "WSPM"};
+}
+
+Result<Dataset> AirQualityGenerator::GenerateStation(size_t index) const {
+  if (index >= profiles_.size()) {
+    return Status::OutOfRange(StrFormat(
+        "GenerateStation: index %zu >= %zu", index, profiles_.size()));
+  }
+  if (options_.samples_per_station == 0) {
+    return Status::InvalidArgument(
+        "GenerateStation: samples_per_station must be > 0");
+  }
+  const StationProfile& p = profiles_[index];
+  // Independent stream per station, derived from the master seed.
+  Rng rng = Rng(options_.seed).Fork(index + 1);
+
+  const size_t m = options_.samples_per_station;
+  const size_t d = options_.single_feature ? 1 : 4;
+  Matrix features(m, d);
+  Matrix targets(m, 1);
+
+  // Each station starts at a random phase of the year, and samples stride
+  // across a full seasonal cycle regardless of the sample count (the UCI
+  // dataset spans four years; every site sees every season).
+  const double phase = rng.Uniform(0.0, kHoursPerYear);
+  const double stride = kHoursPerYear / static_cast<double>(m);
+
+  for (size_t i = 0; i < m; ++i) {
+    const double t = phase + static_cast<double>(i) * stride;
+    const double season =
+        14.0 + 13.0 * std::sin(2.0 * std::numbers::pi * t / kHoursPerYear);
+    const double diurnal =
+        4.0 * std::sin(2.0 * std::numbers::pi * t / kHoursPerDay);
+    const double temp = season + diurnal + p.temp_offset +
+                        rng.Gaussian(0.0, 2.0 * p.noise_scale);
+    const double pres = 1013.0 - 0.9 * (temp - 14.0) + p.pres_offset +
+                        rng.Gaussian(0.0, 3.0 * p.noise_scale);
+    const double dewp =
+        temp - p.humidity_gap + rng.Gaussian(0.0, 1.5 * p.noise_scale);
+    const double wspm = rng.Exponential(0.7);
+
+    double pm;
+    if (options_.heterogeneity == Heterogeneity::kHomogeneous) {
+      pm = p.pm_base + p.pm_slope * temp;
+    } else {
+      const double dt = temp - kPmVertexTemp;
+      pm = kPmVertexLevel + kPmCurvature * dt * dt;
+    }
+    pm += -6.0 * wspm + rng.Gaussian(0.0, 8.0 * p.noise_scale);
+    pm = std::max(0.0, pm);
+
+    features(i, 0) = temp;
+    if (!options_.single_feature) {
+      features(i, 1) = pres;
+      features(i, 2) = dewp;
+      features(i, 3) = wspm;
+    }
+    targets(i, 0) = pm;
+  }
+
+  return Dataset::Create(std::move(features), std::move(targets),
+                         FeatureNames(), TargetName());
+}
+
+Result<std::vector<Dataset>> AirQualityGenerator::GenerateAll() const {
+  std::vector<Dataset> out;
+  out.reserve(profiles_.size());
+  for (size_t s = 0; s < profiles_.size(); ++s) {
+    QENS_ASSIGN_OR_RETURN(Dataset d, GenerateStation(s));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace qens::data

@@ -1,0 +1,163 @@
+#include "qens/data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "qens/common/string_util.h"
+
+namespace qens::data {
+namespace {
+
+/// Split one CSV record; no quoting support (the UCI air-quality files are
+/// plain numeric CSV).
+std::vector<std::string> SplitRecord(const std::string& line, char delim) {
+  return Split(line, delim);
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsvDataset(const std::string& text,
+                                const CsvReadOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+
+  // Collect non-empty lines.
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) lines.push_back(line);
+  }
+  if (lines.empty()) return Status::InvalidArgument("csv: empty input");
+
+  std::vector<std::string> header;
+  size_t first_data_line = 0;
+  if (options.has_header) {
+    header = SplitRecord(lines[0], options.delimiter);
+    for (auto& h : header) h = Trim(h);
+    first_data_line = 1;
+  } else {
+    const size_t width = SplitRecord(lines[0], options.delimiter).size();
+    header.resize(width);
+    for (size_t i = 0; i < width; ++i) header[i] = StrFormat("c%zu", i);
+  }
+  if (header.empty()) return Status::InvalidArgument("csv: empty header");
+
+  auto column_index = [&](const std::string& name) -> Result<size_t> {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return i;
+    }
+    return Status::NotFound("csv: no column named '" + name + "'");
+  };
+
+  // Resolve the target column.
+  size_t target_idx;
+  if (options.target_column.empty()) {
+    target_idx = header.size() - 1;
+  } else {
+    QENS_ASSIGN_OR_RETURN(target_idx, column_index(options.target_column));
+  }
+
+  // Resolve feature columns.
+  std::vector<size_t> feature_idx;
+  if (options.feature_columns.empty()) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (i != target_idx) feature_idx.push_back(i);
+    }
+  } else {
+    for (const auto& name : options.feature_columns) {
+      QENS_ASSIGN_OR_RETURN(size_t idx, column_index(name));
+      if (idx == target_idx) {
+        return Status::InvalidArgument(
+            "csv: feature column '" + name + "' is also the target");
+      }
+      feature_idx.push_back(idx);
+    }
+  }
+  if (feature_idx.empty()) {
+    return Status::InvalidArgument("csv: no feature columns");
+  }
+
+  std::vector<double> feat_flat;
+  std::vector<double> targ_flat;
+  size_t rows = 0;
+  for (size_t li = first_data_line; li < lines.size(); ++li) {
+    const std::vector<std::string> cells =
+        SplitRecord(lines[li], options.delimiter);
+    if (cells.size() != header.size()) {
+      if (options.skip_bad_rows) continue;
+      return Status::InvalidArgument(
+          StrFormat("csv: line %zu has %zu cells, expected %zu", li + 1,
+                    cells.size(), header.size()));
+    }
+    std::vector<double> row(feature_idx.size());
+    bool bad = false;
+    for (size_t f = 0; f < feature_idx.size(); ++f) {
+      Result<double> v = ParseDouble(cells[feature_idx[f]]);
+      if (!v.ok()) {
+        bad = true;
+        break;
+      }
+      row[f] = v.value();
+    }
+    Result<double> tv = ParseDouble(cells[target_idx]);
+    if (!tv.ok()) bad = true;
+    if (bad) {
+      if (options.skip_bad_rows) continue;
+      return Status::InvalidArgument(
+          StrFormat("csv: unparseable cell on line %zu", li + 1));
+    }
+    feat_flat.insert(feat_flat.end(), row.begin(), row.end());
+    targ_flat.push_back(tv.value());
+    ++rows;
+  }
+  if (rows == 0) return Status::InvalidArgument("csv: no valid data rows");
+
+  QENS_ASSIGN_OR_RETURN(
+      Matrix features,
+      Matrix::FromFlat(rows, feature_idx.size(), std::move(feat_flat)));
+  QENS_ASSIGN_OR_RETURN(Matrix targets,
+                        Matrix::FromFlat(rows, 1, std::move(targ_flat)));
+  std::vector<std::string> names(feature_idx.size());
+  for (size_t f = 0; f < feature_idx.size(); ++f) {
+    names[f] = header[feature_idx[f]];
+  }
+  return Dataset::Create(std::move(features), std::move(targets),
+                         std::move(names), header[target_idx]);
+}
+
+Result<Dataset> ReadCsvDataset(const std::string& path,
+                               const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("csv: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsvDataset(buf.str(), options);
+}
+
+std::string FormatCsvDataset(const Dataset& dataset, char delimiter) {
+  std::ostringstream out;
+  for (size_t i = 0; i < dataset.feature_names().size(); ++i) {
+    out << dataset.feature_names()[i] << delimiter;
+  }
+  out << dataset.target_name() << "\n";
+  char buf[64];
+  for (size_t r = 0; r < dataset.NumSamples(); ++r) {
+    for (size_t c = 0; c < dataset.NumFeatures(); ++c) {
+      std::snprintf(buf, sizeof(buf), "%.10g", dataset.features()(r, c));
+      out << buf << delimiter;
+    }
+    std::snprintf(buf, sizeof(buf), "%.10g", dataset.targets()(r, 0));
+    out << buf << "\n";
+  }
+  return out.str();
+}
+
+Status WriteCsvDataset(const Dataset& dataset, const std::string& path,
+                       char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("csv: cannot open for write " + path);
+  out << FormatCsvDataset(dataset, delimiter);
+  if (!out) return Status::IOError("csv: write failed " + path);
+  return Status::OK();
+}
+
+}  // namespace qens::data

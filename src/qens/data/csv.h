@@ -1,0 +1,51 @@
+#ifndef QENS_DATA_CSV_H_
+#define QENS_DATA_CSV_H_
+
+/// \file csv.h
+/// CSV load/store for Dataset. Lets users drop in the real UCI Beijing
+/// Multi-Site Air-Quality files (one file per station/node) in place of the
+/// synthetic generator.
+
+#include <string>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/data/dataset.h"
+
+namespace qens::data {
+
+/// Options for ReadCsvDataset.
+struct CsvReadOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Name of the target column; when empty, the LAST column is the target.
+  std::string target_column;
+  /// Columns to use as features (by name). When empty, every numeric column
+  /// except the target is a feature.
+  std::vector<std::string> feature_columns;
+  /// Rows containing unparseable/missing values in selected columns are
+  /// skipped when true; otherwise they are an error.
+  bool skip_bad_rows = true;
+};
+
+/// Parse a CSV file into a Dataset. Requires a header when column names are
+/// referenced. Fails on IO errors, unknown columns, or (when
+/// skip_bad_rows == false) malformed cells.
+Result<Dataset> ReadCsvDataset(const std::string& path,
+                               const CsvReadOptions& options = {});
+
+/// Parse CSV text (same semantics as ReadCsvDataset).
+Result<Dataset> ParseCsvDataset(const std::string& text,
+                                const CsvReadOptions& options = {});
+
+/// Write a dataset to CSV with a header ("f0,...,target" naming from the
+/// dataset's schema).
+Status WriteCsvDataset(const Dataset& dataset, const std::string& path,
+                       char delimiter = ',');
+
+/// Serialize a dataset to CSV text.
+std::string FormatCsvDataset(const Dataset& dataset, char delimiter = ',');
+
+}  // namespace qens::data
+
+#endif  // QENS_DATA_CSV_H_

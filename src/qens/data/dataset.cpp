@@ -1,0 +1,77 @@
+#include "qens/data/dataset.h"
+
+#include "qens/common/string_util.h"
+
+namespace qens::data {
+
+Result<Dataset> Dataset::Create(Matrix features, Matrix targets,
+                                std::vector<std::string> feature_names,
+                                std::string target_name) {
+  if (features.rows() != targets.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("Dataset: %zu feature rows vs %zu target rows",
+                  features.rows(), targets.rows()));
+  }
+  if (targets.cols() != 1) {
+    return Status::InvalidArgument(
+        StrFormat("Dataset: target must be one column, got %zu",
+                  targets.cols()));
+  }
+  if (feature_names.size() != features.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("Dataset: %zu names for %zu features", feature_names.size(),
+                  features.cols()));
+  }
+  Dataset d;
+  d.features_ = std::move(features);
+  d.targets_ = std::move(targets);
+  d.feature_names_ = std::move(feature_names);
+  d.target_name_ = std::move(target_name);
+  return d;
+}
+
+Result<Dataset> Dataset::Create(Matrix features, Matrix targets) {
+  std::vector<std::string> names(features.cols());
+  for (size_t i = 0; i < names.size(); ++i) names[i] = StrFormat("f%zu", i);
+  return Create(std::move(features), std::move(targets), std::move(names),
+                "target");
+}
+
+Result<Dataset> Dataset::SelectRows(const std::vector<size_t>& rows) const {
+  QENS_ASSIGN_OR_RETURN(Matrix f, features_.SelectRows(rows));
+  QENS_ASSIGN_OR_RETURN(Matrix t, targets_.SelectRows(rows));
+  return Create(std::move(f), std::move(t), feature_names_, target_name_);
+}
+
+Result<Dataset> Dataset::Concat(const Dataset& other) const {
+  if (other.NumFeatures() != NumFeatures()) {
+    return Status::InvalidArgument("Concat: feature width mismatch");
+  }
+  Matrix f(NumSamples() + other.NumSamples(), NumFeatures());
+  Matrix t(NumSamples() + other.NumSamples(), 1);
+  for (size_t r = 0; r < NumSamples(); ++r) {
+    std::copy(features_.RowPtr(r), features_.RowPtr(r) + NumFeatures(),
+              f.RowPtr(r));
+    t(r, 0) = targets_(r, 0);
+  }
+  for (size_t r = 0; r < other.NumSamples(); ++r) {
+    std::copy(other.features_.RowPtr(r),
+              other.features_.RowPtr(r) + NumFeatures(),
+              f.RowPtr(NumSamples() + r));
+    t(NumSamples() + r, 0) = other.targets_(r, 0);
+  }
+  return Create(std::move(f), std::move(t), feature_names_, target_name_);
+}
+
+Result<query::HyperRectangle> Dataset::FeatureSpace() const {
+  return query::HyperRectangle::BoundingBox(features_);
+}
+
+Result<size_t> Dataset::FeatureIndex(const std::string& name) const {
+  for (size_t i = 0; i < feature_names_.size(); ++i) {
+    if (feature_names_[i] == name) return i;
+  }
+  return Status::NotFound("feature not found: '" + name + "'");
+}
+
+}  // namespace qens::data

@@ -1,0 +1,107 @@
+#include "qens/data/hospital_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qens/common/rng.h"
+#include "qens/common/string_util.h"
+
+namespace qens::data {
+namespace {
+
+constexpr const char* kHospitalNames[] = {
+    "StMary", "CityGeneral", "Riverside", "Northgate",
+    "Lakeview", "Hillcrest", "Central", "Westend",
+    "Parkside", "Eastbrook",
+};
+constexpr size_t kNumHospitalNames =
+    sizeof(kHospitalNames) / sizeof(kHospitalNames[0]);
+
+}  // namespace
+
+HospitalGenerator::HospitalGenerator(HospitalOptions options)
+    : options_(options) {
+  BuildProfiles();
+}
+
+void HospitalGenerator::BuildProfiles() {
+  profiles_.clear();
+  profiles_.reserve(options_.num_hospitals);
+  Rng rng(options_.seed);
+  for (size_t h = 0; h < options_.num_hospitals; ++h) {
+    HospitalProfile p;
+    p.name = StrFormat("%s-%zu", kHospitalNames[h % kNumHospitalNames], h);
+    if (options_.specialized) {
+      // Spread cohorts from pediatric (~8y) to geriatric (~82y).
+      const double span =
+          options_.num_hospitals > 1
+              ? static_cast<double>(h) /
+                    static_cast<double>(options_.num_hospitals - 1)
+              : 0.5;
+      p.age_center = 8.0 + 74.0 * span + rng.Uniform(-3.0, 3.0);
+      p.age_spread = rng.Uniform(6.0, 12.0);
+    } else {
+      p.age_center = 45.0;
+      p.age_spread = 20.0;
+    }
+    p.noise_scale = rng.Uniform(0.7, 1.5);
+    profiles_.push_back(std::move(p));
+  }
+}
+
+double HospitalGenerator::TrueRisk(double age, double bmi, double sbp) {
+  // Smooth sigmoid in age (inflection ~55y) + metabolic contributions.
+  const double age_term = 60.0 / (1.0 + std::exp(-(age - 55.0) / 10.0));
+  const double bmi_term = 0.8 * std::max(0.0, bmi - 25.0);
+  const double sbp_term = 0.15 * std::max(0.0, sbp - 120.0);
+  return age_term + bmi_term + sbp_term;
+}
+
+Result<Dataset> HospitalGenerator::GenerateHospital(size_t index) const {
+  if (index >= profiles_.size()) {
+    return Status::OutOfRange(StrFormat(
+        "GenerateHospital: index %zu >= %zu", index, profiles_.size()));
+  }
+  if (options_.patients_per_hospital == 0) {
+    return Status::InvalidArgument(
+        "GenerateHospital: patients_per_hospital must be > 0");
+  }
+  const HospitalProfile& p = profiles_[index];
+  Rng rng = Rng(options_.seed).Fork(index + 101);
+
+  const size_t m = options_.patients_per_hospital;
+  Matrix features(m, 3);
+  Matrix targets(m, 1);
+  for (size_t i = 0; i < m; ++i) {
+    const double age =
+        std::clamp(rng.Gaussian(p.age_center, p.age_spread), 0.0, 100.0);
+    const double bmi = std::clamp(
+        18.0 + 0.12 * age + rng.Gaussian(0.0, 3.0 * p.noise_scale), 14.0,
+        50.0);
+    const double sbp = std::clamp(
+        95.0 + 0.5 * age + 0.8 * (bmi - 25.0) +
+            rng.Gaussian(0.0, 8.0 * p.noise_scale),
+        80.0, 220.0);
+    const double risk =
+        std::max(0.0, TrueRisk(age, bmi, sbp) +
+                          rng.Gaussian(0.0, 3.0 * p.noise_scale));
+    features(i, 0) = age;
+    features(i, 1) = bmi;
+    features(i, 2) = sbp;
+    targets(i, 0) = risk;
+  }
+  return Dataset::Create(std::move(features), std::move(targets),
+                         FeatureNames(), TargetName());
+}
+
+Result<std::vector<Dataset>> HospitalGenerator::GenerateAll() const {
+  std::vector<Dataset> out;
+  out.reserve(profiles_.size());
+  for (size_t h = 0; h < profiles_.size(); ++h) {
+    QENS_ASSIGN_OR_RETURN(Dataset d, GenerateHospital(h));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace qens::data

@@ -1,0 +1,94 @@
+#include "qens/data/normalizer.h"
+
+#include <cmath>
+
+#include "qens/common/string_util.h"
+
+namespace qens::data {
+
+Result<Normalizer> Normalizer::Fit(const Matrix& data, ScalingKind kind) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("Normalizer::Fit: empty data");
+  }
+  const size_t d = data.cols();
+  std::vector<double> offset(d, 0.0);
+  std::vector<double> scale(d, 0.0);
+
+  if (kind == ScalingKind::kMinMax) {
+    for (size_t c = 0; c < d; ++c) {
+      double lo = data(0, c), hi = data(0, c);
+      for (size_t r = 1; r < data.rows(); ++r) {
+        lo = std::min(lo, data(r, c));
+        hi = std::max(hi, data(r, c));
+      }
+      offset[c] = lo;
+      scale[c] = hi > lo ? 1.0 / (hi - lo) : 0.0;
+    }
+  } else {
+    for (size_t c = 0; c < d; ++c) {
+      double mean = 0.0;
+      for (size_t r = 0; r < data.rows(); ++r) mean += data(r, c);
+      mean /= static_cast<double>(data.rows());
+      double var = 0.0;
+      for (size_t r = 0; r < data.rows(); ++r) {
+        const double dv = data(r, c) - mean;
+        var += dv * dv;
+      }
+      var /= static_cast<double>(data.rows());
+      offset[c] = mean;
+      scale[c] = var > 0.0 ? 1.0 / std::sqrt(var) : 0.0;
+    }
+  }
+  return Normalizer(kind, std::move(offset), std::move(scale));
+}
+
+Result<Matrix> Normalizer::Transform(const Matrix& data) const {
+  if (data.cols() != dims()) {
+    return Status::InvalidArgument(
+        StrFormat("Normalizer::Transform: %zu cols, fitted on %zu",
+                  data.cols(), dims()));
+  }
+  Matrix out = data;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* p = out.RowPtr(r);
+    for (size_t c = 0; c < dims(); ++c) {
+      p[c] = (p[c] - offset_[c]) * scale_[c];
+    }
+  }
+  return out;
+}
+
+Result<Matrix> Normalizer::InverseTransform(const Matrix& data) const {
+  if (data.cols() != dims()) {
+    return Status::InvalidArgument(
+        StrFormat("Normalizer::InverseTransform: %zu cols, fitted on %zu",
+                  data.cols(), dims()));
+  }
+  Matrix out = data;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* p = out.RowPtr(r);
+    for (size_t c = 0; c < dims(); ++c) {
+      // Degenerate columns collapse to the offset (their constant value).
+      p[c] = scale_[c] != 0.0 ? p[c] / scale_[c] + offset_[c] : offset_[c];
+    }
+  }
+  return out;
+}
+
+Result<query::HyperRectangle> Normalizer::TransformBox(
+    const query::HyperRectangle& box) const {
+  if (box.dims() != dims()) {
+    return Status::InvalidArgument(
+        StrFormat("Normalizer::TransformBox: %zu dims, fitted on %zu",
+                  box.dims(), dims()));
+  }
+  std::vector<query::Interval> out(dims());
+  for (size_t c = 0; c < dims(); ++c) {
+    const double lo = (box.dim(c).lo - offset_[c]) * scale_[c];
+    const double hi = (box.dim(c).hi - offset_[c]) * scale_[c];
+    out[c] = query::Interval(std::min(lo, hi), std::max(lo, hi));
+  }
+  return query::HyperRectangle(std::move(out));
+}
+
+}  // namespace qens::data

@@ -1,0 +1,41 @@
+#ifndef QENS_DATA_SPLITTER_H_
+#define QENS_DATA_SPLITTER_H_
+
+/// \file splitter.h
+/// Train/test splitting and node-partitioning utilities: carving one big
+/// dataset into N per-node shards (IID or by feature region) to simulate the
+/// paper's distributed setting when starting from a centralized file.
+
+#include <cstdint>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/data/dataset.h"
+
+namespace qens::data {
+
+/// A train/test pair.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random split with `test_fraction` of rows (rounded down, at least one row
+/// left on each side for non-trivial inputs). Deterministic in `seed`.
+Result<TrainTestSplit> SplitTrainTest(const Dataset& dataset,
+                                      double test_fraction, uint64_t seed);
+
+/// Partition rows uniformly at random into `n` shards of near-equal size
+/// (IID shards -> homogeneous nodes). Deterministic in `seed`.
+Result<std::vector<Dataset>> PartitionIid(const Dataset& dataset, size_t n,
+                                          uint64_t seed);
+
+/// Partition by sorting on one feature and cutting into `n` contiguous
+/// blocks (disjoint data spaces -> heterogeneous nodes).
+Result<std::vector<Dataset>> PartitionByFeature(const Dataset& dataset,
+                                                size_t feature_index,
+                                                size_t n);
+
+}  // namespace qens::data
+
+#endif  // QENS_DATA_SPLITTER_H_

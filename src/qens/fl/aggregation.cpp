@@ -1,0 +1,128 @@
+#include "qens/fl/aggregation.h"
+
+#include "qens/common/string_util.h"
+#include "qens/tensor/vector_ops.h"
+
+namespace qens::fl {
+
+const char* AggregationKindName(AggregationKind kind) {
+  switch (kind) {
+    case AggregationKind::kModelAveraging:
+      return "model-averaging";
+    case AggregationKind::kWeightedAveraging:
+      return "weighted-averaging";
+    case AggregationKind::kFedAvgParameters:
+      return "fedavg-parameters";
+  }
+  return "unknown";
+}
+
+Result<AggregationKind> ParseAggregationKind(const std::string& name) {
+  const std::string n = ToLower(Trim(name));
+  if (n == "model-averaging" || n == "average" || n == "averaging") {
+    return AggregationKind::kModelAveraging;
+  }
+  if (n == "weighted-averaging" || n == "weighted") {
+    return AggregationKind::kWeightedAveraging;
+  }
+  if (n == "fedavg-parameters" || n == "fedavg") {
+    return AggregationKind::kFedAvgParameters;
+  }
+  return Status::InvalidArgument("unknown aggregation: '" + name + "'");
+}
+
+Result<Matrix> AggregatePredictions(
+    const std::vector<ml::SequentialModel>& models, const Matrix& x) {
+  const std::vector<double> equal(models.size(), 1.0);
+  return AggregatePredictionsWeighted(models, equal, x);
+}
+
+Result<Matrix> AggregatePredictionsWeighted(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights, const Matrix& x) {
+  if (models.empty()) {
+    return Status::InvalidArgument("aggregate: no models");
+  }
+  if (weights.size() != models.size()) {
+    return Status::InvalidArgument(
+        StrFormat("aggregate: %zu weights for %zu models", weights.size(),
+                  models.size()));
+  }
+  QENS_ASSIGN_OR_RETURN(std::vector<double> lambda,
+                        vec::NormalizeWeights(weights));
+
+  Matrix acc;
+  for (size_t i = 0; i < models.size(); ++i) {
+    QENS_ASSIGN_OR_RETURN(Matrix pred, models[i].Predict(x));
+    if (i == 0) {
+      pred.Scale(lambda[i]);
+      acc = std::move(pred);
+    } else {
+      QENS_RETURN_NOT_OK(acc.Axpy(lambda[i], pred));
+    }
+  }
+  return acc;
+}
+
+Result<ml::SequentialModel> FedAvgParameters(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights) {
+  if (models.empty()) return Status::InvalidArgument("fedavg: no models");
+  if (weights.size() != models.size()) {
+    return Status::InvalidArgument(
+        StrFormat("fedavg: %zu weights for %zu models", weights.size(),
+                  models.size()));
+  }
+  for (size_t i = 1; i < models.size(); ++i) {
+    if (!models[i].SameArchitecture(models[0])) {
+      return Status::InvalidArgument(
+          StrFormat("fedavg: model %zu architecture differs from model 0", i));
+    }
+  }
+  QENS_ASSIGN_OR_RETURN(std::vector<double> lambda,
+                        vec::NormalizeWeights(weights));
+
+  std::vector<double> params = models[0].GetParameters();
+  for (double& p : params) p *= lambda[0];
+  for (size_t i = 1; i < models.size(); ++i) {
+    const std::vector<double> pi = models[i].GetParameters();
+    vec::AxpyInPlace(&params, lambda[i], pi);
+  }
+  ml::SequentialModel out = models[0].Clone();
+  QENS_RETURN_NOT_OK(out.SetParameters(params));
+  return out;
+}
+
+Result<EnsembleModel> EnsembleModel::Create(
+    std::vector<ml::SequentialModel> models, std::vector<double> weights) {
+  if (models.empty()) return Status::InvalidArgument("ensemble: no models");
+  if (weights.size() != models.size()) {
+    return Status::InvalidArgument(
+        StrFormat("ensemble: %zu weights for %zu models", weights.size(),
+                  models.size()));
+  }
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("ensemble: negative weight");
+    }
+  }
+  return EnsembleModel(std::move(models), std::move(weights));
+}
+
+Result<Matrix> EnsembleModel::Predict(const Matrix& x,
+                                      AggregationKind kind) const {
+  switch (kind) {
+    case AggregationKind::kModelAveraging:
+      return AggregatePredictions(models_, x);
+    case AggregationKind::kWeightedAveraging:
+      return AggregatePredictionsWeighted(models_, weights_, x);
+    case AggregationKind::kFedAvgParameters: {
+      QENS_ASSIGN_OR_RETURN(ml::SequentialModel merged,
+                            FedAvgParameters(models_, weights_));
+      return merged.Predict(x);
+    }
+  }
+  return Status::Internal("ensemble: unhandled aggregation kind");
+}
+
+}  // namespace qens::fl

@@ -1,0 +1,81 @@
+#ifndef QENS_FL_AGGREGATION_H_
+#define QENS_FL_AGGREGATION_H_
+
+/// \file aggregation.h
+/// Leader-side aggregation of the participants' local models (Section IV-B).
+///
+/// The paper aggregates in *prediction space*:
+///   Model Averaging    (Eq. 6): y(q) = (1/l) * sum_i y_i(q)
+///   Weighted Averaging (Eq. 7): y(q) = sum_i lambda_i y_i(q),
+///                               lambda_i = r_i / sum_k r_k
+/// As an extension (ablated in bench_x2), parameter-space FedAvg is also
+/// provided: one model whose parameters are the (weighted) average of the
+/// local models' parameters — valid only across identical architectures.
+
+#include <string>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/ml/sequential_model.h"
+#include "qens/tensor/matrix.h"
+
+namespace qens::fl {
+
+/// The aggregation rules under study.
+enum class AggregationKind {
+  kModelAveraging,     ///< Eq. 6 — equal-weight prediction average.
+  kWeightedAveraging,  ///< Eq. 7 — ranking-weighted prediction average.
+  kFedAvgParameters,   ///< Extension — parameter-space weighted average.
+};
+
+const char* AggregationKindName(AggregationKind kind);
+Result<AggregationKind> ParseAggregationKind(const std::string& name);
+
+/// Equal-weight prediction average (Eq. 6). Fails when `models` is empty,
+/// architectures/output widths are incompatible with `x`, or any Predict
+/// fails.
+Result<Matrix> AggregatePredictions(const std::vector<ml::SequentialModel>& models,
+                                    const Matrix& x);
+
+/// Ranking-weighted prediction average (Eq. 7). `weights` are the raw
+/// rankings r_i; they are normalized internally to lambda_i (must be
+/// non-negative with a positive sum; one weight per model).
+Result<Matrix> AggregatePredictionsWeighted(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights, const Matrix& x);
+
+/// Parameter-space weighted average into a single model. All models must
+/// share one architecture. `weights` as in AggregatePredictionsWeighted;
+/// pass equal weights for plain FedAvg.
+Result<ml::SequentialModel> FedAvgParameters(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights);
+
+/// A trained ensemble the leader keeps per query: the l local models plus
+/// their rankings, able to answer with any aggregation rule.
+class EnsembleModel {
+ public:
+  /// `weights` must align with `models` (raw rankings; needs a positive sum
+  /// only when weighted/fedavg aggregation is requested).
+  static Result<EnsembleModel> Create(std::vector<ml::SequentialModel> models,
+                                      std::vector<double> weights);
+
+  size_t size() const { return models_.size(); }
+  const std::vector<ml::SequentialModel>& models() const { return models_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Predict with the chosen rule.
+  Result<Matrix> Predict(const Matrix& x, AggregationKind kind) const;
+
+ private:
+  EnsembleModel(std::vector<ml::SequentialModel> models,
+                std::vector<double> weights)
+      : models_(std::move(models)), weights_(std::move(weights)) {}
+
+  std::vector<ml::SequentialModel> models_;
+  std::vector<double> weights_;
+};
+
+}  // namespace qens::fl
+
+#endif  // QENS_FL_AGGREGATION_H_

@@ -1,0 +1,459 @@
+#include "qens/fl/federation.h"
+
+#include <algorithm>
+#include <future>
+
+#include "qens/common/rng.h"
+#include "qens/common/stopwatch.h"
+#include "qens/common/string_util.h"
+#include "qens/data/splitter.h"
+#include "qens/ml/loss.h"
+#include "qens/ml/model_io.h"
+
+namespace qens::fl {
+
+double QueryOutcome::DataFractionOfSelected() const {
+  return samples_selected > 0 ? static_cast<double>(samples_used) /
+                                    static_cast<double>(samples_selected)
+                              : 0.0;
+}
+
+double QueryOutcome::DataFractionOfAll() const {
+  return samples_all_nodes > 0 ? static_cast<double>(samples_used) /
+                                     static_cast<double>(samples_all_nodes)
+                               : 0.0;
+}
+
+Result<Federation> Federation::Create(std::vector<data::Dataset> node_data,
+                                      const FederationOptions& options) {
+  if (node_data.empty()) {
+    return Status::InvalidArgument("federation: no nodes");
+  }
+  if (options.test_fraction <= 0.0 || options.test_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "federation: test_fraction must be in (0, 1)");
+  }
+
+  std::vector<data::Dataset> train_shards;
+  std::vector<data::Dataset> test_shards;
+  train_shards.reserve(node_data.size());
+  test_shards.reserve(node_data.size());
+  for (size_t i = 0; i < node_data.size(); ++i) {
+    QENS_ASSIGN_OR_RETURN(
+        data::TrainTestSplit split,
+        data::SplitTrainTest(node_data[i], options.test_fraction,
+                             options.seed + 31 * i));
+    train_shards.push_back(std::move(split.train));
+    test_shards.push_back(std::move(split.test));
+  }
+
+  // Raw-unit global data space: hull of every node's (train) feature box.
+  QENS_ASSIGN_OR_RETURN(query::HyperRectangle raw_space,
+                        train_shards[0].FeatureSpace());
+  for (size_t i = 1; i < train_shards.size(); ++i) {
+    QENS_ASSIGN_OR_RETURN(query::HyperRectangle space,
+                          train_shards[i].FeatureSpace());
+    QENS_ASSIGN_OR_RETURN(raw_space, raw_space.Hull(space));
+  }
+
+  // Leader-coordinated min-max normalization: the scaling constants are the
+  // global per-dimension bounds, which in the real protocol come straight
+  // from the cluster boundaries the nodes already publish.
+  std::optional<data::Normalizer> feature_norm;
+  std::optional<data::Normalizer> target_norm;
+  if (options.normalize) {
+    // Pool features/targets to fit the global bounds (numerically equal to
+    // the hull of per-node bounds for min-max scaling).
+    data::Dataset pooled = train_shards[0];
+    for (size_t i = 1; i < train_shards.size(); ++i) {
+      QENS_ASSIGN_OR_RETURN(pooled, pooled.Concat(train_shards[i]));
+    }
+    QENS_ASSIGN_OR_RETURN(
+        data::Normalizer fn,
+        data::Normalizer::Fit(pooled.features(), data::ScalingKind::kMinMax));
+    QENS_ASSIGN_OR_RETURN(
+        data::Normalizer tn,
+        data::Normalizer::Fit(pooled.targets(), data::ScalingKind::kMinMax));
+    feature_norm = std::move(fn);
+    target_norm = std::move(tn);
+
+    auto transform_shard = [&](data::Dataset* shard) -> Status {
+      QENS_ASSIGN_OR_RETURN(Matrix f,
+                            feature_norm->Transform(shard->features()));
+      QENS_ASSIGN_OR_RETURN(Matrix t, target_norm->Transform(shard->targets()));
+      QENS_ASSIGN_OR_RETURN(
+          *shard, data::Dataset::Create(std::move(f), std::move(t),
+                                        shard->feature_names(),
+                                        shard->target_name()));
+      return Status::OK();
+    };
+    for (auto& shard : train_shards) QENS_RETURN_NOT_OK(transform_shard(&shard));
+    for (auto& shard : test_shards) QENS_RETURN_NOT_OK(transform_shard(&shard));
+  }
+
+  QENS_ASSIGN_OR_RETURN(
+      sim::EdgeEnvironment environment,
+      sim::EdgeEnvironment::Create(std::move(train_shards),
+                                   options.environment));
+  QENS_ASSIGN_OR_RETURN(std::vector<selection::NodeProfile> profiles,
+                        environment.Profiles());
+  Leader leader(std::move(profiles), options.ranking, options.query_driven);
+  return Federation(std::move(environment), std::move(test_shards),
+                    std::move(leader), options, std::move(raw_space),
+                    std::move(feature_norm), std::move(target_norm));
+}
+
+Result<query::RangeQuery> Federation::InternalQuery(
+    const query::RangeQuery& query) const {
+  if (!feature_norm_.has_value()) return query;
+  query::RangeQuery internal = query;
+  QENS_ASSIGN_OR_RETURN(internal.region,
+                        feature_norm_->TransformBox(query.region));
+  return internal;
+}
+
+double Federation::DenormalizeMse(double mse) const {
+  if (!target_norm_.has_value()) return mse;
+  const double scale = target_norm_->scale()[0];  // y_norm = (y - off) * scale
+  if (scale == 0.0) return mse;
+  return mse / (scale * scale);
+}
+
+Result<data::Dataset> Federation::QueryRegionTestData(
+    const query::RangeQuery& query) const {
+  QENS_ASSIGN_OR_RETURN(query::RangeQuery internal, InternalQuery(query));
+  std::optional<data::Dataset> pooled;
+  for (const auto& shard : test_shards_) {
+    QENS_ASSIGN_OR_RETURN(std::vector<size_t> rows,
+                          internal.MatchingRows(shard.features()));
+    if (rows.empty()) continue;
+    QENS_ASSIGN_OR_RETURN(data::Dataset subset, shard.SelectRows(rows));
+    if (!pooled.has_value()) {
+      pooled = std::move(subset);
+    } else {
+      QENS_ASSIGN_OR_RETURN(pooled.value(), pooled->Concat(subset));
+    }
+  }
+  if (!pooled.has_value()) {
+    return Status::NotFound("no test rows inside the query region");
+  }
+  return std::move(pooled.value());
+}
+
+Result<std::vector<size_t>> Federation::ChooseNodes(
+    const query::RangeQuery& query, selection::PolicyKind policy,
+    QueryOutcome* outcome) {
+  const size_t n = environment_.num_nodes();
+  switch (policy) {
+    case selection::PolicyKind::kQueryDriven: {
+      QENS_ASSIGN_OR_RETURN(SelectionDecision decision,
+                            leader_.Decide(query));
+      outcome->selected_rankings = decision.SelectedRankings();
+      return decision.SelectedNodeIds();
+    }
+    case selection::PolicyKind::kRandom: {
+      // A fresh stream per query keeps random draws independent across the
+      // workload but reproducible for the federation seed.
+      Rng rng = Rng(options_.seed ^ 0x5eed).Fork(++random_stream_);
+      const size_t l = std::min(options_.random_l, n);
+      return selection::SelectRandom(n, std::max<size_t>(1, l), &rng);
+    }
+    case selection::PolicyKind::kAllNodes:
+      return selection::SelectAllNodes(n);
+    case selection::PolicyKind::kDataCentric: {
+      // Query-agnostic device scoring [8]: data volume/diversity, compute,
+      // and link quality — note the query never enters the decision.
+      std::vector<selection::NodeProfile> profiles;
+      std::vector<double> capacities, latencies;
+      for (size_t i = 0; i < n; ++i) {
+        QENS_ASSIGN_OR_RETURN(const selection::NodeProfile* p,
+                              environment_.node(i).profile());
+        profiles.push_back(*p);
+        capacities.push_back(environment_.node(i).capacity());
+        latencies.push_back(
+            environment_.cost_model().options().link_latency_s);
+      }
+      return selection::SelectDataCentric(profiles, capacities, latencies,
+                                          options_.data_centric);
+    }
+    case selection::PolicyKind::kStochastic: {
+      // Fair stochastic selection [12]: ranking-weighted draw with a
+      // fairness boost; stateful across the query stream.
+      if (!stochastic_.has_value()) {
+        selection::StochasticOptions so = options_.stochastic;
+        so.seed = options_.seed ^ 0xfa12;
+        stochastic_.emplace(n, so);
+      }
+      QENS_ASSIGN_OR_RETURN(std::vector<selection::NodeRank> ranks,
+                            leader_.Rank(query));
+      return stochastic_->Select(ranks);
+    }
+    case selection::PolicyKind::kGameTheory: {
+      // GT probes with the leader's local (train) data against every node's
+      // local data — a full pre-round per query (its defining cost).
+      std::vector<data::Dataset> node_sets;
+      node_sets.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        node_sets.push_back(environment_.node(i).local_data());
+      }
+      selection::GameTheoryOptions gt = options_.game_theory;
+      gt.model = options_.hyper.kind;
+      gt.seed = options_.seed + query.id;
+      QENS_ASSIGN_OR_RETURN(
+          selection::GameTheorySelection sel,
+          selection::RunGameTheorySelection(
+              environment_.node(environment_.leader_index()).local_data(),
+              node_sets, gt));
+      outcome->gt_preround_seconds = sel.pre_round_seconds;
+      // The pre-round is leader-side training over its own data; charge it
+      // through the cost model as well.
+      outcome->sim_time_total += environment_.cost_model().TrainingSeconds(
+          environment_.node(environment_.leader_index()).NumSamples(),
+          options_.hyper.epochs,
+          environment_.node(environment_.leader_index()).capacity());
+      return sel.selected;
+    }
+  }
+  return Status::Internal("ChooseNodes: unhandled policy");
+}
+
+const std::vector<size_t>& Federation::StochasticParticipation() {
+  if (!stochastic_.has_value()) {
+    selection::StochasticOptions so = options_.stochastic;
+    so.seed = options_.seed ^ 0xfa12;
+    stochastic_.emplace(environment_.num_nodes(), so);
+  }
+  return stochastic_->participation_counts();
+}
+
+Result<QueryOutcome> Federation::RunQuery(const query::RangeQuery& query,
+                                          selection::PolicyKind policy,
+                                          bool data_selectivity) {
+  return RunQueryMultiRound(query, policy, data_selectivity, /*rounds=*/1);
+}
+
+Result<QueryOutcome> Federation::RunQueryMultiRound(
+    const query::RangeQuery& query, selection::PolicyKind policy,
+    bool data_selectivity, size_t rounds) {
+  if (rounds == 0) {
+    return Status::InvalidArgument("RunQueryMultiRound: rounds must be > 0");
+  }
+  Stopwatch watch;
+  QueryOutcome outcome;
+  outcome.query = query;
+  outcome.policy = policy;
+  outcome.data_selectivity = data_selectivity;
+  outcome.rounds = rounds;
+  outcome.samples_all_nodes = environment_.TotalSamples();
+
+  // All internal work (ranking, matching, training) happens in the
+  // federation's internal (normalized) space.
+  QENS_ASSIGN_OR_RETURN(query::RangeQuery internal, InternalQuery(query));
+
+  // Ground truth: pooled held-out rows inside the query region.
+  Result<data::Dataset> test = QueryRegionTestData(query);
+  if (!test.ok()) {
+    outcome.skipped = true;
+    outcome.wall_seconds = watch.ElapsedSeconds();
+    return outcome;
+  }
+  outcome.test_rows = test->NumSamples();
+
+  QENS_ASSIGN_OR_RETURN(std::vector<size_t> chosen,
+                        ChooseNodes(internal, policy, &outcome));
+
+  // Volatile clients: selected nodes may be offline for this query.
+  if (options_.dropout_rate > 0.0) {
+    if (options_.dropout_rate > 1.0) {
+      return Status::InvalidArgument("dropout_rate must be in [0, 1]");
+    }
+    Rng drop_rng = Rng(options_.seed ^ 0xd20f).Fork(++dropout_stream_);
+    std::vector<size_t> alive;
+    for (size_t id : chosen) {
+      if (drop_rng.Bernoulli(options_.dropout_rate)) {
+        outcome.dropped_nodes.push_back(id);
+      } else {
+        alive.push_back(id);
+      }
+    }
+    chosen = std::move(alive);
+  }
+  if (chosen.empty()) {
+    outcome.skipped = true;
+    outcome.wall_seconds = watch.ElapsedSeconds();
+    return outcome;
+  }
+
+  // Rankings for selectivity: the query-driven policy computed them in
+  // ChooseNodes; for baselines with selectivity requested we still need
+  // per-node supporting clusters, so rank on demand.
+  std::vector<selection::NodeRank> all_ranks;
+  if (data_selectivity) {
+    QENS_ASSIGN_OR_RETURN(all_ranks, leader_.Rank(internal));
+  }
+  auto rank_of_node = [&](size_t node_id) -> const selection::NodeRank* {
+    for (const auto& r : all_ranks) {
+      if (r.node_id == node_id) return &r;
+    }
+    return nullptr;
+  };
+
+  // Broadcast the initial global model w.
+  Rng init_rng(options_.seed * 1000003 + query.id);
+  QENS_ASSIGN_OR_RETURN(
+      ml::SequentialModel global,
+      ml::BuildModel(options_.hyper,
+                     environment_.node(0).local_data().NumFeatures(),
+                     &init_rng));
+  const size_t model_bytes = ml::SerializedModelBytes(global);
+
+  LocalTrainOptions local_options;
+  local_options.hyper = options_.hyper;
+  local_options.epochs_per_cluster = options_.epochs_per_cluster;
+  local_options.seed = options_.seed + query.id;
+
+  // Assemble the per-node training jobs once (node id, Eq. 7 weight, and
+  // the supporting-cluster set under data selectivity).
+  struct TrainJob {
+    size_t node_id;
+    double rank_weight;
+    bool selective;
+    std::vector<size_t> supporting;
+  };
+  std::vector<TrainJob> jobs;
+  for (size_t node_id : chosen) {
+    TrainJob job{node_id, 1.0, data_selectivity, {}};
+    if (data_selectivity) {
+      const selection::NodeRank* rank = rank_of_node(node_id);
+      if (rank == nullptr || rank->supporting_clusters == 0) {
+        // Nothing in this node matches the query; it contributes no model.
+        continue;
+      }
+      job.rank_weight = rank->ranking;
+      job.supporting = rank->SupportingClusterIds();
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  std::vector<ml::SequentialModel> local_models;
+  std::vector<double> eq7_weights;
+  std::vector<double> fedavg_weights;  // Samples trained, per local model.
+  for (size_t round = 0; round < rounds; ++round) {
+    local_models.clear();
+    eq7_weights.clear();
+    fedavg_weights.clear();
+    double round_parallel = 0.0;
+
+    // Run every job (concurrently when configured), then account the
+    // results in job order so outcomes stay deterministic.
+    auto run_job = [&](const TrainJob& job) -> Result<LocalTrainResult> {
+      const sim::EdgeNode& node = environment_.node(job.node_id);
+      if (job.selective) {
+        return TrainOnSupportingClusters(node, global, job.supporting,
+                                         local_options,
+                                         environment_.cost_model());
+      }
+      return TrainOnFullData(node, global, local_options,
+                             environment_.cost_model());
+    };
+    std::vector<Result<LocalTrainResult>> results;
+    results.reserve(jobs.size());
+    if (options_.parallel_local_training && jobs.size() > 1) {
+      std::vector<std::future<Result<LocalTrainResult>>> futures;
+      futures.reserve(jobs.size());
+      for (const TrainJob& job : jobs) {
+        futures.push_back(std::async(std::launch::async,
+                                     [&run_job, &job] { return run_job(job); }));
+      }
+      for (auto& f : futures) results.push_back(f.get());
+    } else {
+      for (const TrainJob& job : jobs) results.push_back(run_job(job));
+    }
+
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      const TrainJob& job = jobs[j];
+      const size_t node_id = job.node_id;
+      const sim::EdgeNode& node = environment_.node(node_id);
+      if (round == 0) outcome.samples_selected += node.NumSamples();
+      const double rank_weight = job.rank_weight;
+      QENS_RETURN_NOT_OK(results[j].status());
+      const LocalTrainResult& result = results[j].value();
+
+      if (round == 0) outcome.samples_used += result.samples_used;
+      outcome.sim_time_total += result.sim_train_seconds;
+      round_parallel = std::max(round_parallel, result.sim_train_seconds);
+
+      // Account model down/up transfers.
+      outcome.sim_time_comm += environment_.network().Send(
+          environment_.leader_index(), node_id, model_bytes, "model-down");
+      outcome.sim_time_comm += environment_.network().Send(
+          node_id, environment_.leader_index(),
+          ml::SerializedModelBytes(result.model), "model-up");
+
+      local_models.push_back(result.model);
+      eq7_weights.push_back(rank_weight);
+      fedavg_weights.push_back(
+          std::max(1.0, static_cast<double>(result.samples_used)));
+    }
+    // Rounds run in parallel across nodes but sequentially in time.
+    outcome.sim_time_parallel += round_parallel;
+
+    if (local_models.empty()) break;
+    if (round + 1 < rounds) {
+      // FedAvg the locals into the next round's global model.
+      QENS_ASSIGN_OR_RETURN(global,
+                            FedAvgParameters(local_models, fedavg_weights));
+    }
+  }
+
+  if (local_models.empty()) {
+    outcome.skipped = true;
+    outcome.wall_seconds = watch.ElapsedSeconds();
+    return outcome;
+  }
+  outcome.selected_nodes = chosen;
+
+  // Eq. 7 weights: rankings when ranked selection produced them; otherwise
+  // (Random/All/GT) weighted averaging degenerates to Eq. 6. A degenerate
+  // all-zero ranking vector also falls back to equal weights.
+  double weight_sum = 0.0;
+  for (double w : eq7_weights) weight_sum += w;
+  if (weight_sum <= 0.0) {
+    std::fill(eq7_weights.begin(), eq7_weights.end(), 1.0);
+  }
+
+  QENS_ASSIGN_OR_RETURN(
+      EnsembleModel ensemble,
+      EnsembleModel::Create(std::move(local_models), eq7_weights));
+
+  const Matrix& x_test = test->features();
+  const Matrix& y_test = test->targets();
+  QENS_ASSIGN_OR_RETURN(Matrix pred_avg,
+                        ensemble.Predict(x_test,
+                                         AggregationKind::kModelAveraging));
+  QENS_ASSIGN_OR_RETURN(
+      outcome.loss_model_avg,
+      ml::ComputeLoss(ml::LossKind::kMse, pred_avg, y_test));
+  QENS_ASSIGN_OR_RETURN(
+      Matrix pred_weighted,
+      ensemble.Predict(x_test, AggregationKind::kWeightedAveraging));
+  QENS_ASSIGN_OR_RETURN(
+      outcome.loss_weighted,
+      ml::ComputeLoss(ml::LossKind::kMse, pred_weighted, y_test));
+  QENS_ASSIGN_OR_RETURN(
+      Matrix pred_fedavg,
+      ensemble.Predict(x_test, AggregationKind::kFedAvgParameters));
+  QENS_ASSIGN_OR_RETURN(
+      outcome.loss_fedavg,
+      ml::ComputeLoss(ml::LossKind::kMse, pred_fedavg, y_test));
+
+  // Report losses in raw target units, comparable to the paper's numbers.
+  outcome.loss_model_avg = DenormalizeMse(outcome.loss_model_avg);
+  outcome.loss_weighted = DenormalizeMse(outcome.loss_weighted);
+  outcome.loss_fedavg = DenormalizeMse(outcome.loss_fedavg);
+
+  outcome.wall_seconds = watch.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace qens::fl

@@ -1,0 +1,34 @@
+#include "qens/fl/leader.h"
+
+namespace qens::fl {
+
+std::vector<double> SelectionDecision::SelectedRankings() const {
+  std::vector<double> out;
+  out.reserve(selected.size());
+  for (const auto& r : selected) out.push_back(r.ranking);
+  return out;
+}
+
+std::vector<size_t> SelectionDecision::SelectedNodeIds() const {
+  std::vector<size_t> out;
+  out.reserve(selected.size());
+  for (const auto& r : selected) out.push_back(r.node_id);
+  return out;
+}
+
+Result<std::vector<selection::NodeRank>> Leader::Rank(
+    const query::RangeQuery& query) const {
+  return selection::RankNodes(profiles_, query, ranking_options_);
+}
+
+Result<SelectionDecision> Leader::Decide(
+    const query::RangeQuery& query) const {
+  SelectionDecision decision;
+  QENS_ASSIGN_OR_RETURN(decision.all_ranks, Rank(query));
+  QENS_ASSIGN_OR_RETURN(
+      decision.selected,
+      selection::SelectQueryDriven(decision.all_ranks, selection_options_));
+  return decision;
+}
+
+}  // namespace qens::fl

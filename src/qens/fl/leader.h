@@ -1,0 +1,65 @@
+#ifndef QENS_FL_LEADER_H_
+#define QENS_FL_LEADER_H_
+
+/// \file leader.h
+/// The leader node's decision logic (Section III-A): receive a query, rank
+/// every participant's published profile against it (Eqs. 2–4), and cut the
+/// ranked list into the participant set N'(q) (top-l or Eq. 5 threshold).
+/// The leader never touches raw node data — only profiles.
+
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/query/range_query.h"
+#include "qens/selection/node_profile.h"
+#include "qens/selection/policies.h"
+#include "qens/selection/ranking.h"
+
+namespace qens::fl {
+
+/// The leader's per-query selection decision.
+struct SelectionDecision {
+  std::vector<selection::NodeRank> all_ranks;  ///< DESC by ranking.
+  std::vector<selection::NodeRank> selected;   ///< The chosen N'(q).
+
+  /// Raw rankings of the selected nodes (Eq. 7 weights, pre-normalization).
+  std::vector<double> SelectedRankings() const;
+  std::vector<size_t> SelectedNodeIds() const;
+};
+
+/// Ranks profiles and applies the query-driven cut.
+class Leader {
+ public:
+  Leader(std::vector<selection::NodeProfile> profiles,
+         selection::RankingOptions ranking_options,
+         selection::QueryDrivenOptions selection_options)
+      : profiles_(std::move(profiles)),
+        ranking_options_(ranking_options),
+        selection_options_(selection_options) {}
+
+  const std::vector<selection::NodeProfile>& profiles() const {
+    return profiles_;
+  }
+  const selection::RankingOptions& ranking_options() const {
+    return ranking_options_;
+  }
+  const selection::QueryDrivenOptions& selection_options() const {
+    return selection_options_;
+  }
+
+  /// Rank all nodes for `query` (no cut applied).
+  Result<std::vector<selection::NodeRank>> Rank(
+      const query::RangeQuery& query) const;
+
+  /// Rank and select per the configured query-driven policy.
+  Result<SelectionDecision> Decide(const query::RangeQuery& query) const;
+
+ private:
+  std::vector<selection::NodeProfile> profiles_;
+  selection::RankingOptions ranking_options_;
+  selection::QueryDrivenOptions selection_options_;
+};
+
+}  // namespace qens::fl
+
+#endif  // QENS_FL_LEADER_H_

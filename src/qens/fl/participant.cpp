@@ -1,0 +1,92 @@
+#include "qens/fl/participant.h"
+
+#include "qens/common/stopwatch.h"
+#include "qens/common/string_util.h"
+
+namespace qens::fl {
+namespace {
+
+/// Build a trainer for local fitting. Local fits disable the validation
+/// split: the paper's per-cluster incremental passes are short and the
+/// cluster may be small; validation is done leader-side on query-region
+/// test data.
+Result<std::unique_ptr<ml::Trainer>> LocalTrainer(
+    const ml::HyperParams& hyper, size_t epochs, uint64_t seed) {
+  ml::HyperParams hp = hyper;
+  hp.epochs = epochs;
+  hp.validation_split = 0.0;
+  return ml::BuildTrainer(hp, seed);
+}
+
+}  // namespace
+
+Result<LocalTrainResult> TrainOnSupportingClusters(
+    const sim::EdgeNode& node, const ml::SequentialModel& global_model,
+    const std::vector<size_t>& supporting_clusters,
+    const LocalTrainOptions& options, const sim::CostModel& cost_model) {
+  if (supporting_clusters.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("node %zu: no supporting clusters to train on", node.id()));
+  }
+  if (options.epochs_per_cluster == 0) {
+    return Status::InvalidArgument("epochs_per_cluster must be > 0");
+  }
+
+  Stopwatch watch;
+  LocalTrainResult result;
+  result.model = global_model.Clone();
+  result.samples_total = node.NumSamples();
+
+  QENS_ASSIGN_OR_RETURN(
+      std::unique_ptr<ml::Trainer> trainer,
+      LocalTrainer(options.hyper, options.epochs_per_cluster,
+                   options.seed + node.id()));
+
+  // Incremental pass: one Fit per supporting cluster, in ranking order as
+  // provided — the model carries its weights from cluster to cluster.
+  for (size_t cluster_id : supporting_clusters) {
+    QENS_ASSIGN_OR_RETURN(data::Dataset cluster_data,
+                          node.ClusterData(cluster_id));
+    QENS_ASSIGN_OR_RETURN(
+        ml::TrainReport report,
+        trainer->Fit(&result.model, cluster_data.features(),
+                     cluster_data.targets()));
+    result.samples_used += cluster_data.NumSamples();
+    result.samples_seen += report.samples_seen;
+    result.cluster_final_loss.push_back(report.final_train_loss());
+  }
+
+  result.sim_train_seconds = cost_model.TrainingSeconds(
+      result.samples_used, options.epochs_per_cluster, node.capacity());
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<LocalTrainResult> TrainOnFullData(const sim::EdgeNode& node,
+                                         const ml::SequentialModel& global_model,
+                                         const LocalTrainOptions& options,
+                                         const sim::CostModel& cost_model) {
+  Stopwatch watch;
+  LocalTrainResult result;
+  result.model = global_model.Clone();
+  result.samples_total = node.NumSamples();
+
+  QENS_ASSIGN_OR_RETURN(
+      std::unique_ptr<ml::Trainer> trainer,
+      LocalTrainer(options.hyper, options.hyper.epochs,
+                   options.seed + node.id()));
+  const data::Dataset& local = node.local_data();
+  QENS_ASSIGN_OR_RETURN(
+      ml::TrainReport report,
+      trainer->Fit(&result.model, local.features(), local.targets()));
+  result.samples_used = local.NumSamples();
+  result.samples_seen = report.samples_seen;
+  result.cluster_final_loss.push_back(report.final_train_loss());
+
+  result.sim_train_seconds = cost_model.TrainingSeconds(
+      result.samples_used, options.hyper.epochs, node.capacity());
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qens::fl

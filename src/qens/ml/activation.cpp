@@ -1,0 +1,75 @@
+#include "qens/ml/activation.h"
+
+#include <cmath>
+
+#include "qens/common/string_util.h"
+
+namespace qens::ml {
+
+const char* ActivationName(Activation a) {
+  switch (a) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "unknown";
+}
+
+Result<Activation> ParseActivation(const std::string& name) {
+  const std::string n = ToLower(Trim(name));
+  if (n == "identity" || n == "linear") return Activation::kIdentity;
+  if (n == "relu") return Activation::kRelu;
+  if (n == "sigmoid") return Activation::kSigmoid;
+  if (n == "tanh") return Activation::kTanh;
+  return Status::InvalidArgument("unknown activation: '" + name + "'");
+}
+
+void ApplyActivation(Activation a, const Matrix& z, Matrix* out) {
+  if (out != &z) *out = z;
+  auto& d = out->data();
+  switch (a) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kRelu:
+      for (double& v : d) v = v > 0.0 ? v : 0.0;
+      break;
+    case Activation::kSigmoid:
+      for (double& v : d) v = 1.0 / (1.0 + std::exp(-v));
+      break;
+    case Activation::kTanh:
+      for (double& v : d) v = std::tanh(v);
+      break;
+  }
+}
+
+void ApplyActivationGrad(Activation a, const Matrix& z, Matrix* out) {
+  if (out != &z) *out = z;
+  auto& d = out->data();
+  switch (a) {
+    case Activation::kIdentity:
+      for (double& v : d) v = 1.0;
+      break;
+    case Activation::kRelu:
+      for (double& v : d) v = v > 0.0 ? 1.0 : 0.0;
+      break;
+    case Activation::kSigmoid:
+      for (double& v : d) {
+        const double s = 1.0 / (1.0 + std::exp(-v));
+        v = s * (1.0 - s);
+      }
+      break;
+    case Activation::kTanh:
+      for (double& v : d) {
+        const double t = std::tanh(v);
+        v = 1.0 - t * t;
+      }
+      break;
+  }
+}
+
+}  // namespace qens::ml

@@ -1,0 +1,82 @@
+#ifndef QENS_ML_DENSE_LAYER_H_
+#define QENS_ML_DENSE_LAYER_H_
+
+/// \file dense_layer.h
+/// Fully-connected layer: Y = f(X * W + b).
+///
+/// Shapes: X is (batch x in), W is (in x out), b is (out), Y is (batch x out).
+/// The layer owns its parameters and, after a Forward with caching enabled,
+/// the activations needed for Backward.
+
+#include <cstddef>
+#include <vector>
+
+#include "qens/common/rng.h"
+#include "qens/common/status.h"
+#include "qens/ml/activation.h"
+#include "qens/tensor/matrix.h"
+
+namespace qens::ml {
+
+/// Gradients produced by one Backward pass through a layer.
+struct DenseGradients {
+  Matrix d_weights;             ///< Same shape as the layer's weight matrix.
+  std::vector<double> d_bias;   ///< Same length as the layer's bias.
+};
+
+/// A dense (fully connected) layer with an elementwise activation.
+class DenseLayer {
+ public:
+  /// Construct with zeroed parameters. Use InitGlorot to randomize.
+  DenseLayer(size_t in_features, size_t out_features, Activation activation);
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+  Activation activation() const { return activation_; }
+
+  /// Glorot/Xavier-uniform weight init, zero bias (the Keras Dense default,
+  /// matching the paper's setup).
+  void InitGlorot(Rng* rng);
+
+  /// Forward pass. When `cache` is true, stores the input and pre-activation
+  /// for a subsequent Backward. Fails if x.cols() != in_features().
+  Result<Matrix> Forward(const Matrix& x, bool cache);
+
+  /// Backward pass given dL/dY (`grad_out`, batch x out). Returns parameter
+  /// gradients via `grads` and dL/dX as the function result.
+  /// Requires a prior Forward(x, /*cache=*/true) on the same batch.
+  Result<Matrix> Backward(const Matrix& grad_out, DenseGradients* grads);
+
+  /// Apply a parameter delta: W += alpha * dW, b += alpha * db.
+  Status ApplyDelta(double alpha, const DenseGradients& delta);
+
+  const Matrix& weights() const { return weights_; }
+  Matrix& weights() { return weights_; }
+  const std::vector<double>& bias() const { return bias_; }
+  std::vector<double>& bias() { return bias_; }
+
+  /// Number of scalar parameters (weights + bias).
+  size_t ParameterCount() const;
+
+  /// Append all parameters (row-major weights, then bias) to `out`.
+  void FlattenParams(std::vector<double>* out) const;
+
+  /// Read ParameterCount() values from flat[offset...]; advances *offset.
+  Status UnflattenParams(const std::vector<double>& flat, size_t* offset);
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  Activation activation_;
+  Matrix weights_;            // (in x out)
+  std::vector<double> bias_;  // (out)
+
+  // Cached by Forward(cache=true) for Backward.
+  bool has_cache_ = false;
+  Matrix cached_input_;  // (batch x in)
+  Matrix cached_pre_;    // (batch x out), pre-activation Z
+};
+
+}  // namespace qens::ml
+
+#endif  // QENS_ML_DENSE_LAYER_H_

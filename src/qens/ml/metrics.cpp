@@ -1,0 +1,51 @@
+#include "qens/ml/metrics.h"
+
+#include <cmath>
+
+namespace qens::ml {
+
+Result<RegressionMetrics> EvaluateRegression(const Matrix& pred,
+                                             const Matrix& target) {
+  if (!pred.SameShape(target)) {
+    return Status::InvalidArgument("EvaluateRegression: shape mismatch");
+  }
+  if (pred.empty()) {
+    return Status::InvalidArgument("EvaluateRegression: empty inputs");
+  }
+  const auto& p = pred.data();
+  const auto& t = target.data();
+  const double n = static_cast<double>(p.size());
+
+  double mean_t = 0.0;
+  for (double v : t) mean_t += v;
+  mean_t /= n;
+
+  double ss_res = 0.0, ss_tot = 0.0, abs_sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double e = p[i] - t[i];
+    ss_res += e * e;
+    abs_sum += std::fabs(e);
+    const double d = t[i] - mean_t;
+    ss_tot += d * d;
+  }
+
+  RegressionMetrics m;
+  m.count = p.size();
+  m.mse = ss_res / n;
+  m.rmse = std::sqrt(m.mse);
+  m.mae = abs_sum / n;
+  m.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return m;
+}
+
+Result<RegressionMetrics> EvaluateRegression(
+    const std::vector<double>& pred, const std::vector<double>& target) {
+  if (pred.size() != target.size()) {
+    return Status::InvalidArgument("EvaluateRegression: size mismatch");
+  }
+  QENS_ASSIGN_OR_RETURN(Matrix mp, Matrix::FromFlat(pred.size(), 1, pred));
+  QENS_ASSIGN_OR_RETURN(Matrix mt, Matrix::FromFlat(target.size(), 1, target));
+  return EvaluateRegression(mp, mt);
+}
+
+}  // namespace qens::ml

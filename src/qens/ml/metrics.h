@@ -1,0 +1,34 @@
+#ifndef QENS_ML_METRICS_H_
+#define QENS_ML_METRICS_H_
+
+/// \file metrics.h
+/// Regression evaluation metrics reported by the experiment harnesses
+/// (the paper reports loss = MSE throughout; RMSE/MAE/R^2 are companions).
+
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/tensor/matrix.h"
+
+namespace qens::ml {
+
+/// Regression metric bundle for one (predictions, targets) pair.
+struct RegressionMetrics {
+  double mse = 0.0;
+  double rmse = 0.0;
+  double mae = 0.0;
+  double r_squared = 0.0;  ///< 1 - SS_res/SS_tot; 0 when targets are constant.
+  size_t count = 0;
+};
+
+/// Compute all metrics. Fails on shape mismatch or empty inputs.
+Result<RegressionMetrics> EvaluateRegression(const Matrix& pred,
+                                             const Matrix& target);
+
+/// Vector convenience overload (single-output models).
+Result<RegressionMetrics> EvaluateRegression(const std::vector<double>& pred,
+                                             const std::vector<double>& target);
+
+}  // namespace qens::ml
+
+#endif  // QENS_ML_METRICS_H_

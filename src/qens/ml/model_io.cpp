@@ -1,0 +1,129 @@
+#include "qens/ml/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "qens/common/string_util.h"
+
+namespace qens::ml {
+namespace {
+
+constexpr char kMagic[] = "qens-model v1";
+
+}  // namespace
+
+std::string SerializeModel(const SequentialModel& model) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "layers " << model.num_layers() << "\n";
+  for (size_t i = 0; i < model.num_layers(); ++i) {
+    const auto& layer = model.layer(i);
+    out << "layer " << layer.in_features() << " " << layer.out_features()
+        << " " << ActivationName(layer.activation()) << "\n";
+  }
+  const std::vector<double> params = model.GetParameters();
+  out << "params " << params.size() << "\n";
+  // Hex floats round-trip exactly.
+  char buf[64];
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%a", params[i]);
+    out << buf << (i + 1 == params.size() ? "\n" : " ");
+  }
+  if (params.empty()) out << "\n";
+  return out.str();
+}
+
+Result<SequentialModel> DeserializeModel(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  auto next_line = [&](std::string* out) -> bool {
+    while (std::getline(in, line)) {
+      std::string t = Trim(line);
+      if (t.empty() || t[0] == '#') continue;
+      *out = t;
+      return true;
+    }
+    return false;
+  };
+
+  std::string cur;
+  if (!next_line(&cur) || cur != kMagic) {
+    return Status::InvalidArgument("model parse: missing magic header");
+  }
+  if (!next_line(&cur) || !StartsWith(cur, "layers ")) {
+    return Status::InvalidArgument("model parse: missing 'layers' line");
+  }
+  QENS_ASSIGN_OR_RETURN(int64_t n_layers, ParseInt(cur.substr(7)));
+  if (n_layers < 0 || n_layers > 1'000'000) {
+    return Status::InvalidArgument("model parse: unreasonable layer count");
+  }
+
+  SequentialModel model;
+  for (int64_t i = 0; i < n_layers; ++i) {
+    if (!next_line(&cur) || !StartsWith(cur, "layer ")) {
+      return Status::InvalidArgument("model parse: missing 'layer' line");
+    }
+    const std::vector<std::string> parts = Split(cur, ' ');
+    if (parts.size() != 4) {
+      return Status::InvalidArgument("model parse: malformed layer line: '" +
+                                     cur + "'");
+    }
+    QENS_ASSIGN_OR_RETURN(int64_t in_f, ParseInt(parts[1]));
+    QENS_ASSIGN_OR_RETURN(int64_t out_f, ParseInt(parts[2]));
+    if (in_f <= 0 || out_f <= 0) {
+      return Status::InvalidArgument("model parse: non-positive layer width");
+    }
+    QENS_ASSIGN_OR_RETURN(Activation act, ParseActivation(parts[3]));
+    QENS_RETURN_NOT_OK(model.AddLayer(static_cast<size_t>(in_f),
+                                      static_cast<size_t>(out_f), act));
+  }
+
+  if (!next_line(&cur) || !StartsWith(cur, "params ")) {
+    return Status::InvalidArgument("model parse: missing 'params' line");
+  }
+  QENS_ASSIGN_OR_RETURN(int64_t n_params, ParseInt(cur.substr(7)));
+  if (n_params < 0 ||
+      static_cast<size_t>(n_params) != model.ParameterCount()) {
+    return Status::InvalidArgument(
+        StrFormat("model parse: params count %lld does not match model (%zu)",
+                  static_cast<long long>(n_params), model.ParameterCount()));
+  }
+
+  std::vector<double> params;
+  params.reserve(static_cast<size_t>(n_params));
+  // The remaining stream is whitespace-separated doubles (hex or decimal).
+  std::string token;
+  while (static_cast<int64_t>(params.size()) < n_params && in >> token) {
+    QENS_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+    params.push_back(v);
+  }
+  if (static_cast<int64_t>(params.size()) != n_params) {
+    return Status::InvalidArgument("model parse: truncated parameter block");
+  }
+  QENS_RETURN_NOT_OK(model.SetParameters(params));
+  return model;
+}
+
+Status SaveModel(const SequentialModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << SerializeModel(model);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SequentialModel> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DeserializeModel(buf.str());
+}
+
+size_t SerializedModelBytes(const SequentialModel& model) {
+  return SerializeModel(model).size();
+}
+
+}  // namespace qens::ml

@@ -1,0 +1,42 @@
+#ifndef QENS_ML_MODEL_IO_H_
+#define QENS_ML_MODEL_IO_H_
+
+/// \file model_io.h
+/// Text serialization of SequentialModel — the wire format exchanged between
+/// the leader and the participants in the federation (and used by the
+/// network substrate to account transferred bytes).
+///
+/// Format (line oriented, '#'-prefixed comments ignored):
+///   qens-model v1
+///   layers <n>
+///   layer <in> <out> <activation>      (n times)
+///   params <count>
+///   <count whitespace-separated doubles, hex-float for exactness>
+
+#include <string>
+
+#include "qens/common/status.h"
+#include "qens/ml/sequential_model.h"
+
+namespace qens::ml {
+
+/// Serialize a model (architecture + parameters) to the v1 text format.
+std::string SerializeModel(const SequentialModel& model);
+
+/// Parse a model from the v1 text format. Fails on any structural error
+/// (bad magic, layer chain mismatch, wrong parameter count, parse errors).
+Result<SequentialModel> DeserializeModel(const std::string& text);
+
+/// Write SerializeModel output to `path`.
+Status SaveModel(const SequentialModel& model, const std::string& path);
+
+/// Read and parse a model from `path`.
+Result<SequentialModel> LoadModel(const std::string& path);
+
+/// Size in bytes of the serialized form — the communication cost of sending
+/// this model over the (simulated) network.
+size_t SerializedModelBytes(const SequentialModel& model);
+
+}  // namespace qens::ml
+
+#endif  // QENS_ML_MODEL_IO_H_

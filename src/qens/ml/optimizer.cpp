@@ -1,0 +1,131 @@
+#include "qens/ml/optimizer.h"
+
+#include <cmath>
+
+#include "qens/common/string_util.h"
+
+namespace qens::ml {
+namespace {
+
+/// Flatten one layer's gradients (row-major weights then bias) into `out`.
+void FlattenGrads(const DenseGradients& g, std::vector<double>* out) {
+  out->clear();
+  out->reserve(g.d_weights.size() + g.d_bias.size());
+  out->insert(out->end(), g.d_weights.data().begin(), g.d_weights.data().end());
+  out->insert(out->end(), g.d_bias.begin(), g.d_bias.end());
+}
+
+/// Apply a flat delta (same layout as FlattenGrads) to a layer's parameters.
+void ApplyFlatDelta(DenseLayer* layer, const std::vector<double>& delta) {
+  auto& w = layer->weights().data();
+  for (size_t i = 0; i < w.size(); ++i) w[i] += delta[i];
+  auto& b = layer->bias();
+  for (size_t i = 0; i < b.size(); ++i) b[i] += delta[w.size() + i];
+}
+
+Status CheckGrads(const SequentialModel& model,
+                  const std::vector<DenseGradients>& grads) {
+  if (grads.size() != model.num_layers()) {
+    return Status::InvalidArgument(
+        StrFormat("optimizer: %zu gradient sets for %zu layers", grads.size(),
+                  model.num_layers()));
+  }
+  for (size_t i = 0; i < grads.size(); ++i) {
+    if (!grads[i].d_weights.SameShape(model.layer(i).weights()) ||
+        grads[i].d_bias.size() != model.layer(i).bias().size()) {
+      return Status::InvalidArgument(
+          StrFormat("optimizer: gradient shape mismatch at layer %zu", i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SgdOptimizer::SgdOptimizer(double learning_rate, double momentum)
+    : Optimizer(learning_rate), momentum_(momentum) {}
+
+Status SgdOptimizer::Step(SequentialModel* model,
+                          const std::vector<DenseGradients>& grads) {
+  QENS_RETURN_NOT_OK(CheckGrads(*model, grads));
+  if (velocity_.size() != grads.size()) {
+    velocity_.assign(grads.size(), {});
+  }
+  std::vector<double> flat;
+  for (size_t li = 0; li < grads.size(); ++li) {
+    FlattenGrads(grads[li], &flat);
+    auto& vel = velocity_[li];
+    if (vel.size() != flat.size()) vel.assign(flat.size(), 0.0);
+    for (size_t i = 0; i < flat.size(); ++i) {
+      vel[i] = momentum_ * vel[i] - learning_rate_ * flat[i];
+    }
+    ApplyFlatDelta(&model->layer(li), vel);
+  }
+  return Status::OK();
+}
+
+void SgdOptimizer::Reset() { velocity_.clear(); }
+
+AdamOptimizer::AdamOptimizer(double learning_rate, double beta1, double beta2,
+                             double epsilon)
+    : Optimizer(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+Status AdamOptimizer::Step(SequentialModel* model,
+                           const std::vector<DenseGradients>& grads) {
+  QENS_RETURN_NOT_OK(CheckGrads(*model, grads));
+  if (m_.size() != grads.size()) {
+    m_.assign(grads.size(), {});
+    v_.assign(grads.size(), {});
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  std::vector<double> flat;
+  std::vector<double> delta;
+  for (size_t li = 0; li < grads.size(); ++li) {
+    FlattenGrads(grads[li], &flat);
+    auto& m = m_[li];
+    auto& v = v_[li];
+    if (m.size() != flat.size()) {
+      m.assign(flat.size(), 0.0);
+      v.assign(flat.size(), 0.0);
+    }
+    delta.resize(flat.size());
+    for (size_t i = 0; i < flat.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * flat[i];
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * flat[i] * flat[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      delta[i] = -learning_rate_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+    ApplyFlatDelta(&model->layer(li), delta);
+  }
+  return Status::OK();
+}
+
+void AdamOptimizer::Reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+Result<std::unique_ptr<Optimizer>> MakeOptimizer(const std::string& name,
+                                                 double learning_rate) {
+  const std::string n = ToLower(Trim(name));
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("MakeOptimizer: learning rate must be > 0");
+  }
+  if (n == "sgd") {
+    return std::unique_ptr<Optimizer>(new SgdOptimizer(learning_rate));
+  }
+  if (n == "adam") {
+    return std::unique_ptr<Optimizer>(new AdamOptimizer(learning_rate));
+  }
+  return Status::InvalidArgument("unknown optimizer: '" + name + "'");
+}
+
+}  // namespace qens::ml

@@ -1,0 +1,71 @@
+#ifndef QENS_ML_SEQUENTIAL_MODEL_H_
+#define QENS_ML_SEQUENTIAL_MODEL_H_
+
+/// \file sequential_model.h
+/// A stack of dense layers — the model family the paper evaluates ("LR" is a
+/// single 1-unit dense layer; "NN" adds a 64-unit ReLU hidden layer,
+/// Table III). Exposes flat parameter access for serialization (the leader /
+/// participant exchange) and parameter-space aggregation (FedAvg extension).
+
+#include <memory>
+#include <vector>
+
+#include "qens/common/rng.h"
+#include "qens/common/status.h"
+#include "qens/ml/dense_layer.h"
+#include "qens/tensor/matrix.h"
+
+namespace qens::ml {
+
+/// Feed-forward network: layers applied in order.
+class SequentialModel {
+ public:
+  SequentialModel() = default;
+
+  /// Append a layer. The first layer fixes the input width; subsequent
+  /// layers must chain (in == previous out).
+  Status AddLayer(size_t in_features, size_t out_features, Activation act);
+
+  size_t num_layers() const { return layers_.size(); }
+  const DenseLayer& layer(size_t i) const { return layers_[i]; }
+  DenseLayer& layer(size_t i) { return layers_[i]; }
+
+  /// Input/output widths; 0 when the model has no layers.
+  size_t input_features() const;
+  size_t output_features() const;
+
+  /// Randomize all layer parameters (Glorot uniform, zero bias).
+  void InitWeights(Rng* rng);
+
+  /// Forward pass without gradient caching (inference).
+  Result<Matrix> Predict(const Matrix& x) const;
+
+  /// Forward pass with caching for TrainBatch (internal use).
+  Result<Matrix> Forward(const Matrix& x);
+
+  /// Backprop dL/dOutput through all layers; fills per-layer gradients.
+  Result<std::vector<DenseGradients>> Backward(const Matrix& grad_out);
+
+  /// Total scalar parameter count across layers.
+  size_t ParameterCount() const;
+
+  /// All parameters as one flat vector (layer order, weights then bias).
+  std::vector<double> GetParameters() const;
+
+  /// Load parameters from a flat vector; fails unless the size matches
+  /// ParameterCount() exactly.
+  Status SetParameters(const std::vector<double>& flat);
+
+  /// Deep copy.
+  SequentialModel Clone() const { return *this; }
+
+  /// True when the two models have identical layer shapes/activations.
+  bool SameArchitecture(const SequentialModel& other) const;
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace qens::ml
+
+#endif  // QENS_ML_SEQUENTIAL_MODEL_H_

@@ -1,0 +1,92 @@
+#ifndef QENS_ML_TRAINER_H_
+#define QENS_ML_TRAINER_H_
+
+/// \file trainer.h
+/// Keras-style training loop: epochs, mini-batches, shuffling and a
+/// validation split (Table III uses validation split = 0.2, 100 epochs).
+///
+/// `Trainer::Fit` can be invoked repeatedly on the same model with different
+/// data — this is exactly the paper's incremental per-cluster training
+/// (Section IV-A "each cluster represents a mini-batch"): the federation
+/// layer calls Fit once per supporting cluster, in sequence.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/ml/loss.h"
+#include "qens/ml/optimizer.h"
+#include "qens/ml/sequential_model.h"
+#include "qens/tensor/matrix.h"
+
+namespace qens::ml {
+
+/// Knobs for one Fit invocation.
+struct TrainOptions {
+  size_t epochs = 100;            ///< Paper default (Table III).
+  size_t batch_size = 32;         ///< Keras default.
+  double validation_split = 0.2;  ///< Fraction held out from the END of the
+                                  ///< (shuffled) data, Keras-style.
+  bool shuffle = true;            ///< Shuffle once before splitting and then
+                                  ///< every epoch (training part only).
+  uint64_t seed = 42;             ///< Shuffling seed.
+  LossKind loss = LossKind::kMse;
+  /// Stop early when validation loss fails to improve by more than
+  /// `min_delta` for `patience` consecutive epochs (0 disables).
+  size_t early_stopping_patience = 0;
+  double min_delta = 0.0;
+  /// L2 weight decay coefficient: adds `weight_decay * W` to the weight
+  /// gradients (biases excluded, the standard convention). 0 disables.
+  double weight_decay = 0.0;
+  /// Global gradient-norm clipping: when the L2 norm of all gradients
+  /// exceeds this, they are rescaled to it. 0 disables.
+  double clip_norm = 0.0;
+  /// Inverse-time learning-rate decay: epoch e trains at
+  /// lr0 / (1 + lr_decay * e). 0 disables.
+  double lr_decay = 0.0;
+};
+
+/// Per-fit training history and counters.
+struct TrainReport {
+  std::vector<double> train_loss;  ///< One entry per completed epoch.
+  std::vector<double> val_loss;    ///< Empty when validation_split == 0.
+  size_t samples_seen = 0;         ///< Rows * epochs actually consumed.
+  size_t epochs_run = 0;
+  bool early_stopped = false;
+
+  double final_train_loss() const {
+    return train_loss.empty() ? 0.0 : train_loss.back();
+  }
+  double final_val_loss() const {
+    return val_loss.empty() ? 0.0 : val_loss.back();
+  }
+};
+
+/// Owns an optimizer and runs Fit passes over a caller-owned model.
+class Trainer {
+ public:
+  /// Takes ownership of `optimizer` (must be non-null).
+  Trainer(std::unique_ptr<Optimizer> optimizer, TrainOptions options);
+
+  const TrainOptions& options() const { return options_; }
+  TrainOptions& mutable_options() { return options_; }
+
+  /// Train `model` on (x, y). x is (m x d); y is (m x out) or (m x 1).
+  /// Fails on shape mismatch, empty data, or a model/feature width clash.
+  Result<TrainReport> Fit(SequentialModel* model, const Matrix& x,
+                          const Matrix& y);
+
+  /// One gradient step on a single batch (no split/shuffle). Returns the
+  /// batch loss before the update.
+  Result<double> TrainBatch(SequentialModel* model, const Matrix& x,
+                            const Matrix& y);
+
+ private:
+  std::unique_ptr<Optimizer> optimizer_;
+  TrainOptions options_;
+};
+
+}  // namespace qens::ml
+
+#endif  // QENS_ML_TRAINER_H_

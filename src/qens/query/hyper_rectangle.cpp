@@ -1,0 +1,151 @@
+#include "qens/query/hyper_rectangle.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "qens/common/string_util.h"
+
+namespace qens::query {
+
+Interval Interval::Intersection(const Interval& other) const {
+  return Interval(std::max(lo, other.lo), std::min(hi, other.hi));
+}
+
+Interval Interval::Hull(const Interval& other) const {
+  return Interval(std::min(lo, other.lo), std::max(hi, other.hi));
+}
+
+Result<HyperRectangle> HyperRectangle::FromFlatBounds(
+    const std::vector<double>& flat) {
+  if (flat.size() % 2 != 0) {
+    return Status::InvalidArgument(
+        "FromFlatBounds: flat bounds must have even length");
+  }
+  std::vector<Interval> intervals(flat.size() / 2);
+  for (size_t d = 0; d < intervals.size(); ++d) {
+    intervals[d] = Interval(flat[2 * d], flat[2 * d + 1]);
+    if (!intervals[d].valid()) {
+      return Status::InvalidArgument(
+          StrFormat("FromFlatBounds: min > max in dimension %zu", d));
+    }
+  }
+  return HyperRectangle(std::move(intervals));
+}
+
+Result<HyperRectangle> HyperRectangle::BoundingBox(
+    const Matrix& data, const std::vector<size_t>& rows) {
+  if (data.rows() == 0) {
+    return Status::InvalidArgument("BoundingBox: empty matrix");
+  }
+  std::vector<Interval> intervals(data.cols());
+  bool first = true;
+  auto absorb = [&](size_t r) -> Status {
+    if (r >= data.rows()) {
+      return Status::OutOfRange(
+          StrFormat("BoundingBox: row %zu >= %zu", r, data.rows()));
+    }
+    const double* p = data.RowPtr(r);
+    for (size_t c = 0; c < data.cols(); ++c) {
+      if (first) {
+        intervals[c] = Interval(p[c], p[c]);
+      } else {
+        intervals[c].lo = std::min(intervals[c].lo, p[c]);
+        intervals[c].hi = std::max(intervals[c].hi, p[c]);
+      }
+    }
+    first = false;
+    return Status::OK();
+  };
+  if (rows.empty()) {
+    for (size_t r = 0; r < data.rows(); ++r) QENS_RETURN_NOT_OK(absorb(r));
+  } else {
+    for (size_t r : rows) QENS_RETURN_NOT_OK(absorb(r));
+  }
+  return HyperRectangle(std::move(intervals));
+}
+
+bool HyperRectangle::valid() const {
+  for (const auto& iv : intervals_) {
+    if (!iv.valid()) return false;
+  }
+  return !intervals_.empty();
+}
+
+bool HyperRectangle::ContainsPoint(const std::vector<double>& point) const {
+  if (point.size() != intervals_.size()) return false;
+  for (size_t d = 0; d < intervals_.size(); ++d) {
+    if (!intervals_[d].Contains(point[d])) return false;
+  }
+  return true;
+}
+
+bool HyperRectangle::ContainsBox(const HyperRectangle& other) const {
+  if (other.dims() != dims()) return false;
+  for (size_t d = 0; d < dims(); ++d) {
+    if (!intervals_[d].ContainsInterval(other.intervals_[d])) return false;
+  }
+  return true;
+}
+
+bool HyperRectangle::Intersects(const HyperRectangle& other) const {
+  if (other.dims() != dims() || dims() == 0) return false;
+  for (size_t d = 0; d < dims(); ++d) {
+    if (!intervals_[d].Intersects(other.intervals_[d])) return false;
+  }
+  return true;
+}
+
+HyperRectangle HyperRectangle::Intersection(
+    const HyperRectangle& other) const {
+  const size_t d = std::min(dims(), other.dims());
+  std::vector<Interval> out(d);
+  for (size_t i = 0; i < d; ++i) {
+    out[i] = intervals_[i].Intersection(other.intervals_[i]);
+  }
+  return HyperRectangle(std::move(out));
+}
+
+Result<HyperRectangle> HyperRectangle::Hull(
+    const HyperRectangle& other) const {
+  if (other.dims() != dims()) {
+    return Status::InvalidArgument("Hull: dimensionality mismatch");
+  }
+  std::vector<Interval> out(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    out[i] = intervals_[i].Hull(other.intervals_[i]);
+  }
+  return HyperRectangle(std::move(out));
+}
+
+double HyperRectangle::Volume() const {
+  if (intervals_.empty()) return 0.0;
+  double v = 1.0;
+  for (const auto& iv : intervals_) {
+    if (!iv.valid()) return 0.0;
+    v *= iv.length();
+  }
+  return v;
+}
+
+std::vector<double> HyperRectangle::ToFlatBounds() const {
+  std::vector<double> flat;
+  flat.reserve(2 * intervals_.size());
+  for (const auto& iv : intervals_) {
+    flat.push_back(iv.lo);
+    flat.push_back(iv.hi);
+  }
+  return flat;
+}
+
+std::string HyperRectangle::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (size_t d = 0; d < intervals_.size(); ++d) {
+    if (d > 0) out << ", ";
+    out << "[" << intervals_[d].lo << ", " << intervals_[d].hi << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace qens::query

@@ -1,0 +1,119 @@
+#ifndef QENS_QUERY_HYPER_RECTANGLE_H_
+#define QENS_QUERY_HYPER_RECTANGLE_H_
+
+/// \file hyper_rectangle.h
+/// Axis-aligned intervals and hyper-rectangles. Both queries
+/// (q = [q_1^min, q_1^max, ..., q_d^min, q_d^max]) and cluster boundaries
+/// (k = [k_1^min, k_1^max, ...]) are hyper-rectangles in the paper
+/// (Section III-C).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/tensor/matrix.h"
+
+namespace qens::query {
+
+/// A closed 1-D interval [lo, hi]. Valid iff lo <= hi. A point interval
+/// (lo == hi) is valid with zero length.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {}
+
+  bool valid() const { return lo <= hi; }
+  double length() const { return hi - lo; }
+  bool Contains(double x) const { return lo <= x && x <= hi; }
+  bool ContainsInterval(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  bool Intersects(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  /// Intersection; invalid (lo > hi) when disjoint.
+  Interval Intersection(const Interval& other) const;
+
+  /// Smallest interval covering both.
+  Interval Hull(const Interval& other) const;
+
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// An axis-aligned box: one Interval per dimension.
+class HyperRectangle {
+ public:
+  HyperRectangle() = default;
+
+  /// Box with `dims` unit intervals [0, 0].
+  explicit HyperRectangle(size_t dims) : intervals_(dims) {}
+
+  explicit HyperRectangle(std::vector<Interval> intervals)
+      : intervals_(std::move(intervals)) {}
+
+  /// From the paper's flat layout [min_1, max_1, ..., min_d, max_d].
+  /// Fails on odd length or any min > max.
+  static Result<HyperRectangle> FromFlatBounds(
+      const std::vector<double>& flat);
+
+  /// Tight bounding box of a set of rows of `data`. Fails when the matrix
+  /// has no rows or an index is out of range; with an empty `rows` list,
+  /// bounds all rows.
+  static Result<HyperRectangle> BoundingBox(
+      const Matrix& data, const std::vector<size_t>& rows = {});
+
+  size_t dims() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+
+  const Interval& dim(size_t i) const { return intervals_[i]; }
+  Interval& dim(size_t i) { return intervals_[i]; }
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// All per-dimension intervals valid (lo <= hi).
+  bool valid() const;
+
+  /// True iff the d-dimensional point (size must equal dims()) is inside.
+  bool ContainsPoint(const std::vector<double>& point) const;
+
+  /// True iff `other` is fully inside this box (per-dimension containment).
+  bool ContainsBox(const HyperRectangle& other) const;
+
+  /// True iff the boxes intersect in every dimension.
+  bool Intersects(const HyperRectangle& other) const;
+
+  /// Per-dimension intersection. Result may contain invalid intervals where
+  /// the boxes are disjoint in that dimension.
+  HyperRectangle Intersection(const HyperRectangle& other) const;
+
+  /// Smallest box covering both. Fails on dimensionality mismatch.
+  Result<HyperRectangle> Hull(const HyperRectangle& other) const;
+
+  /// Product of side lengths (0 when any side has zero length).
+  double Volume() const;
+
+  /// Flat paper layout [min_1, max_1, ..., min_d, max_d].
+  std::vector<double> ToFlatBounds() const;
+
+  /// Serialized size in bytes when shipped to the leader (2 doubles/dim).
+  size_t WireBytes() const { return intervals_.size() * 2 * sizeof(double); }
+
+  std::string ToString() const;
+
+  bool operator==(const HyperRectangle& other) const {
+    return intervals_ == other.intervals_;
+  }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace qens::query
+
+#endif  // QENS_QUERY_HYPER_RECTANGLE_H_

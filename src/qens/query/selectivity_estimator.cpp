@@ -1,0 +1,45 @@
+#include "qens/query/selectivity_estimator.h"
+
+#include "qens/common/string_util.h"
+
+namespace qens::query {
+
+Result<double> EstimateClusterRows(const clustering::ClusterSummary& cluster,
+                                   const RangeQuery& query) {
+  if (cluster.size == 0) return 0.0;
+  if (cluster.bounds.dims() != query.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("selectivity: cluster has %zu dims, query has %zu",
+                  cluster.bounds.dims(), query.dims()));
+  }
+  double coverage = 1.0;
+  for (size_t d = 0; d < query.dims(); ++d) {
+    const Interval& box = cluster.bounds.dim(d);
+    const Interval& q = query.region.dim(d);
+    if (!box.Intersects(q)) return 0.0;
+    if (box.length() <= 0.0) {
+      // Degenerate dimension: all rows sit at one coordinate; the query
+      // either covers it (factor 1) or it would not intersect (handled
+      // above).
+      continue;
+    }
+    coverage *= box.Intersection(q).length() / box.length();
+  }
+  return coverage * static_cast<double>(cluster.size);
+}
+
+Result<NodeSelectivityEstimate> EstimateNodeSelectivity(
+    const std::vector<clustering::ClusterSummary>& clusters,
+    const RangeQuery& query) {
+  NodeSelectivityEstimate estimate;
+  estimate.per_cluster.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    QENS_ASSIGN_OR_RETURN(double rows, EstimateClusterRows(cluster, query));
+    estimate.per_cluster.push_back(rows);
+    estimate.estimated_rows += rows;
+    estimate.total_rows += cluster.size;
+  }
+  return estimate;
+}
+
+}  // namespace qens::query

@@ -1,0 +1,52 @@
+#ifndef QENS_QUERY_SELECTIVITY_ESTIMATOR_H_
+#define QENS_QUERY_SELECTIVITY_ESTIMATOR_H_
+
+/// \file selectivity_estimator.h
+/// Leader-side estimation of how much data a query touches, computed from
+/// cluster digests ALONE (no raw data): assuming per-cluster uniform
+/// density, the expected number of a cluster's rows inside the query is
+///
+///   size_k * prod_d |q_d ∩ box_d| / |box_d|
+///
+/// (degenerate box dimensions contribute 1 when the query covers the
+/// point, else 0). This is the privacy-preserving analog of Fig. 6's
+/// "data the query actually needs" and lets the leader predict per-node
+/// training volume (and hence Fig. 8-style training time) before engaging
+/// anyone.
+
+#include <cstddef>
+#include <vector>
+
+#include "qens/clustering/cluster_summary.h"
+#include "qens/common/status.h"
+#include "qens/query/range_query.h"
+
+namespace qens::query {
+
+/// Estimated rows of one cluster inside the query region (uniform-density
+/// assumption). Fails on dimensional mismatch. An empty cluster yields 0.
+Result<double> EstimateClusterRows(const clustering::ClusterSummary& cluster,
+                                   const RangeQuery& query);
+
+/// Per-node estimate: sum over the node's clusters.
+struct NodeSelectivityEstimate {
+  double estimated_rows = 0.0;        ///< Expected rows inside the query.
+  size_t total_rows = 0;              ///< The node's full population.
+  std::vector<double> per_cluster;    ///< One estimate per cluster.
+
+  /// Estimated fraction of the node's data the query touches.
+  double Fraction() const {
+    return total_rows > 0
+               ? estimated_rows / static_cast<double>(total_rows)
+               : 0.0;
+  }
+};
+
+/// Estimate across all clusters of a node profile's digest list.
+Result<NodeSelectivityEstimate> EstimateNodeSelectivity(
+    const std::vector<clustering::ClusterSummary>& clusters,
+    const RangeQuery& query);
+
+}  // namespace qens::query
+
+#endif  // QENS_QUERY_SELECTIVITY_ESTIMATOR_H_

@@ -1,0 +1,85 @@
+#include "qens/query/workload_generator.h"
+
+#include <algorithm>
+
+#include "qens/common/string_util.h"
+
+namespace qens::query {
+
+WorkloadGenerator::WorkloadGenerator(HyperRectangle data_space,
+                                     WorkloadOptions options)
+    : data_space_(std::move(data_space)),
+      options_(options),
+      rng_(options.seed),
+      next_id_(options.first_id) {}
+
+Status WorkloadGenerator::Validate() const {
+  if (options_.num_queries == 0) {
+    return Status::InvalidArgument("workload: num_queries must be > 0");
+  }
+  if (options_.min_width_frac <= 0.0 || options_.max_width_frac > 1.0 ||
+      options_.min_width_frac > options_.max_width_frac) {
+    return Status::InvalidArgument(
+        "workload: width fractions must satisfy 0 < min <= max <= 1");
+  }
+  if (data_space_.dims() == 0 || !data_space_.valid()) {
+    return Status::InvalidArgument("workload: invalid data space");
+  }
+  if (options_.drifting_centers &&
+      (options_.drift_step_frac <= 0.0 || options_.drift_step_frac > 1.0)) {
+    return Status::InvalidArgument(
+        "workload: drift_step_frac must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+Result<RangeQuery> WorkloadGenerator::Next() {
+  QENS_RETURN_NOT_OK(Validate());
+  const size_t d = data_space_.dims();
+
+  // Pick the center: i.i.d. uniform, or a bounded random walk.
+  std::vector<double> center(d);
+  if (options_.drifting_centers && !last_center_.empty()) {
+    for (size_t i = 0; i < d; ++i) {
+      const Interval& space = data_space_.dim(i);
+      const double step = space.length() * options_.drift_step_frac;
+      double c = last_center_[i] + rng_.Uniform(-step, step);
+      center[i] = std::clamp(c, space.lo, space.hi);
+    }
+  } else {
+    for (size_t i = 0; i < d; ++i) {
+      const Interval& space = data_space_.dim(i);
+      center[i] = rng_.Uniform(space.lo, space.hi);
+    }
+  }
+  last_center_ = center;
+
+  // Pick widths and clip the box to the data space.
+  std::vector<Interval> intervals(d);
+  for (size_t i = 0; i < d; ++i) {
+    const Interval& space = data_space_.dim(i);
+    const double frac =
+        rng_.Uniform(options_.min_width_frac, options_.max_width_frac);
+    const double half = 0.5 * frac * space.length();
+    intervals[i] = Interval(std::max(space.lo, center[i] - half),
+                            std::min(space.hi, center[i] + half));
+  }
+
+  RangeQuery q;
+  q.id = next_id_++;
+  q.region = HyperRectangle(std::move(intervals));
+  return q;
+}
+
+Result<std::vector<RangeQuery>> WorkloadGenerator::Generate() {
+  QENS_RETURN_NOT_OK(Validate());
+  std::vector<RangeQuery> out;
+  out.reserve(options_.num_queries);
+  for (size_t i = 0; i < options_.num_queries; ++i) {
+    QENS_ASSIGN_OR_RETURN(RangeQuery q, Next());
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace qens::query

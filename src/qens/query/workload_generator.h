@@ -1,0 +1,72 @@
+#ifndef QENS_QUERY_WORKLOAD_GENERATOR_H_
+#define QENS_QUERY_WORKLOAD_GENERATOR_H_
+
+/// \file workload_generator.h
+/// Dynamic query workload in the style of Savva et al. [18] (as used by the
+/// paper's evaluation, Section V-A: "Each query has been randomly created
+/// over the whole data space based on the dynamic query workload method").
+///
+/// Queries are hyper-rectangles with random centers drawn over the data
+/// space and random per-dimension widths drawn as a fraction of each
+/// dimension's extent. An optional drifting-center mode makes consecutive
+/// queries related (a moving analytics focus), matching [18]'s dynamic
+/// workloads.
+
+#include <cstdint>
+#include <vector>
+
+#include "qens/common/rng.h"
+#include "qens/common/status.h"
+#include "qens/query/range_query.h"
+
+namespace qens::query {
+
+/// Workload configuration.
+struct WorkloadOptions {
+  size_t num_queries = 200;  ///< Paper issues 200 queries (Section V-A).
+  /// Per-dimension query width, as a fraction of the data-space extent,
+  /// drawn uniformly from [min_width_frac, max_width_frac].
+  double min_width_frac = 0.1;
+  double max_width_frac = 0.5;
+  /// When true, each query center performs a bounded random walk from the
+  /// previous center (dynamic workload); when false, centers are i.i.d.
+  /// uniform over the data space.
+  bool drifting_centers = false;
+  /// Random-walk step size as a fraction of each dimension's extent
+  /// (only used when drifting_centers).
+  double drift_step_frac = 0.1;
+  uint64_t seed = 1234;
+  /// First query id; queries are numbered consecutively from it.
+  uint64_t first_id = 0;
+};
+
+/// Generates reproducible range-query workloads over a given data space.
+class WorkloadGenerator {
+ public:
+  /// `data_space` must be a valid, non-degenerate box (each dimension with
+  /// positive extent is sampled; zero-extent dimensions yield point ranges).
+  WorkloadGenerator(HyperRectangle data_space, WorkloadOptions options);
+
+  /// Validate options (widths in (0, 1], min <= max, num_queries > 0).
+  Status Validate() const;
+
+  /// Generate the full workload. Deterministic in (data_space, options).
+  Result<std::vector<RangeQuery>> Generate();
+
+  /// Generate a single query (advances the internal stream).
+  Result<RangeQuery> Next();
+
+  const HyperRectangle& data_space() const { return data_space_; }
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  HyperRectangle data_space_;
+  WorkloadOptions options_;
+  Rng rng_;
+  uint64_t next_id_;
+  std::vector<double> last_center_;  // For drifting mode; empty until first.
+};
+
+}  // namespace qens::query
+
+#endif  // QENS_QUERY_WORKLOAD_GENERATOR_H_

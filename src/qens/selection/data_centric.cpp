@@ -1,0 +1,106 @@
+#include "qens/selection/data_centric.h"
+
+#include <algorithm>
+
+#include "qens/common/string_util.h"
+
+namespace qens::selection {
+namespace {
+
+/// Normalize a vector of non-negative raw scores into [0, 1] by its max;
+/// all-zero input stays all-zero.
+void NormalizeByMax(std::vector<double>* values) {
+  double max_v = 0.0;
+  for (double v : *values) max_v = std::max(max_v, v);
+  if (max_v <= 0.0) return;
+  for (double& v : *values) v /= max_v;
+}
+
+}  // namespace
+
+Result<std::vector<DataCentricScore>> ScoreNodesDataCentric(
+    const std::vector<NodeProfile>& profiles,
+    const std::vector<double>& capacities,
+    const std::vector<double>& link_latencies,
+    const DataCentricOptions& options) {
+  if (profiles.empty()) {
+    return Status::InvalidArgument("data-centric: no profiles");
+  }
+  if (capacities.size() != profiles.size() ||
+      link_latencies.size() != profiles.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "data-centric: %zu profiles, %zu capacities, %zu latencies",
+        profiles.size(), capacities.size(), link_latencies.size()));
+  }
+  if (options.w_data < 0 || options.w_compute < 0 || options.w_comm < 0 ||
+      options.w_data + options.w_compute + options.w_comm <= 0) {
+    return Status::InvalidArgument(
+        "data-centric: weights must be non-negative with a positive sum");
+  }
+
+  const size_t n = profiles.size();
+  std::vector<double> volume(n), diversity(n), compute(n), comm(n);
+  for (size_t i = 0; i < n; ++i) {
+    volume[i] = static_cast<double>(profiles[i].total_samples);
+    size_t non_empty = 0;
+    for (const auto& cluster : profiles[i].clusters) {
+      if (cluster.size > 0) ++non_empty;
+    }
+    diversity[i] =
+        profiles[i].clusters.empty()
+            ? 0.0
+            : static_cast<double>(non_empty) /
+                  static_cast<double>(profiles[i].clusters.size());
+    if (capacities[i] <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("data-centric: node %zu capacity must be > 0", i));
+    }
+    if (link_latencies[i] < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("data-centric: node %zu latency must be >= 0", i));
+    }
+    compute[i] = capacities[i];
+    comm[i] = 1.0 / (1.0 + link_latencies[i]);
+  }
+  NormalizeByMax(&volume);
+  NormalizeByMax(&compute);
+  NormalizeByMax(&comm);
+
+  std::vector<DataCentricScore> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i].node_id = profiles[i].node_id;
+    scores[i].data_quality = 0.5 * volume[i] + 0.5 * diversity[i];
+    scores[i].compute = compute[i];
+    scores[i].comm = comm[i];
+    scores[i].total = options.w_data * scores[i].data_quality +
+                      options.w_compute * scores[i].compute +
+                      options.w_comm * scores[i].comm;
+  }
+  return scores;
+}
+
+Result<std::vector<size_t>> SelectDataCentric(
+    const std::vector<NodeProfile>& profiles,
+    const std::vector<double>& capacities,
+    const std::vector<double>& link_latencies,
+    const DataCentricOptions& options) {
+  if (options.top_l == 0) {
+    return Status::InvalidArgument("data-centric: top_l must be > 0");
+  }
+  QENS_ASSIGN_OR_RETURN(
+      std::vector<DataCentricScore> scores,
+      ScoreNodesDataCentric(profiles, capacities, link_latencies, options));
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const DataCentricScore& a, const DataCentricScore& b) {
+                     if (a.total != b.total) return a.total > b.total;
+                     return a.node_id < b.node_id;
+                   });
+  std::vector<size_t> selected;
+  for (size_t i = 0; i < scores.size() && i < options.top_l; ++i) {
+    selected.push_back(scores[i].node_id);
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace qens::selection

@@ -1,0 +1,62 @@
+#ifndef QENS_SELECTION_DATA_CENTRIC_H_
+#define QENS_SELECTION_DATA_CENTRIC_H_
+
+/// \file data_centric.h
+/// Data-centric client selection in the style of Saha et al. [8] ("data
+/// quality score, computation score, and communication score to quantify
+/// the capabilities of the participant device") — a QUERY-AGNOSTIC
+/// baseline: nodes are scored once per environment, not per query, which
+/// is exactly what the paper argues is insufficient for range-targeted
+/// analytics.
+///
+///   score_i = w_data * data_quality_i + w_comp * compute_i + w_comm * comm_i
+///
+/// where data quality combines the node's (normalized) data volume with its
+/// cluster diversity (non-empty clusters / K), compute is the node's
+/// relative capacity, and comm is a normalized inverse link-latency proxy.
+
+#include <cstddef>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/selection/node_profile.h"
+
+namespace qens::selection {
+
+/// Weights of the three score components (non-negative, not all zero).
+struct DataCentricOptions {
+  double w_data = 0.5;
+  double w_compute = 0.3;
+  double w_comm = 0.2;
+  /// Number of nodes to select (clamped to N).
+  size_t top_l = 3;
+};
+
+/// One node's component scores and total.
+struct DataCentricScore {
+  size_t node_id = 0;
+  double data_quality = 0.0;  ///< In [0, 1].
+  double compute = 0.0;       ///< In [0, 1].
+  double comm = 0.0;          ///< In [0, 1].
+  double total = 0.0;
+};
+
+/// Score every node. `capacities` and `link_latencies` align with
+/// `profiles` by index (latencies in seconds; smaller is better). Fails on
+/// size mismatches, empty input, or degenerate weights.
+Result<std::vector<DataCentricScore>> ScoreNodesDataCentric(
+    const std::vector<NodeProfile>& profiles,
+    const std::vector<double>& capacities,
+    const std::vector<double>& link_latencies,
+    const DataCentricOptions& options);
+
+/// Score and select the top-l node ids (ascending id order).
+Result<std::vector<size_t>> SelectDataCentric(
+    const std::vector<NodeProfile>& profiles,
+    const std::vector<double>& capacities,
+    const std::vector<double>& link_latencies,
+    const DataCentricOptions& options);
+
+}  // namespace qens::selection
+
+#endif  // QENS_SELECTION_DATA_CENTRIC_H_

@@ -1,0 +1,92 @@
+#include "qens/selection/game_theory.h"
+
+#include <algorithm>
+
+#include "qens/common/rng.h"
+#include "qens/common/stopwatch.h"
+#include "qens/common/string_util.h"
+#include "qens/ml/loss.h"
+#include "qens/tensor/stats.h"
+
+namespace qens::selection {
+
+Result<GameTheorySelection> RunGameTheorySelection(
+    const data::Dataset& leader_data,
+    const std::vector<data::Dataset>& node_data,
+    const GameTheoryOptions& options) {
+  if (node_data.empty()) {
+    return Status::InvalidArgument("GT: no participant nodes");
+  }
+  if (leader_data.empty()) {
+    return Status::InvalidArgument("GT: leader has no local data");
+  }
+  if (options.loss_quantile < 0.0 || options.loss_quantile >= 1.0) {
+    return Status::InvalidArgument("GT: loss_quantile must be in [0, 1)");
+  }
+
+  Stopwatch watch;
+  GameTheorySelection out;
+
+  // Pre-round: the leader trains a probe model on its OWN data only.
+  Rng rng(options.seed);
+  QENS_ASSIGN_OR_RETURN(
+      ml::SequentialModel probe,
+      ml::BuildModel(options.model, leader_data.NumFeatures(), &rng));
+  QENS_ASSIGN_OR_RETURN(std::unique_ptr<ml::Trainer> trainer,
+                        ml::BuildTrainer(options.model, options.seed));
+  QENS_ASSIGN_OR_RETURN(
+      ml::TrainReport report,
+      trainer->Fit(&probe, leader_data.features(), leader_data.targets()));
+  out.leader_samples_trained = report.samples_seen;
+
+  // Broadcast + local evaluation: each node scores the probe on its data.
+  out.probe_loss.resize(node_data.size());
+  for (size_t i = 0; i < node_data.size(); ++i) {
+    const auto& local = node_data[i];
+    if (local.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("GT: node %zu has no local data", i));
+    }
+    QENS_ASSIGN_OR_RETURN(Matrix pred, probe.Predict(local.features()));
+    QENS_ASSIGN_OR_RETURN(
+        out.probe_loss[i],
+        ml::ComputeLoss(ml::LossKind::kMse, pred, local.targets()));
+  }
+
+  // Threshold: the chosen quantile of per-node losses; nodes strictly above
+  // it (worst-performing = most-dissimilar data) are selected.
+  QENS_ASSIGN_OR_RETURN(out.threshold,
+                        stats::Quantile(out.probe_loss,
+                                        options.loss_quantile));
+  std::vector<std::pair<double, size_t>> order;
+  for (size_t i = 0; i < out.probe_loss.size(); ++i) {
+    if (out.probe_loss[i] > out.threshold) {
+      order.emplace_back(out.probe_loss[i], i);
+    }
+  }
+  // Highest-loss first when capping.
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (options.max_selected > 0 && order.size() > options.max_selected) {
+    order.resize(options.max_selected);
+  }
+  // Fallback: a degenerate loss distribution (all equal) selects nothing;
+  // GT then falls back to the single worst node so learning can proceed.
+  if (order.empty()) {
+    size_t worst = 0;
+    for (size_t i = 1; i < out.probe_loss.size(); ++i) {
+      if (out.probe_loss[i] > out.probe_loss[worst]) worst = i;
+    }
+    order.emplace_back(out.probe_loss[worst], worst);
+  }
+  out.selected.reserve(order.size());
+  for (const auto& [loss, id] : order) out.selected.push_back(id);
+  std::sort(out.selected.begin(), out.selected.end());
+
+  out.pre_round_seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace qens::selection

@@ -1,0 +1,56 @@
+#ifndef QENS_SELECTION_GAME_THEORY_H_
+#define QENS_SELECTION_GAME_THEORY_H_
+
+/// \file game_theory.h
+/// The Game Theory (GT) baseline of Hammoud et al. [7] as described in
+/// Section V-C: the leader first trains a model on its own local data and
+/// broadcasts it; every node evaluates that model on its local data and
+/// returns the loss; the leader then selects the nodes where the model
+/// performed WORST (accuracy below a threshold — i.e. most-dissimilar data)
+/// to make the global model more general.
+///
+/// The defining cost of GT — and the reason the paper reports it as the
+/// slowest mechanism — is that it requires a full training round *before*
+/// any selection can happen.
+
+#include <cstdint>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/data/dataset.h"
+#include "qens/ml/model_factory.h"
+
+namespace qens::selection {
+
+/// GT configuration.
+struct GameTheoryOptions {
+  ml::ModelKind model = ml::ModelKind::kLinearRegression;
+  /// Select nodes whose probe loss EXCEEDS `loss_quantile` of the per-node
+  /// loss distribution (the "accuracy lower than a threshold" rule, made
+  /// scale-free: GT targets the worst-performing fraction of nodes).
+  double loss_quantile = 0.5;
+  /// Cap on the number of selected nodes (0 = no cap).
+  size_t max_selected = 0;
+  uint64_t seed = 99;
+};
+
+/// Outcome of the GT pre-round.
+struct GameTheorySelection {
+  std::vector<size_t> selected;     ///< Node ids, ascending.
+  std::vector<double> probe_loss;   ///< Per node, by node id.
+  double threshold = 0.0;           ///< The resolved loss cutoff.
+  size_t leader_samples_trained = 0;  ///< Cost of the mandatory pre-round.
+  double pre_round_seconds = 0.0;     ///< Wall time of the pre-round.
+};
+
+/// Run the GT pre-round and selection. `leader_data` is the leader's local
+/// dataset; `node_data` holds every participant's local dataset indexed by
+/// node id. Fails when there are no nodes or the leader has no data.
+Result<GameTheorySelection> RunGameTheorySelection(
+    const data::Dataset& leader_data,
+    const std::vector<data::Dataset>& node_data,
+    const GameTheoryOptions& options);
+
+}  // namespace qens::selection
+
+#endif  // QENS_SELECTION_GAME_THEORY_H_

@@ -1,0 +1,65 @@
+#include "qens/selection/node_profile.h"
+
+namespace qens::selection {
+
+size_t NodeProfile::WireBytes() const {
+  size_t bytes = sizeof(uint64_t) * 2;  // node id + cluster count.
+  for (const auto& c : clusters) bytes += c.WireBytes();
+  return bytes;
+}
+
+Result<NodeProfile> BuildNodeProfile(
+    size_t node_id, const std::string& name, const data::Dataset& local_data,
+    const clustering::KMeansOptions& kmeans_options) {
+  QENS_ASSIGN_OR_RETURN(QuantizedNode q,
+                        QuantizeNode(node_id, name, local_data,
+                                     kmeans_options));
+  return std::move(q.profile);
+}
+
+Result<QuantizedNode> QuantizeNode(
+    size_t node_id, const std::string& name, const data::Dataset& local_data,
+    const clustering::KMeansOptions& kmeans_options) {
+  if (local_data.empty()) {
+    return Status::InvalidArgument("QuantizeNode: node has no local data");
+  }
+  clustering::KMeans kmeans(kmeans_options);
+  QENS_ASSIGN_OR_RETURN(clustering::KMeansResult fit,
+                        kmeans.Fit(local_data.features()));
+  QENS_ASSIGN_OR_RETURN(
+      std::vector<clustering::ClusterSummary> summaries,
+      clustering::SummarizeClusters(local_data.features(), fit.assignment,
+                                    kmeans_options.k));
+  QuantizedNode out;
+  out.profile.node_id = node_id;
+  out.profile.name = name;
+  out.profile.clusters = std::move(summaries);
+  out.profile.total_samples = local_data.NumSamples();
+  out.assignment = std::move(fit.assignment);
+  return out;
+}
+
+std::vector<size_t> QuantizedNode::RowsOfCluster(size_t cluster_id) const {
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < assignment.size(); ++r) {
+    if (assignment[r] == cluster_id) rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<size_t> QuantizedNode::RowsOfClusters(
+    const std::vector<size_t>& cluster_ids) const {
+  std::vector<bool> wanted;
+  for (size_t id : cluster_ids) {
+    if (id >= wanted.size()) wanted.resize(id + 1, false);
+    wanted[id] = true;
+  }
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < assignment.size(); ++r) {
+    const size_t a = assignment[r];
+    if (a < wanted.size() && wanted[a]) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace qens::selection

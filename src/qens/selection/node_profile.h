@@ -1,0 +1,64 @@
+#ifndef QENS_SELECTION_NODE_PROFILE_H_
+#define QENS_SELECTION_NODE_PROFILE_H_
+
+/// \file node_profile.h
+/// The per-node metadata the leader ranks against a query: the node id and
+/// the node's K cluster digests. This is everything a node publishes —
+/// O(1)-sized w.r.t. its data (Section III-C) — so the leader never sees raw
+/// samples (the paper's privacy constraint).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qens/clustering/cluster_summary.h"
+#include "qens/clustering/kmeans.h"
+#include "qens/common/status.h"
+#include "qens/data/dataset.h"
+
+namespace qens::selection {
+
+/// A node's published digest: id + cluster summaries.
+struct NodeProfile {
+  size_t node_id = 0;
+  std::string name;
+  std::vector<clustering::ClusterSummary> clusters;
+  size_t total_samples = 0;
+
+  size_t num_clusters() const { return clusters.size(); }
+
+  /// Bytes the node ships to the leader for ranking (all summaries).
+  size_t WireBytes() const;
+};
+
+/// Run the node-local quantization step (Eq. 1) and package the result as
+/// the profile the node would ship to the leader. K and the k-means seed
+/// come from `kmeans_options`.
+Result<NodeProfile> BuildNodeProfile(size_t node_id, const std::string& name,
+                                     const data::Dataset& local_data,
+                                     const clustering::KMeansOptions&
+                                         kmeans_options);
+
+/// Profile plus the private cluster membership (kept node-side; used by the
+/// data-selectivity mechanism to train only on supporting clusters).
+struct QuantizedNode {
+  NodeProfile profile;
+  std::vector<size_t> assignment;  ///< Row -> cluster id (node-private).
+
+  /// Row indices belonging to any of `cluster_ids`.
+  std::vector<size_t> RowsOfClusters(
+      const std::vector<size_t>& cluster_ids) const;
+
+  /// Row indices of a single cluster.
+  std::vector<size_t> RowsOfCluster(size_t cluster_id) const;
+};
+
+/// Quantize a node's data keeping the private assignment.
+Result<QuantizedNode> QuantizeNode(size_t node_id, const std::string& name,
+                                   const data::Dataset& local_data,
+                                   const clustering::KMeansOptions&
+                                       kmeans_options);
+
+}  // namespace qens::selection
+
+#endif  // QENS_SELECTION_NODE_PROFILE_H_

@@ -1,0 +1,91 @@
+#include "qens/selection/policies.h"
+
+#include <algorithm>
+
+#include "qens/common/string_util.h"
+
+namespace qens::selection {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kQueryDriven:
+      return "query-driven";
+    case PolicyKind::kRandom:
+      return "random";
+    case PolicyKind::kAllNodes:
+      return "all-nodes";
+    case PolicyKind::kGameTheory:
+      return "game-theory";
+    case PolicyKind::kDataCentric:
+      return "data-centric";
+    case PolicyKind::kStochastic:
+      return "stochastic";
+  }
+  return "unknown";
+}
+
+Result<PolicyKind> ParsePolicyKind(const std::string& name) {
+  const std::string n = ToLower(Trim(name));
+  if (n == "query-driven" || n == "querydriven" || n == "qens") {
+    return PolicyKind::kQueryDriven;
+  }
+  if (n == "random") return PolicyKind::kRandom;
+  if (n == "all-nodes" || n == "all") return PolicyKind::kAllNodes;
+  if (n == "game-theory" || n == "gt") return PolicyKind::kGameTheory;
+  if (n == "data-centric" || n == "datacentric") return PolicyKind::kDataCentric;
+  if (n == "stochastic" || n == "fair") return PolicyKind::kStochastic;
+  return Status::InvalidArgument("unknown policy: '" + name + "'");
+}
+
+Result<std::vector<NodeRank>> SelectTopL(const std::vector<NodeRank>& ranked,
+                                         size_t l, bool drop_zero_rank) {
+  if (l == 0) return Status::InvalidArgument("SelectTopL: l must be > 0");
+  std::vector<NodeRank> out;
+  out.reserve(std::min(l, ranked.size()));
+  for (const auto& r : ranked) {
+    if (out.size() >= l) break;
+    if (drop_zero_rank && r.ranking <= 0.0) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+Result<std::vector<NodeRank>> SelectByThreshold(
+    const std::vector<NodeRank>& ranked, double psi) {
+  if (psi <= 0.0) {
+    return Status::InvalidArgument("SelectByThreshold: psi must be > 0");
+  }
+  std::vector<NodeRank> out;
+  for (const auto& r : ranked) {
+    if (r.ranking >= psi) out.push_back(r);
+  }
+  return out;
+}
+
+Result<std::vector<NodeRank>> SelectQueryDriven(
+    const std::vector<NodeRank>& ranked, const QueryDrivenOptions& options) {
+  if (options.use_threshold) {
+    return SelectByThreshold(ranked, options.psi);
+  }
+  return SelectTopL(ranked, options.top_l, options.drop_zero_rank);
+}
+
+Result<std::vector<size_t>> SelectRandom(size_t num_nodes, size_t l,
+                                         Rng* rng) {
+  if (l == 0) return Status::InvalidArgument("SelectRandom: l must be > 0");
+  if (l > num_nodes) {
+    return Status::InvalidArgument(
+        StrFormat("SelectRandom: l=%zu > num_nodes=%zu", l, num_nodes));
+  }
+  std::vector<size_t> picked = rng->SampleWithoutReplacement(num_nodes, l);
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+std::vector<size_t> SelectAllNodes(size_t num_nodes) {
+  std::vector<size_t> ids(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) ids[i] = i;
+  return ids;
+}
+
+}  // namespace qens::selection

@@ -1,0 +1,139 @@
+#include "qens/selection/profile_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "qens/common/string_util.h"
+
+namespace qens::selection {
+namespace {
+
+constexpr char kMagic[] = "qens-profile v1";
+
+void AppendHex(std::ostringstream* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  *out << buf;
+}
+
+}  // namespace
+
+std::string SerializeProfile(const NodeProfile& profile) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "node " << profile.node_id << " "
+      << (profile.name.empty() ? "-" : profile.name) << "\n";
+  out << "samples " << profile.total_samples << "\n";
+  out << "clusters " << profile.clusters.size() << "\n";
+  for (const auto& cluster : profile.clusters) {
+    out << "cluster " << cluster.size << " " << cluster.dims();
+    for (double c : cluster.centroid) {
+      out << " ";
+      AppendHex(&out, c);
+    }
+    for (const auto& iv : cluster.bounds.intervals()) {
+      out << " ";
+      AppendHex(&out, iv.lo);
+      out << " ";
+      AppendHex(&out, iv.hi);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<NodeProfile> DeserializeProfile(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  auto next_line = [&](std::string* out) -> bool {
+    while (std::getline(in, line)) {
+      std::string t = Trim(line);
+      if (t.empty() || t[0] == '#') continue;
+      *out = t;
+      return true;
+    }
+    return false;
+  };
+
+  std::string cur;
+  if (!next_line(&cur) || cur != kMagic) {
+    return Status::InvalidArgument("profile parse: missing magic header");
+  }
+  if (!next_line(&cur) || !StartsWith(cur, "node ")) {
+    return Status::InvalidArgument("profile parse: missing 'node' line");
+  }
+  NodeProfile profile;
+  {
+    const std::vector<std::string> parts = Split(cur, ' ');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("profile parse: malformed node line");
+    }
+    QENS_ASSIGN_OR_RETURN(int64_t id, ParseInt(parts[1]));
+    if (id < 0) return Status::InvalidArgument("profile parse: negative id");
+    profile.node_id = static_cast<size_t>(id);
+    profile.name = parts[2] == "-" ? "" : parts[2];
+  }
+  if (!next_line(&cur) || !StartsWith(cur, "samples ")) {
+    return Status::InvalidArgument("profile parse: missing 'samples' line");
+  }
+  QENS_ASSIGN_OR_RETURN(int64_t samples, ParseInt(cur.substr(8)));
+  if (samples < 0) {
+    return Status::InvalidArgument("profile parse: negative sample count");
+  }
+  profile.total_samples = static_cast<size_t>(samples);
+
+  if (!next_line(&cur) || !StartsWith(cur, "clusters ")) {
+    return Status::InvalidArgument("profile parse: missing 'clusters' line");
+  }
+  QENS_ASSIGN_OR_RETURN(int64_t n_clusters, ParseInt(cur.substr(9)));
+  if (n_clusters < 0 || n_clusters > 1'000'000) {
+    return Status::InvalidArgument(
+        "profile parse: unreasonable cluster count");
+  }
+
+  for (int64_t c = 0; c < n_clusters; ++c) {
+    if (!next_line(&cur) || !StartsWith(cur, "cluster ")) {
+      return Status::InvalidArgument("profile parse: missing 'cluster' line");
+    }
+    const std::vector<std::string> parts = Split(cur, ' ');
+    if (parts.size() < 3) {
+      return Status::InvalidArgument("profile parse: malformed cluster line");
+    }
+    QENS_ASSIGN_OR_RETURN(int64_t size, ParseInt(parts[1]));
+    QENS_ASSIGN_OR_RETURN(int64_t dims, ParseInt(parts[2]));
+    if (size < 0 || dims < 0) {
+      return Status::InvalidArgument("profile parse: negative size/dims");
+    }
+    const size_t d = static_cast<size_t>(dims);
+    // centroid (d values) + bounds (2d values).
+    if (parts.size() != 3 + d + 2 * d) {
+      return Status::InvalidArgument(
+          StrFormat("profile parse: cluster line has %zu fields, expected "
+                    "%zu for d=%zu",
+                    parts.size(), 3 + 3 * d, d));
+    }
+    clustering::ClusterSummary cluster;
+    cluster.size = static_cast<size_t>(size);
+    cluster.centroid.resize(d);
+    for (size_t i = 0; i < d; ++i) {
+      QENS_ASSIGN_OR_RETURN(cluster.centroid[i], ParseDouble(parts[3 + i]));
+    }
+    std::vector<double> flat(2 * d);
+    for (size_t i = 0; i < 2 * d; ++i) {
+      QENS_ASSIGN_OR_RETURN(flat[i], ParseDouble(parts[3 + d + i]));
+    }
+    if (d > 0) {
+      QENS_ASSIGN_OR_RETURN(cluster.bounds,
+                            query::HyperRectangle::FromFlatBounds(flat));
+    }
+    profile.clusters.push_back(std::move(cluster));
+  }
+  return profile;
+}
+
+size_t SerializedProfileBytes(const NodeProfile& profile) {
+  return SerializeProfile(profile).size();
+}
+
+}  // namespace qens::selection

@@ -1,0 +1,80 @@
+#include "qens/selection/ranking.h"
+
+#include <algorithm>
+
+#include "qens/common/string_util.h"
+
+namespace qens::selection {
+
+std::vector<size_t> NodeRank::SupportingClusterIds() const {
+  std::vector<size_t> ids;
+  for (const auto& cs : cluster_scores) {
+    if (cs.supporting) ids.push_back(cs.cluster_id);
+  }
+  return ids;
+}
+
+Result<NodeRank> RankNode(const NodeProfile& profile,
+                          const query::RangeQuery& query,
+                          const RankingOptions& options) {
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("RankNode: epsilon must be > 0");
+  }
+  if (profile.clusters.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("RankNode: node %zu has no clusters", profile.node_id));
+  }
+  NodeRank rank;
+  rank.node_id = profile.node_id;
+  rank.total_clusters = profile.clusters.size();
+  rank.total_samples = profile.total_samples;
+  rank.cluster_scores.reserve(profile.clusters.size());
+
+  for (size_t k = 0; k < profile.clusters.size(); ++k) {
+    const auto& cluster = profile.clusters[k];
+    ClusterScore score;
+    score.cluster_id = k;
+    if (cluster.size == 0) {
+      // Empty cluster (possible after k > m quantization): never supports.
+      score.overlap = 0.0;
+      score.supporting = false;
+    } else {
+      QENS_ASSIGN_OR_RETURN(
+          score.overlap,
+          query::ComputeOverlapRate(query.region, cluster.bounds,
+                                    options.overlap_mode));
+      score.supporting = score.overlap >= options.epsilon;
+    }
+    if (score.supporting) {
+      rank.potential += score.overlap;             // Eq. 3.
+      ++rank.supporting_clusters;
+      rank.supporting_samples += cluster.size;
+    }
+    rank.cluster_scores.push_back(score);
+  }
+
+  // Eq. 4: r_i = p_i * K'/K.
+  rank.ranking = rank.potential *
+                 static_cast<double>(rank.supporting_clusters) /
+                 static_cast<double>(rank.total_clusters);
+  return rank;
+}
+
+Result<std::vector<NodeRank>> RankNodes(
+    const std::vector<NodeProfile>& profiles, const query::RangeQuery& query,
+    const RankingOptions& options) {
+  std::vector<NodeRank> ranks;
+  ranks.reserve(profiles.size());
+  for (const auto& profile : profiles) {
+    QENS_ASSIGN_OR_RETURN(NodeRank r, RankNode(profile, query, options));
+    ranks.push_back(std::move(r));
+  }
+  std::stable_sort(ranks.begin(), ranks.end(),
+                   [](const NodeRank& a, const NodeRank& b) {
+                     if (a.ranking != b.ranking) return a.ranking > b.ranking;
+                     return a.node_id < b.node_id;
+                   });
+  return ranks;
+}
+
+}  // namespace qens::selection

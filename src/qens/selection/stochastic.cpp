@@ -1,0 +1,105 @@
+#include "qens/selection/stochastic.h"
+
+// GCC 12 emits a false-positive -Wfree-nonheap-object from inlined
+// std::vector reallocation at -O2 in this translation unit (GCC PR104475).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+#endif
+
+#include <algorithm>
+#include <cassert>
+
+#include "qens/common/string_util.h"
+
+namespace qens::selection {
+
+StochasticSelector::StochasticSelector(size_t num_nodes,
+                                       StochasticOptions options)
+    : options_(options), counts_(num_nodes, 0), rng_(options.seed) {
+  assert(num_nodes > 0);
+}
+
+Result<std::vector<size_t>> StochasticSelector::Select(
+    const std::vector<NodeRank>& ranks) {
+  if (options_.alpha < 0.0 || options_.alpha > 1.0) {
+    return Status::InvalidArgument("stochastic: alpha must be in [0, 1]");
+  }
+  if (options_.draw_l == 0) {
+    return Status::InvalidArgument("stochastic: draw_l must be > 0");
+  }
+  const size_t n = counts_.size();
+  const size_t draw = std::min(options_.draw_l, n);
+
+  // Effectiveness term: normalized rankings (uniform when absent/zero).
+  std::vector<double> effectiveness(n, 1.0 / static_cast<double>(n));
+  if (!ranks.empty()) {
+    std::vector<double> raw(n, -1.0);
+    double total = 0.0;
+    for (const auto& r : ranks) {
+      if (r.node_id >= n) {
+        return Status::OutOfRange(StrFormat(
+            "stochastic: rank for node %zu but only %zu nodes", r.node_id,
+            n));
+      }
+      raw[r.node_id] = r.ranking;
+      total += r.ranking;
+    }
+    for (double v : raw) {
+      if (v < 0.0) {
+        return Status::InvalidArgument(
+            "stochastic: ranks must cover every node");
+      }
+    }
+    if (total > 0.0) {
+      for (size_t i = 0; i < n; ++i) effectiveness[i] = raw[i] / total;
+    }
+  }
+
+  // Fairness term: inverse participation, normalized.
+  std::vector<double> fairness(n);
+  double fair_total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    fairness[i] = 1.0 / (1.0 + static_cast<double>(counts_[i]));
+    fair_total += fairness[i];
+  }
+  for (double& v : fairness) v /= fair_total;
+
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = options_.alpha * effectiveness[i] +
+                 (1.0 - options_.alpha) * fairness[i];
+  }
+
+  // Weighted sampling without replacement.
+  std::vector<size_t> selected;
+  selected.reserve(draw);
+  std::vector<double> pool = weights;
+  for (size_t pick = 0; pick < draw; ++pick) {
+    const size_t idx = rng_.WeightedIndex(pool);
+    selected.push_back(idx);
+    pool[idx] = 0.0;
+  }
+  for (size_t id : selected) ++counts_[id];
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+void StochasticSelector::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+Result<double> JainFairnessIndex(const std::vector<size_t>& counts) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("JainFairnessIndex: empty counts");
+  }
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t c : counts) {
+    const double v = static_cast<double>(c);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // Nobody selected yet: trivially fair.
+  return (sum * sum) / (static_cast<double>(counts.size()) * sum_sq);
+}
+
+}  // namespace qens::selection

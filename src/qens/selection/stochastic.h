@@ -1,0 +1,67 @@
+#ifndef QENS_SELECTION_STOCHASTIC_H_
+#define QENS_SELECTION_STOCHASTIC_H_
+
+/// \file stochastic.h
+/// Stochastic client selection with fairness, in the style of Huang et al.
+/// [12] ("each participant had the same chance to get involved during the
+/// training process", for volatile clients): nodes are drawn at random with
+/// probabilities that blend a per-query effectiveness score (the Eq. 4
+/// ranking, when available) with a fairness boost for nodes that have
+/// participated least. The selector is STATEFUL: it tracks participation
+/// counts across the query stream.
+
+#include <cstddef>
+#include <vector>
+
+#include "qens/common/rng.h"
+#include "qens/common/status.h"
+#include "qens/selection/ranking.h"
+
+namespace qens::selection {
+
+/// Blend between effectiveness and fairness.
+struct StochasticOptions {
+  /// Weight of the effectiveness (ranking) term in [0, 1]; the remainder
+  /// weighs the fairness (inverse participation) term.
+  double alpha = 0.5;
+  /// Number of nodes to draw per query (clamped to N).
+  size_t draw_l = 3;
+  uint64_t seed = 1337;
+};
+
+/// Fair stochastic selector over a fixed node population.
+class StochasticSelector {
+ public:
+  /// `num_nodes` must be > 0.
+  StochasticSelector(size_t num_nodes, StochasticOptions options);
+
+  size_t num_nodes() const { return counts_.size(); }
+  const StochasticOptions& options() const { return options_; }
+
+  /// Times each node has been selected so far.
+  const std::vector<size_t>& participation_counts() const { return counts_; }
+
+  /// Draw `options.draw_l` distinct nodes. `ranks` may be empty (pure
+  /// fairness draw) or must cover every node id < num_nodes (e.g. the
+  /// output of RankNodes); rankings are used as the effectiveness term.
+  /// Selected ids are returned ascending and the participation counts are
+  /// updated.
+  Result<std::vector<size_t>> Select(const std::vector<NodeRank>& ranks);
+
+  /// Forget all participation history.
+  void Reset();
+
+ private:
+  StochasticOptions options_;
+  std::vector<size_t> counts_;
+  Rng rng_;
+};
+
+/// Jain's fairness index of the participation counts: 1 = perfectly even,
+/// 1/N = maximally uneven. Fails on empty input; all-zero counts count as
+/// perfectly fair.
+Result<double> JainFairnessIndex(const std::vector<size_t>& counts);
+
+}  // namespace qens::selection
+
+#endif  // QENS_SELECTION_STOCHASTIC_H_

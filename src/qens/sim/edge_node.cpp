@@ -1,0 +1,62 @@
+#include "qens/sim/edge_node.h"
+
+#include "qens/common/string_util.h"
+
+namespace qens::sim {
+
+EdgeNode::EdgeNode(size_t id, std::string name, data::Dataset local_data,
+                   double capacity)
+    : id_(id),
+      name_(std::move(name)),
+      data_(std::move(local_data)),
+      capacity_(capacity) {}
+
+Status EdgeNode::Quantize(const clustering::KMeansOptions& options) {
+  QENS_ASSIGN_OR_RETURN(quantized_state_,
+                        selection::QuantizeNode(id_, name_, data_, options));
+  quantized_ = true;
+  return Status::OK();
+}
+
+Result<const selection::NodeProfile*> EdgeNode::profile() const {
+  if (!quantized_) {
+    return Status::FailedPrecondition(
+        StrFormat("node %zu: profile() before Quantize()", id_));
+  }
+  return &quantized_state_.profile;
+}
+
+Result<data::Dataset> EdgeNode::ClusterData(size_t cluster_id) const {
+  if (!quantized_) {
+    return Status::FailedPrecondition(
+        StrFormat("node %zu: ClusterData() before Quantize()", id_));
+  }
+  if (cluster_id >= quantized_state_.profile.clusters.size()) {
+    return Status::OutOfRange(
+        StrFormat("node %zu: cluster %zu out of range", id_, cluster_id));
+  }
+  const std::vector<size_t> rows =
+      quantized_state_.RowsOfCluster(cluster_id);
+  if (rows.empty()) {
+    return Status::NotFound(
+        StrFormat("node %zu: cluster %zu is empty", id_, cluster_id));
+  }
+  return data_.SelectRows(rows);
+}
+
+Result<data::Dataset> EdgeNode::ClustersData(
+    const std::vector<size_t>& cluster_ids) const {
+  if (!quantized_) {
+    return Status::FailedPrecondition(
+        StrFormat("node %zu: ClustersData() before Quantize()", id_));
+  }
+  const std::vector<size_t> rows =
+      quantized_state_.RowsOfClusters(cluster_ids);
+  if (rows.empty()) {
+    return Status::NotFound(
+        StrFormat("node %zu: no rows in requested clusters", id_));
+  }
+  return data_.SelectRows(rows);
+}
+
+}  // namespace qens::sim

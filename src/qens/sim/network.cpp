@@ -1,0 +1,27 @@
+#include "qens/sim/network.h"
+
+namespace qens::sim {
+
+double Network::Send(size_t from, size_t to, size_t bytes, std::string tag) {
+  messages_.push_back(Message{from, to, bytes, std::move(tag)});
+  total_bytes_ += bytes;
+  const double seconds = cost_model_.TransferSeconds(bytes);
+  total_seconds_ += seconds;
+  return seconds;
+}
+
+size_t Network::BytesWithTag(const std::string& tag) const {
+  size_t bytes = 0;
+  for (const auto& m : messages_) {
+    if (m.tag == tag) bytes += m.bytes;
+  }
+  return bytes;
+}
+
+void Network::Reset() {
+  messages_.clear();
+  total_bytes_ = 0;
+  total_seconds_ = 0.0;
+}
+
+}  // namespace qens::sim

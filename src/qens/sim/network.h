@@ -1,0 +1,57 @@
+#ifndef QENS_SIM_NETWORK_H_
+#define QENS_SIM_NETWORK_H_
+
+/// \file network.h
+/// Message accounting for the simulated edge network: every leader <->
+/// participant exchange is recorded so experiments can report communication
+/// volume and simulated transfer time (the paper's O(1)-communication claim
+/// for the selection protocol is checked against these counters).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qens/sim/cost_model.h"
+
+namespace qens::sim {
+
+/// One recorded message.
+struct Message {
+  size_t from = 0;
+  size_t to = 0;
+  size_t bytes = 0;
+  std::string tag;  ///< e.g. "profile", "model-down", "model-up".
+};
+
+/// Records traffic and accumulates simulated transfer time.
+class Network {
+ public:
+  explicit Network(CostModel cost_model) : cost_model_(cost_model) {}
+
+  /// Record a message and return its simulated transfer seconds.
+  double Send(size_t from, size_t to, size_t bytes, std::string tag);
+
+  size_t total_messages() const { return messages_.size(); }
+  size_t total_bytes() const { return total_bytes_; }
+  double total_transfer_seconds() const { return total_seconds_; }
+  const std::vector<Message>& messages() const { return messages_; }
+
+  /// Sum of bytes for messages with the given tag.
+  size_t BytesWithTag(const std::string& tag) const;
+
+  /// Forget all recorded traffic.
+  void Reset();
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  CostModel cost_model_;
+  std::vector<Message> messages_;
+  size_t total_bytes_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace qens::sim
+
+#endif  // QENS_SIM_NETWORK_H_

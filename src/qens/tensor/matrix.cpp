@@ -1,0 +1,199 @@
+#include "qens/tensor/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "qens/common/string_util.h"
+
+namespace qens {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    assert(row.size() == cols_ && "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Result<Matrix> Matrix::FromFlat(size_t rows, size_t cols,
+                                std::vector<double> data) {
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument(StrFormat(
+        "FromFlat: buffer size %zu does not match %zux%zu", data.size(), rows,
+        cols));
+  }
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::At(size_t r, size_t c) {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  assert(c < cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = At(r, c);
+  return out;
+}
+
+Status Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  if (r >= rows_) {
+    return Status::OutOfRange(StrFormat("SetRow: row %zu >= %zu", r, rows_));
+  }
+  if (values.size() != cols_) {
+    return Status::InvalidArgument(StrFormat(
+        "SetRow: value size %zu != cols %zu", values.size(), cols_));
+  }
+  std::copy(values.begin(), values.end(), RowPtr(r));
+  return Status::OK();
+}
+
+Result<Matrix> Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) {
+      return Status::OutOfRange(
+          StrFormat("SelectRows: index %zu >= %zu", indices[i], rows_));
+    }
+    std::copy(RowPtr(indices[i]), RowPtr(indices[i]) + cols_, out.RowPtr(i));
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = src[c];
+  }
+  return out;
+}
+
+Result<Matrix> Matrix::MatMul(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    return Status::InvalidArgument(
+        StrFormat("MatMul: %zux%zu * %zux%zu shape mismatch", rows_, cols_,
+                  rhs.rows_, rhs.cols_));
+  }
+  Matrix out(rows_, rhs.cols_);
+  // ikj loop order: streams over rhs rows and out rows, both contiguous.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = rhs.RowPtr(k);
+      for (size_t j = 0; j < rhs.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Status Matrix::Axpy(double alpha, const Matrix& rhs) {
+  if (!SameShape(rhs)) {
+    return Status::InvalidArgument("Axpy: shape mismatch");
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * rhs.data_[i];
+  return Status::OK();
+}
+
+Result<Matrix> Matrix::Add(const Matrix& rhs) const {
+  if (!SameShape(rhs)) return Status::InvalidArgument("Add: shape mismatch");
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Result<Matrix> Matrix::Sub(const Matrix& rhs) const {
+  if (!SameShape(rhs)) return Status::InvalidArgument("Sub: shape mismatch");
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Result<Matrix> Matrix::Hadamard(const Matrix& rhs) const {
+  if (!SameShape(rhs)) {
+    return Status::InvalidArgument("Hadamard: shape mismatch");
+  }
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= rhs.data_[i];
+  return out;
+}
+
+void Matrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Status Matrix::AddRowBroadcast(const std::vector<double>& row) {
+  if (row.size() != cols_) {
+    return Status::InvalidArgument(StrFormat(
+        "AddRowBroadcast: row size %zu != cols %zu", row.size(), cols_));
+  }
+  for (size_t r = 0; r < rows_; ++r) {
+    double* dst = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) dst[c] += row[c];
+  }
+  return Status::OK();
+}
+
+std::vector<double> Matrix::ColSums() const {
+  std::vector<double> sums(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) sums[c] += src[c];
+  }
+  return sums;
+}
+
+std::vector<double> Matrix::ColMeans() const {
+  std::vector<double> means = ColSums();
+  if (rows_ == 0) return means;
+  for (double& v : means) v /= static_cast<double>(rows_);
+  return means;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& rhs) const {
+  if (!SameShape(rhs)) return std::numeric_limits<double>::infinity();
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - rhs.data_[i]));
+  }
+  return m;
+}
+
+}  // namespace qens

@@ -1,0 +1,116 @@
+#include "qens/tensor/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qens::stats {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 1 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::sample_variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double n_total = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n_total;
+  mean_ += delta * static_cast<double>(other.n_) / n_total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("PearsonCorrelation: size mismatch");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("PearsonCorrelation: need >= 2 points");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  if (vx <= 0.0 || vy <= 0.0) {
+    return Status::InvalidArgument("PearsonCorrelation: zero variance");
+  }
+  return cov / std::sqrt(vx * vy);
+}
+
+Result<LinearFit> FitLine(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("FitLine: size mismatch");
+  }
+  if (x.size() < 2) return Status::InvalidArgument("FitLine: need >= 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double vx = sxx - sx * sx / n;
+  if (vx <= 0.0) return Status::InvalidArgument("FitLine: constant x");
+  LinearFit fit;
+  fit.slope = (sxy - sx * sy / n) / vx;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double vy = syy - sy * sy / n;
+  if (vy > 0.0) {
+    const double cov = sxy - sx * sy / n;
+    fit.r_squared = (cov * cov) / (vx * vy);
+  } else {
+    fit.r_squared = 1.0;  // y constant and perfectly fit by slope ~ 0.
+  }
+  return fit;
+}
+
+Result<double> Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return Status::InvalidArgument("Quantile: empty input");
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("Quantile: q outside [0,1]");
+  }
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace qens::stats

@@ -1,0 +1,67 @@
+#ifndef QENS_TENSOR_STATS_H_
+#define QENS_TENSOR_STATS_H_
+
+/// \file stats.h
+/// Descriptive statistics used by the experiment harnesses (average losses
+/// across queries, Fig. 7) and by the data generator validation (per-site
+/// regression slopes, Fig. 1–2).
+
+#include <cstddef>
+#include <vector>
+
+#include "qens/common/status.h"
+
+namespace qens::stats {
+
+/// Running mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Add one observation.
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  /// Population variance (0 when fewer than 1 sample).
+  double variance() const;
+
+  /// Sample variance with Bessel's correction (0 when fewer than 2 samples).
+  double sample_variance() const;
+
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merge another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient; fails on size mismatch, fewer than two
+/// points, or zero variance in either input.
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+/// Ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Simple 1-D OLS; fails on size mismatch, <2 points, or constant x.
+Result<LinearFit> FitLine(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// q-th quantile (linear interpolation, q in [0,1]); fails on empty input.
+Result<double> Quantile(std::vector<double> values, double q);
+
+}  // namespace qens::stats
+
+#endif  // QENS_TENSOR_STATS_H_

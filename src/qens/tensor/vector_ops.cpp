@@ -1,0 +1,108 @@
+#include "qens/tensor/vector_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qens::vec {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> Sub(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Scale(const std::vector<double>& a, double s) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void AxpyInPlace(std::vector<double>* a, double s,
+                 const std::vector<double>& b) {
+  assert(a->size() == b.size());
+  for (size_t i = 0; i < a->size(); ++i) (*a)[i] += s * b[i];
+}
+
+double Sum(const std::vector<double>& a) {
+  double acc = 0.0;
+  for (double v : a) acc += v;
+  return acc;
+}
+
+double Mean(const std::vector<double>& a) {
+  return a.empty() ? 0.0 : Sum(a) / static_cast<double>(a.size());
+}
+
+Result<double> Min(const std::vector<double>& a) {
+  if (a.empty()) return Status::InvalidArgument("Min of empty vector");
+  return *std::min_element(a.begin(), a.end());
+}
+
+Result<double> Max(const std::vector<double>& a) {
+  if (a.empty()) return Status::InvalidArgument("Max of empty vector");
+  return *std::max_element(a.begin(), a.end());
+}
+
+Result<size_t> ArgMin(const std::vector<double>& a) {
+  if (a.empty()) return Status::InvalidArgument("ArgMin of empty vector");
+  return static_cast<size_t>(
+      std::min_element(a.begin(), a.end()) - a.begin());
+}
+
+Result<size_t> ArgMax(const std::vector<double>& a) {
+  if (a.empty()) return Status::InvalidArgument("ArgMax of empty vector");
+  return static_cast<size_t>(
+      std::max_element(a.begin(), a.end()) - a.begin());
+}
+
+Result<std::vector<double>> NormalizeWeights(const std::vector<double>& w) {
+  if (w.empty()) return Status::InvalidArgument("NormalizeWeights: empty");
+  double total = 0.0;
+  for (double v : w) {
+    if (v < 0.0) {
+      return Status::InvalidArgument("NormalizeWeights: negative weight");
+    }
+    total += v;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("NormalizeWeights: all weights zero");
+  }
+  return Scale(w, 1.0 / total);
+}
+
+}  // namespace qens::vec

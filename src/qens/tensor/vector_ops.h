@@ -1,0 +1,63 @@
+#ifndef QENS_TENSOR_VECTOR_OPS_H_
+#define QENS_TENSOR_VECTOR_OPS_H_
+
+/// \file vector_ops.h
+/// Free functions on std::vector<double> used by k-means (distances),
+/// ranking (weighted sums), and the optimizers.
+
+#include <vector>
+
+#include "qens/common/status.h"
+
+namespace qens::vec {
+
+/// Dot product; asserts equal sizes.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double Norm2(const std::vector<double>& a);
+
+/// Squared Euclidean distance between a and b; asserts equal sizes.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Euclidean distance between a and b.
+double Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// a + b elementwise; asserts equal sizes.
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a - b elementwise; asserts equal sizes.
+std::vector<double> Sub(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// s * a elementwise.
+std::vector<double> Scale(const std::vector<double>& a, double s);
+
+/// In-place a += s * b; asserts equal sizes.
+void AxpyInPlace(std::vector<double>* a, double s, const std::vector<double>& b);
+
+/// Sum of all elements.
+double Sum(const std::vector<double>& a);
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& a);
+
+/// Minimum / maximum element; fail on an empty vector.
+Result<double> Min(const std::vector<double>& a);
+Result<double> Max(const std::vector<double>& a);
+
+/// Index of the minimum element; fails on an empty vector. Ties break low.
+Result<size_t> ArgMin(const std::vector<double>& a);
+
+/// Index of the maximum element; fails on an empty vector. Ties break low.
+Result<size_t> ArgMax(const std::vector<double>& a);
+
+/// Normalize non-negative weights to sum to 1. Fails if any weight is
+/// negative or all are zero. (Used for Eq. 7's lambda_i = r_i / sum r_k.)
+Result<std::vector<double>> NormalizeWeights(const std::vector<double>& w);
+
+}  // namespace qens::vec
+
+#endif  // QENS_TENSOR_VECTOR_OPS_H_

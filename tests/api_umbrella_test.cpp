@@ -1,0 +1,53 @@
+// Compile-level test: the umbrella header is self-contained and the major
+// public entry points are reachable through it alone.
+
+#include "qens/qens.h"
+
+#include <gtest/gtest.h>
+
+namespace qens {
+namespace {
+
+TEST(UmbrellaTest, TouchesEverySubsystem) {
+  // common
+  EXPECT_TRUE(Status::OK().ok());
+  Rng rng(1);
+  EXPECT_LT(rng.Uniform(), 1.0);
+  // tensor
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.Transposed()(0, 1), 3.0);
+  // ml
+  auto model = ml::BuildModel(ml::ModelKind::kLinearRegression, 2, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->ParameterCount(), 3u);
+  // clustering
+  clustering::KMeansOptions km;
+  km.k = 2;
+  EXPECT_TRUE(clustering::KMeans(km).Fit(m).ok());
+  // query
+  auto box = query::HyperRectangle::FromFlatBounds({0, 1});
+  ASSERT_TRUE(box.ok());
+  EXPECT_DOUBLE_EQ(box->Volume(), 1.0);
+  // data
+  data::AirQualityOptions aq;
+  aq.num_stations = 1;
+  aq.samples_per_station = 10;
+  EXPECT_TRUE(data::AirQualityGenerator(aq).GenerateStation(0).ok());
+  data::HospitalOptions hosp;
+  hosp.num_hospitals = 1;
+  hosp.patients_per_hospital = 10;
+  EXPECT_TRUE(data::HospitalGenerator(hosp).GenerateHospital(0).ok());
+  // selection
+  EXPECT_STREQ(selection::PolicyKindName(selection::PolicyKind::kQueryDriven),
+               "query-driven");
+  // sim
+  sim::CostModel cost;
+  EXPECT_GT(cost.TrainingSeconds(100, 10, 1.0), 0.0);
+  // fl
+  EXPECT_STREQ(fl::AggregationKindName(fl::AggregationKind::kModelAveraging),
+               "model-averaging");
+  EXPECT_EQ(fl::Figure7Mechanisms().size(), 4u);
+}
+
+}  // namespace
+}  // namespace qens

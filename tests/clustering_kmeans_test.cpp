@@ -1,0 +1,269 @@
+// Tests for k-means: correctness on separable blobs, Eq. (1) invariants
+// (assignment optimality, centroid = member mean), empty-cluster repair,
+// determinism, and property sweeps over (k, d).
+
+#include "qens/clustering/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qens/common/rng.h"
+#include "qens/tensor/vector_ops.h"
+
+namespace qens::clustering {
+namespace {
+
+/// Three well-separated Gaussian blobs in `dims` dimensions.
+Matrix MakeBlobs(size_t per_blob, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3] = {-10.0, 0.0, 10.0};
+  Matrix data(3 * per_blob, dims);
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      for (size_t d = 0; d < dims; ++d) {
+        data(b * per_blob + i, d) = rng.Gaussian(centers[b], 0.5);
+      }
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  const Matrix data = MakeBlobs(50, 2, 1);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 2;
+  KMeans kmeans(options);
+  auto result = kmeans.Fit(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+
+  // Every blob's members share one cluster id, and the ids differ.
+  std::set<size_t> blob_ids;
+  for (size_t b = 0; b < 3; ++b) {
+    const size_t id = result->assignment[b * 50];
+    for (size_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(result->assignment[b * 50 + i], id) << "blob " << b;
+    }
+    blob_ids.insert(id);
+  }
+  EXPECT_EQ(blob_ids.size(), 3u);
+}
+
+TEST(KMeansTest, AssignmentIsNearestCentroid) {
+  const Matrix data = MakeBlobs(30, 3, 3);
+  KMeansOptions options;
+  options.k = 4;
+  KMeans kmeans(options);
+  auto result = kmeans.Fit(data);
+  ASSERT_TRUE(result.ok());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double assigned = vec::SquaredDistance(
+        data.Row(r), result->centroids.Row(result->assignment[r]));
+    for (size_t c = 0; c < options.k; ++c) {
+      const double other =
+          vec::SquaredDistance(data.Row(r), result->centroids.Row(c));
+      EXPECT_LE(assigned, other + 1e-9);
+    }
+  }
+}
+
+TEST(KMeansTest, CentroidIsMemberMean) {
+  const Matrix data = MakeBlobs(30, 2, 4);
+  KMeansOptions options;
+  options.k = 3;
+  KMeans kmeans(options);
+  auto result = kmeans.Fit(data);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->converged);
+  for (size_t c = 0; c < options.k; ++c) {
+    std::vector<double> mean(data.cols(), 0.0);
+    size_t count = 0;
+    for (size_t r = 0; r < data.rows(); ++r) {
+      if (result->assignment[r] != c) continue;
+      ++count;
+      for (size_t d = 0; d < data.cols(); ++d) mean[d] += data(r, d);
+    }
+    ASSERT_GT(count, 0u);
+    for (size_t d = 0; d < data.cols(); ++d) {
+      EXPECT_NEAR(result->centroids(c, d), mean[d] / count, 1e-6);
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaMatchesObjective) {
+  const Matrix data = MakeBlobs(20, 2, 5);
+  KMeansOptions options;
+  options.k = 3;
+  KMeans kmeans(options);
+  auto result = kmeans.Fit(data);
+  ASSERT_TRUE(result.ok());
+  auto recomputed =
+      ComputeInertia(data, result->centroids, result->assignment);
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_NEAR(result->inertia, *recomputed, 1e-9);
+}
+
+TEST(KMeansTest, MoreClustersLowerInertia) {
+  const Matrix data = MakeBlobs(40, 2, 6);
+  double prev = 1e300;
+  for (size_t k : {1u, 2u, 3u, 6u}) {
+    KMeansOptions options;
+    options.k = k;
+    options.seed = 77;
+    auto result = KMeans(options).Fit(data);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev + 1e-9) << "k=" << k;
+    prev = result->inertia;
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  const Matrix data = MakeBlobs(25, 2, 7);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 42;
+  auto r1 = KMeans(options).Fit(data);
+  auto r2 = KMeans(options).Fit(data);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->assignment, r2->assignment);
+  EXPECT_EQ(r1->centroids, r2->centroids);
+}
+
+TEST(KMeansTest, SinglePointSingleCluster) {
+  Matrix data{{5.0, 5.0}};
+  KMeansOptions options;
+  options.k = 1;
+  auto result = KMeans(options).Fit(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment[0], 0u);
+  EXPECT_DOUBLE_EQ(result->centroids(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(result->inertia, 0.0);
+}
+
+TEST(KMeansTest, KGreaterThanPoints) {
+  Matrix data{{0.0}, {10.0}};
+  KMeansOptions options;
+  options.k = 5;
+  auto result = KMeans(options).Fit(data);
+  ASSERT_TRUE(result.ok());
+  // Both points perfectly fit: inertia 0.
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+  auto sizes = result->ClusterSizes(options.k);
+  size_t total = 0;
+  for (size_t s : sizes) total += s;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(KMeansTest, IdenticalPointsAllOneCluster) {
+  Matrix data(20, 2, 3.0);  // All rows identical.
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeans(options).Fit(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, ValidationErrors) {
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(KMeans(options).Fit(Matrix{{1.0}}).ok());
+  options.k = 2;
+  EXPECT_FALSE(KMeans(options).Fit(Matrix()).ok());
+  options.max_iterations = 0;
+  EXPECT_FALSE(KMeans(options).Fit(Matrix{{1.0}, {2.0}}).ok());
+  options = KMeansOptions();
+  options.tolerance = -1.0;
+  EXPECT_FALSE(KMeans(options).Fit(Matrix{{1.0}, {2.0}}).ok());
+}
+
+TEST(KMeansTest, RandomPointsInitAlsoWorks) {
+  const Matrix data = MakeBlobs(30, 2, 8);
+  KMeansOptions options;
+  options.k = 3;
+  options.init = KMeansInit::kRandomPoints;
+  auto result = KMeans(options).Fit(data);
+  ASSERT_TRUE(result.ok());
+  // Random init can land in a worse local optimum than k-means++ (e.g. two
+  // seeds in one blob); require convergence and a sane objective, not the
+  // global optimum.
+  EXPECT_GE(result->iterations, 1u);
+  EXPECT_LT(result->inertia, 10000.0);
+}
+
+TEST(KMeansTest, FitSummariesCoversAllData) {
+  const Matrix data = MakeBlobs(20, 2, 9);
+  KMeansOptions options;
+  options.k = 5;  // The paper's K.
+  auto summaries = KMeans(options).FitSummaries(data);
+  ASSERT_TRUE(summaries.ok());
+  ASSERT_EQ(summaries->size(), 5u);
+  size_t total = 0;
+  for (const auto& s : *summaries) total += s.size;
+  EXPECT_EQ(total, data.rows());
+}
+
+// Property sweep: for random data in several (k, d) configurations, the
+// fit satisfies all invariants.
+struct KmeansParam {
+  size_t k;
+  size_t dims;
+  size_t rows;
+};
+
+class KMeansPropertyTest : public ::testing::TestWithParam<KmeansParam> {};
+
+TEST_P(KMeansPropertyTest, InvariantsHold) {
+  const KmeansParam p = GetParam();
+  Rng rng(p.k * 1000 + p.dims * 10 + p.rows);
+  Matrix data(p.rows, p.dims);
+  for (double& v : data.data()) v = rng.Uniform(-100, 100);
+
+  KMeansOptions options;
+  options.k = p.k;
+  options.seed = 5;
+  auto result = KMeans(options).Fit(data);
+  ASSERT_TRUE(result.ok());
+
+  // 1. Assignments in range; all rows assigned.
+  ASSERT_EQ(result->assignment.size(), p.rows);
+  for (size_t a : result->assignment) EXPECT_LT(a, p.k);
+
+  // 2. Inertia non-negative and consistent.
+  EXPECT_GE(result->inertia, 0.0);
+  EXPECT_NEAR(
+      result->inertia,
+      ComputeInertia(data, result->centroids, result->assignment).value(),
+      1e-6);
+
+  // 3. Nearest-centroid optimality of the final assignment.
+  for (size_t r = 0; r < p.rows; ++r) {
+    const double assigned = vec::SquaredDistance(
+        data.Row(r), result->centroids.Row(result->assignment[r]));
+    for (size_t c = 0; c < p.k; ++c) {
+      EXPECT_LE(assigned,
+                vec::SquaredDistance(data.Row(r), result->centroids.Row(c)) +
+                    1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KMeansPropertyTest,
+    ::testing::Values(KmeansParam{2, 1, 50}, KmeansParam{5, 1, 100},
+                      KmeansParam{5, 4, 100}, KmeansParam{8, 2, 64},
+                      KmeansParam{3, 8, 40}, KmeansParam{10, 3, 200}));
+
+TEST(ComputeInertiaTest, Errors) {
+  Matrix data{{1.0}, {2.0}};
+  Matrix centroids{{1.5}};
+  EXPECT_FALSE(ComputeInertia(data, centroids, {0}).ok());       // Size.
+  EXPECT_FALSE(ComputeInertia(data, centroids, {0, 5}).ok());    // Range.
+  Matrix bad_c{{1.0, 2.0}};
+  EXPECT_FALSE(ComputeInertia(data, bad_c, {0, 0}).ok());        // Dims.
+}
+
+}  // namespace
+}  // namespace qens::clustering

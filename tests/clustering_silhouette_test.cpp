@@ -1,0 +1,108 @@
+// Tests for the silhouette coefficient and the K sweep.
+
+#include "qens/clustering/silhouette.h"
+
+#include <gtest/gtest.h>
+
+#include "qens/common/rng.h"
+
+namespace qens::clustering {
+namespace {
+
+/// `blobs` well-separated 1-D blobs of `per` points each.
+Matrix MakeBlobs(size_t blobs, size_t per, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(blobs * per, 1);
+  for (size_t b = 0; b < blobs; ++b) {
+    for (size_t i = 0; i < per; ++i) {
+      data(b * per + i, 0) = 100.0 * static_cast<double>(b) +
+                             rng.Gaussian(0.0, 1.0);
+    }
+  }
+  return data;
+}
+
+std::vector<size_t> TrueAssignment(size_t blobs, size_t per) {
+  std::vector<size_t> a(blobs * per);
+  for (size_t b = 0; b < blobs; ++b) {
+    for (size_t i = 0; i < per; ++i) a[b * per + i] = b;
+  }
+  return a;
+}
+
+TEST(SilhouetteTest, WellSeparatedBlobsScoreHigh) {
+  const Matrix data = MakeBlobs(3, 30, 1);
+  auto s = MeanSilhouette(data, TrueAssignment(3, 30), 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(*s, 0.9);
+}
+
+TEST(SilhouetteTest, WrongAssignmentScoresLow) {
+  const Matrix data = MakeBlobs(2, 20, 2);
+  // Alternate labels regardless of geometry: terrible clustering.
+  std::vector<size_t> bad(40);
+  for (size_t i = 0; i < 40; ++i) bad[i] = i % 2;
+  auto good = MeanSilhouette(data, TrueAssignment(2, 20), 2);
+  auto scrambled = MeanSilhouette(data, bad, 2);
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(scrambled.ok());
+  EXPECT_GT(*good, *scrambled);
+  EXPECT_LT(*scrambled, 0.1);
+}
+
+TEST(SilhouetteTest, BoundedInUnitInterval) {
+  Rng rng(3);
+  Matrix data(60, 2);
+  for (double& v : data.data()) v = rng.Uniform(-10, 10);
+  std::vector<size_t> assignment(60);
+  for (size_t i = 0; i < 60; ++i) {
+    assignment[i] = static_cast<size_t>(rng.UniformInt(uint64_t{4}));
+  }
+  auto s = MeanSilhouette(data, assignment, 4);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GE(*s, -1.0);
+  EXPECT_LE(*s, 1.0);
+}
+
+TEST(SilhouetteTest, Errors) {
+  Matrix data{{1.0}, {2.0}};
+  EXPECT_FALSE(MeanSilhouette(Matrix(), {}, 2).ok());
+  EXPECT_FALSE(MeanSilhouette(data, {0}, 2).ok());         // Size mismatch.
+  EXPECT_FALSE(MeanSilhouette(data, {0, 5}, 2).ok());      // Out of range.
+  EXPECT_FALSE(MeanSilhouette(data, {0, 0}, 2).ok());      // One cluster.
+}
+
+TEST(SweepKTest, SilhouettePeaksAtTrueK) {
+  const Matrix data = MakeBlobs(4, 25, 5);
+  KMeansOptions options;
+  options.seed = 11;
+  auto sweep = SweepK(data, 2, 8, options);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->size(), 7u);
+  auto best = BestKBySilhouette(*sweep);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, 4u);
+}
+
+TEST(SweepKTest, InertiaMonotoneNonIncreasing) {
+  const Matrix data = MakeBlobs(3, 20, 6);
+  KMeansOptions options;
+  options.seed = 13;
+  auto sweep = SweepK(data, 2, 6, options);
+  ASSERT_TRUE(sweep.ok());
+  for (size_t i = 1; i < sweep->size(); ++i) {
+    EXPECT_LE((*sweep)[i].inertia, (*sweep)[i - 1].inertia * 1.05)
+        << "k=" << (*sweep)[i].k;
+  }
+}
+
+TEST(SweepKTest, Errors) {
+  Matrix data = MakeBlobs(2, 10, 7);
+  KMeansOptions options;
+  EXPECT_FALSE(SweepK(data, 1, 4, options).ok());
+  EXPECT_FALSE(SweepK(data, 5, 4, options).ok());
+  EXPECT_FALSE(BestKBySilhouette({}).ok());
+}
+
+}  // namespace
+}  // namespace qens::clustering

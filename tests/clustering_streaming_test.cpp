@@ -1,0 +1,132 @@
+// Tests for the streaming quantizer: absorption invariants, drift
+// tracking, rebuild behaviour.
+
+#include "qens/clustering/streaming_quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include "qens/common/rng.h"
+
+namespace qens::clustering {
+namespace {
+
+Matrix TwoBlobs(size_t per, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(2 * per, 1);
+  for (size_t i = 0; i < per; ++i) {
+    data(i, 0) = rng.Gaussian(0.0, 0.5);
+    data(per + i, 0) = rng.Gaussian(20.0, 0.5);
+  }
+  return data;
+}
+
+StreamingQuantizer MakeQuantizer(uint64_t seed = 1) {
+  KMeansOptions options;
+  options.k = 2;
+  options.seed = seed;
+  auto q = StreamingQuantizer::Create(TwoBlobs(50, seed), options);
+  EXPECT_TRUE(q.ok());
+  return std::move(q).value();
+}
+
+TEST(StreamingQuantizerTest, InitialStateMatchesKMeans) {
+  StreamingQuantizer q = MakeQuantizer();
+  EXPECT_EQ(q.total_samples(), 100u);
+  EXPECT_EQ(q.absorbed_samples(), 0u);
+  EXPECT_DOUBLE_EQ(q.Drift(), 0.0);
+  size_t covered = 0;
+  for (const auto& s : q.summaries()) covered += s.size;
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(StreamingQuantizerTest, AbsorbJoinsNearestCluster) {
+  StreamingQuantizer q = MakeQuantizer();
+  // Find which cluster sits near 20.
+  size_t cluster20 = q.summaries()[0].centroid[0] > 10.0 ? 0 : 1;
+  auto joined = q.Absorb({20.3});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*joined, cluster20);
+  EXPECT_EQ(q.total_samples(), 101u);
+  EXPECT_EQ(q.absorbed_samples(), 1u);
+}
+
+TEST(StreamingQuantizerTest, AbsorbExpandsBoundsAndMovesCentroid) {
+  StreamingQuantizer q = MakeQuantizer();
+  const size_t cluster0 = q.summaries()[0].centroid[0] < 10.0 ? 0 : 1;
+  const double old_hi = q.summaries()[cluster0].bounds.dim(0).hi;
+  const double old_centroid = q.summaries()[cluster0].centroid[0];
+  // A point beyond the current box but still nearest to blob 0.
+  const double x = old_hi + 1.0;
+  auto joined = q.Absorb({x});
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(*joined, cluster0);
+  EXPECT_DOUBLE_EQ(q.summaries()[cluster0].bounds.dim(0).hi, x);
+  EXPECT_GT(q.summaries()[cluster0].centroid[0], old_centroid);
+}
+
+TEST(StreamingQuantizerTest, CentroidIsRunningMean) {
+  // One cluster, known values: centroid must equal the exact mean.
+  Matrix data{{0.0}, {2.0}};
+  KMeansOptions options;
+  options.k = 1;
+  auto q = StreamingQuantizer::Create(data, options);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->Absorb({7.0}).ok());
+  EXPECT_NEAR(q->summaries()[0].centroid[0], 3.0, 1e-12);
+  ASSERT_TRUE(q->Absorb({-1.0}).ok());
+  EXPECT_NEAR(q->summaries()[0].centroid[0], 2.0, 1e-12);
+}
+
+TEST(StreamingQuantizerTest, DriftAndRebuild) {
+  StreamingQuantizer q = MakeQuantizer();
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(q.Absorb({rng.Gaussian(10.0, 1.0)}).ok());
+  }
+  EXPECT_NEAR(q.Drift(), 60.0 / 160.0, 1e-12);
+  EXPECT_TRUE(q.NeedsRebuild(0.3));
+  EXPECT_FALSE(q.NeedsRebuild(0.5));
+
+  ASSERT_TRUE(q.Rebuild().ok());
+  EXPECT_EQ(q.absorbed_samples(), 0u);
+  EXPECT_DOUBLE_EQ(q.Drift(), 0.0);
+  EXPECT_EQ(q.total_samples(), 160u);
+  size_t covered = 0;
+  for (const auto& s : q.summaries()) covered += s.size;
+  EXPECT_EQ(covered, 160u);
+}
+
+TEST(StreamingQuantizerTest, AbsorbRows) {
+  StreamingQuantizer q = MakeQuantizer();
+  Matrix batch{{0.1}, {19.9}, {0.4}};
+  ASSERT_TRUE(q.AbsorbRows(batch).ok());
+  EXPECT_EQ(q.total_samples(), 103u);
+  EXPECT_EQ(q.absorbed_samples(), 3u);
+}
+
+TEST(StreamingQuantizerTest, DimensionMismatchRejected) {
+  StreamingQuantizer q = MakeQuantizer();
+  EXPECT_FALSE(q.Absorb({1.0, 2.0}).ok());
+}
+
+TEST(StreamingQuantizerTest, SummariesStayConsistentUnderLoad) {
+  StreamingQuantizer q = MakeQuantizer(5);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Bernoulli(0.5) ? rng.Gaussian(0.0, 1.0)
+                                        : rng.Gaussian(20.0, 1.0);
+    ASSERT_TRUE(q.Absorb({x}).ok());
+  }
+  size_t covered = 0;
+  for (const auto& s : q.summaries()) {
+    covered += s.size;
+    if (s.size > 0) {
+      EXPECT_TRUE(s.bounds.valid());
+      EXPECT_TRUE(s.bounds.ContainsPoint(s.centroid));
+    }
+  }
+  EXPECT_EQ(covered, 300u);
+}
+
+}  // namespace
+}  // namespace qens::clustering

@@ -1,0 +1,97 @@
+// Tests for ClusterSummary: centroid/bounds/size digests and the
+// multi-cluster summarizer.
+
+#include "qens/clustering/cluster_summary.h"
+
+#include <gtest/gtest.h>
+
+namespace qens::clustering {
+namespace {
+
+TEST(ClusterSummaryTest, SingleClusterDigest) {
+  Matrix data{{0, 10}, {2, 20}, {4, 30}};
+  auto summary = SummarizeCluster(data, {0, 1, 2});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->size, 3u);
+  EXPECT_EQ(summary->dims(), 2u);
+  EXPECT_DOUBLE_EQ(summary->centroid[0], 2.0);
+  EXPECT_DOUBLE_EQ(summary->centroid[1], 20.0);
+  EXPECT_DOUBLE_EQ(summary->bounds.dim(0).lo, 0.0);
+  EXPECT_DOUBLE_EQ(summary->bounds.dim(0).hi, 4.0);
+  EXPECT_DOUBLE_EQ(summary->bounds.dim(1).lo, 10.0);
+  EXPECT_DOUBLE_EQ(summary->bounds.dim(1).hi, 30.0);
+}
+
+TEST(ClusterSummaryTest, SubsetOfRows) {
+  Matrix data{{0, 0}, {100, 100}, {2, 2}};
+  auto summary = SummarizeCluster(data, {0, 2});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->size, 2u);
+  EXPECT_DOUBLE_EQ(summary->centroid[0], 1.0);
+  EXPECT_DOUBLE_EQ(summary->bounds.dim(0).hi, 2.0);  // Row 1 excluded.
+}
+
+TEST(ClusterSummaryTest, EmptyMembersRejected) {
+  Matrix data{{1.0}};
+  EXPECT_FALSE(SummarizeCluster(data, {}).ok());
+}
+
+TEST(ClusterSummaryTest, OutOfRangeRowRejected) {
+  Matrix data{{1.0}};
+  EXPECT_TRUE(SummarizeCluster(data, {3}).status().IsOutOfRange());
+}
+
+TEST(ClusterSummaryTest, SingletonCluster) {
+  Matrix data{{7.0, -3.0}};
+  auto summary = SummarizeCluster(data, {0});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->size, 1u);
+  // Degenerate box: lo == hi at the point.
+  EXPECT_DOUBLE_EQ(summary->bounds.dim(0).lo, 7.0);
+  EXPECT_DOUBLE_EQ(summary->bounds.dim(0).hi, 7.0);
+  EXPECT_DOUBLE_EQ(summary->bounds.dim(1).length(), 0.0);
+}
+
+TEST(SummarizeClustersTest, PartitionsByAssignment) {
+  Matrix data{{0.0}, {1.0}, {10.0}, {11.0}};
+  auto summaries = SummarizeClusters(data, {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(summaries.ok());
+  ASSERT_EQ(summaries->size(), 2u);
+  EXPECT_EQ((*summaries)[0].size, 2u);
+  EXPECT_DOUBLE_EQ((*summaries)[0].bounds.dim(0).hi, 1.0);
+  EXPECT_DOUBLE_EQ((*summaries)[1].bounds.dim(0).lo, 10.0);
+}
+
+TEST(SummarizeClustersTest, EmptyClusterYieldsZeroSize) {
+  Matrix data{{0.0}, {1.0}};
+  auto summaries = SummarizeClusters(data, {0, 0}, 3);
+  ASSERT_TRUE(summaries.ok());
+  EXPECT_EQ((*summaries)[0].size, 2u);
+  EXPECT_EQ((*summaries)[1].size, 0u);
+  EXPECT_EQ((*summaries)[2].size, 0u);
+}
+
+TEST(SummarizeClustersTest, Errors) {
+  Matrix data{{0.0}, {1.0}};
+  EXPECT_FALSE(SummarizeClusters(data, {0}, 2).ok());         // Size mismatch.
+  EXPECT_TRUE(SummarizeClusters(data, {0, 9}, 2).status().IsOutOfRange());
+}
+
+TEST(ClusterSummaryTest, WireBytesScalesWithDims) {
+  Matrix d1{{1.0}};
+  Matrix d4{{1.0, 2.0, 3.0, 4.0}};
+  const auto s1 = SummarizeCluster(d1, {0}).value();
+  const auto s4 = SummarizeCluster(d4, {0}).value();
+  EXPECT_GT(s4.WireBytes(), s1.WireBytes());
+  // 1-D: centroid (8) + bounds (16) + count (8).
+  EXPECT_EQ(s1.WireBytes(), 8u + 16u + 8u);
+}
+
+TEST(ClusterSummaryTest, ToStringMentionsSize) {
+  Matrix data{{1.0}};
+  const auto s = SummarizeCluster(data, {0}).value();
+  EXPECT_NE(s.ToString().find("size=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qens::clustering

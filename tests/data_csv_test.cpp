@@ -1,0 +1,138 @@
+// Tests for the CSV codec: parsing, column selection, bad-row handling,
+// round trips, file IO.
+
+#include "qens/data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace qens::data {
+namespace {
+
+constexpr char kBasicCsv[] =
+    "TEMP,PRES,PM2.5\n"
+    "10.5,1010,80\n"
+    "12.0,1008,75\n"
+    "8.25,1015,90\n";
+
+TEST(CsvTest, ParseBasicLastColumnTarget) {
+  auto d = ParseCsvDataset(kBasicCsv);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumSamples(), 3u);
+  EXPECT_EQ(d->NumFeatures(), 2u);
+  EXPECT_EQ(d->target_name(), "PM2.5");
+  EXPECT_DOUBLE_EQ(d->features()(2, 0), 8.25);
+  EXPECT_DOUBLE_EQ(d->targets()(0, 0), 80.0);
+}
+
+TEST(CsvTest, NamedTargetColumn) {
+  CsvReadOptions options;
+  options.target_column = "TEMP";
+  auto d = ParseCsvDataset(kBasicCsv, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->target_name(), "TEMP");
+  EXPECT_EQ(d->NumFeatures(), 2u);  // PRES and PM2.5 become features.
+  EXPECT_DOUBLE_EQ(d->targets()(1, 0), 12.0);
+}
+
+TEST(CsvTest, ExplicitFeatureColumns) {
+  CsvReadOptions options;
+  options.target_column = "PM2.5";
+  options.feature_columns = {"TEMP"};
+  auto d = ParseCsvDataset(kBasicCsv, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumFeatures(), 1u);
+  EXPECT_EQ(d->feature_names()[0], "TEMP");
+}
+
+TEST(CsvTest, UnknownColumnFails) {
+  CsvReadOptions options;
+  options.target_column = "NOPE";
+  EXPECT_TRUE(ParseCsvDataset(kBasicCsv, options).status().IsNotFound());
+  options = CsvReadOptions();
+  options.feature_columns = {"NOPE"};
+  EXPECT_FALSE(ParseCsvDataset(kBasicCsv, options).ok());
+}
+
+TEST(CsvTest, FeatureEqualsTargetFails) {
+  CsvReadOptions options;
+  options.target_column = "TEMP";
+  options.feature_columns = {"TEMP"};
+  EXPECT_FALSE(ParseCsvDataset(kBasicCsv, options).ok());
+}
+
+TEST(CsvTest, SkipsBadRowsByDefault) {
+  const std::string text =
+      "a,b\n1,2\nNA,3\n4,5\nbroken-line\n6,7\n";
+  auto d = ParseCsvDataset(text);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumSamples(), 3u);  // Rows "1,2", "4,5", "6,7".
+}
+
+TEST(CsvTest, StrictModeRejectsBadRows) {
+  CsvReadOptions options;
+  options.skip_bad_rows = false;
+  EXPECT_FALSE(ParseCsvDataset("a,b\n1,2\nNA,3\n", options).ok());
+  EXPECT_FALSE(ParseCsvDataset("a,b\n1\n", options).ok());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  CsvReadOptions options;
+  options.has_header = false;
+  auto d = ParseCsvDataset("1,2,3\n4,5,6\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumSamples(), 2u);
+  EXPECT_EQ(d->NumFeatures(), 2u);
+  EXPECT_EQ(d->feature_names()[0], "c0");
+  EXPECT_EQ(d->target_name(), "c2");
+}
+
+TEST(CsvTest, AlternateDelimiter) {
+  CsvReadOptions options;
+  options.delimiter = ';';
+  auto d = ParseCsvDataset("a;b\n1;2\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumSamples(), 1u);
+}
+
+TEST(CsvTest, EmptyInputFails) {
+  EXPECT_FALSE(ParseCsvDataset("").ok());
+  EXPECT_FALSE(ParseCsvDataset("a,b\n").ok());  // Header only, no rows.
+}
+
+TEST(CsvTest, AllRowsBadFails) {
+  EXPECT_FALSE(ParseCsvDataset("a,b\nx,y\np,q\n").ok());
+}
+
+TEST(CsvTest, FormatRoundTrip) {
+  auto d = ParseCsvDataset(kBasicCsv);
+  ASSERT_TRUE(d.ok());
+  const std::string text = FormatCsvDataset(*d);
+  auto back = ParseCsvDataset(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumSamples(), d->NumSamples());
+  EXPECT_EQ(back->feature_names(), d->feature_names());
+  EXPECT_DOUBLE_EQ(back->features()(2, 0), d->features()(2, 0));
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qens_csv_test.csv").string();
+  auto d = ParseCsvDataset(kBasicCsv);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(WriteCsvDataset(*d, path).ok());
+  auto back = ReadCsvDataset(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumSamples(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_TRUE(ReadCsvDataset("/no/such/file.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace qens::data

@@ -1,0 +1,95 @@
+// Tests for the Dataset container.
+
+#include "qens/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace qens::data {
+namespace {
+
+Dataset Small() {
+  Matrix x{{1, 10}, {2, 20}, {3, 30}};
+  Matrix y{{100}, {200}, {300}};
+  return Dataset::Create(x, y, {"a", "b"}, "t").value();
+}
+
+TEST(DatasetTest, CreateValid) {
+  Dataset d = Small();
+  EXPECT_EQ(d.NumSamples(), 3u);
+  EXPECT_EQ(d.NumFeatures(), 2u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.target_name(), "t");
+  EXPECT_EQ(d.feature_names()[1], "b");
+}
+
+TEST(DatasetTest, CreateAutoNames) {
+  Matrix x(2, 3);
+  Matrix y(2, 1);
+  auto d = Dataset::Create(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->feature_names(), (std::vector<std::string>{"f0", "f1", "f2"}));
+  EXPECT_EQ(d->target_name(), "target");
+}
+
+TEST(DatasetTest, CreateErrors) {
+  Matrix x(3, 2), y(2, 1);
+  EXPECT_FALSE(Dataset::Create(x, y).ok());  // Row mismatch.
+  Matrix y2(3, 2);
+  EXPECT_FALSE(Dataset::Create(x, y2).ok());  // Multi-column target.
+  Matrix y3(3, 1);
+  EXPECT_FALSE(Dataset::Create(x, y3, {"only-one"}, "t").ok());  // Names.
+}
+
+TEST(DatasetTest, TargetVector) {
+  EXPECT_EQ(Small().TargetVector(), (std::vector<double>{100, 200, 300}));
+}
+
+TEST(DatasetTest, SelectRows) {
+  auto sel = Small().SelectRows({2, 0});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->NumSamples(), 2u);
+  EXPECT_DOUBLE_EQ(sel->features()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sel->targets()(1, 0), 100.0);
+  EXPECT_EQ(sel->feature_names(), Small().feature_names());
+}
+
+TEST(DatasetTest, SelectRowsOutOfRange) {
+  EXPECT_FALSE(Small().SelectRows({5}).ok());
+}
+
+TEST(DatasetTest, Concat) {
+  Dataset a = Small();
+  auto both = a.Concat(a);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->NumSamples(), 6u);
+  EXPECT_DOUBLE_EQ(both->features()(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(both->targets()(5, 0), 300.0);
+}
+
+TEST(DatasetTest, ConcatWidthMismatch) {
+  Matrix x(1, 3), y(1, 1);
+  Dataset other = Dataset::Create(x, y).value();
+  EXPECT_FALSE(Small().Concat(other).ok());
+}
+
+TEST(DatasetTest, FeatureSpace) {
+  auto space = Small().FeatureSpace();
+  ASSERT_TRUE(space.ok());
+  EXPECT_DOUBLE_EQ(space->dim(0).lo, 1.0);
+  EXPECT_DOUBLE_EQ(space->dim(0).hi, 3.0);
+  EXPECT_DOUBLE_EQ(space->dim(1).hi, 30.0);
+}
+
+TEST(DatasetTest, FeatureIndex) {
+  EXPECT_EQ(Small().FeatureIndex("b").value(), 1u);
+  EXPECT_TRUE(Small().FeatureIndex("zzz").status().IsNotFound());
+}
+
+TEST(DatasetTest, DefaultIsEmpty) {
+  Dataset d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.NumSamples(), 0u);
+}
+
+}  // namespace
+}  // namespace qens::data

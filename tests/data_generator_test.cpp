@@ -1,0 +1,183 @@
+// Tests for the synthetic Beijing air-quality generator: determinism,
+// schema, and — the load-bearing property — the homogeneous vs
+// heterogeneous cross-station structure the paper's evaluation depends on.
+
+#include "qens/data/air_quality_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "qens/tensor/stats.h"
+
+namespace qens::data {
+namespace {
+
+AirQualityOptions SmallOptions(Heterogeneity h) {
+  AirQualityOptions options;
+  options.num_stations = 6;
+  options.samples_per_station = 500;
+  options.heterogeneity = h;
+  options.seed = 11;
+  return options;
+}
+
+TEST(AirQualityGeneratorTest, SchemaAndShape) {
+  AirQualityGenerator gen(SmallOptions(Heterogeneity::kHeterogeneous));
+  auto d = gen.GenerateStation(0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumSamples(), 500u);
+  EXPECT_EQ(d->NumFeatures(), 4u);
+  EXPECT_EQ(d->feature_names(),
+            (std::vector<std::string>{"TEMP", "PRES", "DEWP", "WSPM"}));
+  EXPECT_EQ(d->target_name(), "PM2.5");
+}
+
+TEST(AirQualityGeneratorTest, SingleFeatureMode) {
+  AirQualityOptions options = SmallOptions(Heterogeneity::kHomogeneous);
+  options.single_feature = true;
+  AirQualityGenerator gen(options);
+  auto d = gen.GenerateStation(0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumFeatures(), 1u);
+  EXPECT_EQ(d->feature_names()[0], "TEMP");
+}
+
+TEST(AirQualityGeneratorTest, GenerateAllCount) {
+  AirQualityGenerator gen(SmallOptions(Heterogeneity::kHomogeneous));
+  auto all = gen.GenerateAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 6u);
+}
+
+TEST(AirQualityGeneratorTest, Deterministic) {
+  AirQualityGenerator g1(SmallOptions(Heterogeneity::kHeterogeneous));
+  AirQualityGenerator g2(SmallOptions(Heterogeneity::kHeterogeneous));
+  auto d1 = g1.GenerateStation(3);
+  auto d2 = g2.GenerateStation(3);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->features().data(), d2->features().data());
+  EXPECT_EQ(d1->targets().data(), d2->targets().data());
+}
+
+TEST(AirQualityGeneratorTest, StationsDiffer) {
+  AirQualityGenerator gen(SmallOptions(Heterogeneity::kHomogeneous));
+  auto d0 = gen.GenerateStation(0);
+  auto d1 = gen.GenerateStation(1);
+  ASSERT_TRUE(d0.ok());
+  ASSERT_TRUE(d1.ok());
+  // Even homogeneous stations get independent noise streams.
+  EXPECT_NE(d0->features().data(), d1->features().data());
+}
+
+TEST(AirQualityGeneratorTest, OutOfRangeStation) {
+  AirQualityGenerator gen(SmallOptions(Heterogeneity::kHomogeneous));
+  EXPECT_TRUE(gen.GenerateStation(99).status().IsOutOfRange());
+}
+
+TEST(AirQualityGeneratorTest, PhysicalRangesSane) {
+  AirQualityGenerator gen(SmallOptions(Heterogeneity::kHeterogeneous));
+  auto all = gen.GenerateAll();
+  ASSERT_TRUE(all.ok());
+  for (const auto& d : *all) {
+    for (size_t i = 0; i < d.NumSamples(); ++i) {
+      EXPECT_GE(d.targets()(i, 0), 0.0);            // PM2.5 clipped at 0.
+      EXPECT_GT(d.features()(i, 0), -60.0);         // TEMP plausible.
+      EXPECT_LT(d.features()(i, 0), 70.0);
+      EXPECT_GT(d.features()(i, 1), 900.0);         // PRES plausible.
+      EXPECT_LT(d.features()(i, 1), 1120.0);
+      EXPECT_GE(d.features()(i, 3), 0.0);           // Wind non-negative.
+    }
+  }
+}
+
+TEST(AirQualityGeneratorTest, HomogeneousProfilesIdentical) {
+  AirQualityGenerator gen(SmallOptions(Heterogeneity::kHomogeneous));
+  for (const auto& p : gen.profiles()) {
+    EXPECT_DOUBLE_EQ(p.temp_offset, 0.0);
+    EXPECT_DOUBLE_EQ(p.pm_slope, 2.5);
+    EXPECT_DOUBLE_EQ(p.pm_base, 60.0);
+  }
+}
+
+TEST(AirQualityGeneratorTest, HeterogeneousSlopesFlipSign) {
+  // The paper's Section II motivation: regression positive at some sites,
+  // negative at others. Even stations get +, odd stations get -.
+  AirQualityGenerator gen(SmallOptions(Heterogeneity::kHeterogeneous));
+  bool saw_positive = false, saw_negative = false;
+  for (const auto& p : gen.profiles()) {
+    saw_positive |= p.pm_slope > 0;
+    saw_negative |= p.pm_slope < 0;
+  }
+  EXPECT_TRUE(saw_positive);
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(AirQualityGeneratorTest, EmpiricalSlopeMatchesProfileSign) {
+  // Fit PM2.5 ~ TEMP per station and check the empirical slope sign agrees
+  // with the generating profile (the Fig. 1/2 scatter structure).
+  AirQualityOptions options = SmallOptions(Heterogeneity::kHeterogeneous);
+  options.samples_per_station = 1500;
+  AirQualityGenerator gen(options);
+  auto all = gen.GenerateAll();
+  ASSERT_TRUE(all.ok());
+  for (size_t s = 0; s < all->size(); ++s) {
+    const auto& d = (*all)[s];
+    auto fit = stats::FitLine(d.features().Col(0), d.TargetVector());
+    ASSERT_TRUE(fit.ok());
+    const double expected = gen.profiles()[s].pm_slope;
+    EXPECT_GT(fit->slope * expected, 0.0)
+        << "station " << s << " empirical slope " << fit->slope
+        << " vs profile slope " << expected;
+  }
+}
+
+TEST(AirQualityGeneratorTest, HomogeneousStationsShareDataSpace) {
+  AirQualityGenerator gen(SmallOptions(Heterogeneity::kHomogeneous));
+  auto all = gen.GenerateAll();
+  ASSERT_TRUE(all.ok());
+  // TEMP ranges across homogeneous stations overlap heavily.
+  double max_lo = -1e300, min_hi = 1e300;
+  for (const auto& d : *all) {
+    auto space = d.FeatureSpace().value();
+    max_lo = std::max(max_lo, space.dim(0).lo);
+    min_hi = std::min(min_hi, space.dim(0).hi);
+  }
+  EXPECT_LT(max_lo, min_hi);  // Non-empty common TEMP range.
+  EXPECT_GT(min_hi - max_lo, 10.0);  // And a wide one.
+}
+
+TEST(AirQualityGeneratorTest, HeterogeneousRangesShift) {
+  AirQualityGenerator gen(SmallOptions(Heterogeneity::kHeterogeneous));
+  auto all = gen.GenerateAll();
+  ASSERT_TRUE(all.ok());
+  // Station TEMP midpoints must spread (region offsets in [-8, 8]).
+  double min_mid = 1e300, max_mid = -1e300;
+  for (const auto& d : *all) {
+    auto space = d.FeatureSpace().value();
+    const double mid = 0.5 * (space.dim(0).lo + space.dim(0).hi);
+    min_mid = std::min(min_mid, mid);
+    max_mid = std::max(max_mid, mid);
+  }
+  EXPECT_GT(max_mid - min_mid, 4.0);
+}
+
+TEST(AirQualityGeneratorTest, StationNamesUnique) {
+  AirQualityOptions options = SmallOptions(Heterogeneity::kHomogeneous);
+  options.num_stations = 15;  // More than the 12 base names: must cycle.
+  AirQualityGenerator gen(options);
+  std::set<std::string> names;
+  for (const auto& p : gen.profiles()) EXPECT_TRUE(names.insert(p.name).second);
+}
+
+TEST(AirQualityGeneratorTest, ZeroSamplesRejected) {
+  AirQualityOptions options = SmallOptions(Heterogeneity::kHomogeneous);
+  options.samples_per_station = 0;
+  AirQualityGenerator gen(options);
+  EXPECT_FALSE(gen.GenerateStation(0).ok());
+}
+
+}  // namespace
+}  // namespace qens::data

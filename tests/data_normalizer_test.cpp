@@ -1,0 +1,106 @@
+// Tests for the feature Normalizer: min-max and standard scaling, inverse
+// transforms, box mapping, degenerate columns.
+
+#include "qens/data/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qens::data {
+namespace {
+
+Matrix Sample() {
+  return Matrix{{0, 100}, {5, 200}, {10, 300}};
+}
+
+TEST(NormalizerTest, MinMaxMapsToUnitInterval) {
+  auto norm = Normalizer::Fit(Sample(), ScalingKind::kMinMax);
+  ASSERT_TRUE(norm.ok());
+  auto t = norm->Transform(Sample());
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ((*t)(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ((*t)(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ((*t)(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ((*t)(2, 1), 1.0);
+}
+
+TEST(NormalizerTest, StandardHasZeroMeanUnitVar) {
+  auto norm = Normalizer::Fit(Sample(), ScalingKind::kStandard);
+  ASSERT_TRUE(norm.ok());
+  auto t = norm->Transform(Sample());
+  ASSERT_TRUE(t.ok());
+  for (size_t c = 0; c < 2; ++c) {
+    double mean = 0, var = 0;
+    for (size_t r = 0; r < 3; ++r) mean += (*t)(r, c);
+    mean /= 3;
+    for (size_t r = 0; r < 3; ++r) {
+      var += ((*t)(r, c) - mean) * ((*t)(r, c) - mean);
+    }
+    var /= 3;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(NormalizerTest, InverseTransformRoundTrips) {
+  for (ScalingKind kind : {ScalingKind::kMinMax, ScalingKind::kStandard}) {
+    auto norm = Normalizer::Fit(Sample(), kind);
+    ASSERT_TRUE(norm.ok());
+    auto t = norm->Transform(Sample());
+    ASSERT_TRUE(t.ok());
+    auto back = norm->InverseTransform(*t);
+    ASSERT_TRUE(back.ok());
+    EXPECT_LT(back->MaxAbsDiff(Sample()), 1e-9);
+  }
+}
+
+TEST(NormalizerTest, DegenerateColumnMapsToZero) {
+  Matrix constant{{5, 1}, {5, 2}, {5, 3}};
+  auto norm = Normalizer::Fit(constant, ScalingKind::kMinMax);
+  ASSERT_TRUE(norm.ok());
+  auto t = norm->Transform(constant);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ((*t)(2, 0), 0.0);
+  // Inverse maps the degenerate column back to its constant value.
+  auto back = norm->InverseTransform(*t);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ((*back)(1, 0), 5.0);
+}
+
+TEST(NormalizerTest, TransformBoxFollowsSameAffineMap) {
+  auto norm = Normalizer::Fit(Sample(), ScalingKind::kMinMax);
+  ASSERT_TRUE(norm.ok());
+  auto box = query::HyperRectangle::FromFlatBounds({0, 5, 100, 300}).value();
+  auto t = norm->TransformBox(box);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->dim(0).lo, 0.0);
+  EXPECT_DOUBLE_EQ(t->dim(0).hi, 0.5);
+  EXPECT_DOUBLE_EQ(t->dim(1).lo, 0.0);
+  EXPECT_DOUBLE_EQ(t->dim(1).hi, 1.0);
+}
+
+TEST(NormalizerTest, TransformAppliesToNewData) {
+  auto norm = Normalizer::Fit(Sample(), ScalingKind::kMinMax);
+  ASSERT_TRUE(norm.ok());
+  Matrix fresh{{20, 400}};  // Outside the fitted range: extrapolates.
+  auto t = norm->Transform(fresh);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((*t)(0, 1), 1.5);
+}
+
+TEST(NormalizerTest, Errors) {
+  EXPECT_FALSE(Normalizer::Fit(Matrix(), ScalingKind::kMinMax).ok());
+  auto norm = Normalizer::Fit(Sample(), ScalingKind::kMinMax).value();
+  Matrix wrong(1, 3);
+  EXPECT_FALSE(norm.Transform(wrong).ok());
+  EXPECT_FALSE(norm.InverseTransform(wrong).ok());
+  auto bad_box = query::HyperRectangle::FromFlatBounds({0, 1}).value();
+  EXPECT_FALSE(norm.TransformBox(bad_box).ok());
+}
+
+}  // namespace
+}  // namespace qens::data

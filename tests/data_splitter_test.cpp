@@ -1,0 +1,129 @@
+// Tests for train/test splits and node partitioners.
+
+#include "qens/data/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qens/common/rng.h"
+
+namespace qens::data {
+namespace {
+
+Dataset Sequential(size_t n) {
+  Matrix x(n, 1), y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y(i, 0) = static_cast<double>(i) * 10;
+  }
+  return Dataset::Create(x, y).value();
+}
+
+TEST(SplitTrainTestTest, SizesAndDisjointness) {
+  Dataset d = Sequential(100);
+  auto split = SplitTrainTest(d, 0.2, 42);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test.NumSamples(), 20u);
+  EXPECT_EQ(split->train.NumSamples(), 80u);
+
+  std::set<double> train_xs, test_xs;
+  for (size_t i = 0; i < 80; ++i) train_xs.insert(split->train.features()(i, 0));
+  for (size_t i = 0; i < 20; ++i) test_xs.insert(split->test.features()(i, 0));
+  for (double v : test_xs) EXPECT_EQ(train_xs.count(v), 0u);
+  EXPECT_EQ(train_xs.size() + test_xs.size(), 100u);
+}
+
+TEST(SplitTrainTestTest, TargetsStayAligned) {
+  Dataset d = Sequential(50);
+  auto split = SplitTrainTest(d, 0.3, 7);
+  ASSERT_TRUE(split.ok());
+  for (size_t i = 0; i < split->train.NumSamples(); ++i) {
+    EXPECT_DOUBLE_EQ(split->train.targets()(i, 0),
+                     split->train.features()(i, 0) * 10);
+  }
+}
+
+TEST(SplitTrainTestTest, Deterministic) {
+  Dataset d = Sequential(30);
+  auto s1 = SplitTrainTest(d, 0.25, 5);
+  auto s2 = SplitTrainTest(d, 0.25, 5);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->test.features().data(), s2->test.features().data());
+}
+
+TEST(SplitTrainTestTest, Errors) {
+  Dataset d = Sequential(10);
+  EXPECT_FALSE(SplitTrainTest(d, 0.0, 1).ok());
+  EXPECT_FALSE(SplitTrainTest(d, 1.0, 1).ok());
+  EXPECT_FALSE(SplitTrainTest(Sequential(1), 0.5, 1).ok());
+}
+
+TEST(SplitTrainTestTest, TinyDatasetKeepsBothSidesNonEmpty) {
+  auto split = SplitTrainTest(Sequential(2), 0.5, 1);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.NumSamples(), 1u);
+  EXPECT_EQ(split->test.NumSamples(), 1u);
+}
+
+TEST(PartitionIidTest, NearEqualShards) {
+  Dataset d = Sequential(103);
+  auto shards = PartitionIid(d, 10, 3);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 10u);
+  size_t total = 0;
+  for (const auto& s : *shards) {
+    EXPECT_GE(s.NumSamples(), 10u);
+    EXPECT_LE(s.NumSamples(), 11u);
+    total += s.NumSamples();
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(PartitionIidTest, ShardsAreDisjointAndCover) {
+  Dataset d = Sequential(40);
+  auto shards = PartitionIid(d, 4, 9);
+  ASSERT_TRUE(shards.ok());
+  std::set<double> seen;
+  for (const auto& s : *shards) {
+    for (size_t i = 0; i < s.NumSamples(); ++i) {
+      EXPECT_TRUE(seen.insert(s.features()(i, 0)).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(PartitionIidTest, Errors) {
+  Dataset d = Sequential(5);
+  EXPECT_FALSE(PartitionIid(d, 0, 1).ok());
+  EXPECT_FALSE(PartitionIid(d, 6, 1).ok());
+}
+
+TEST(PartitionByFeatureTest, ContiguousDisjointRanges) {
+  Dataset d = Sequential(90);
+  auto shards = PartitionByFeature(d, 0, 3);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 3u);
+  // Each shard's feature range must sit strictly below the next shard's.
+  for (size_t s = 0; s + 1 < 3; ++s) {
+    double max_here = -1e300, min_next = 1e300;
+    for (size_t i = 0; i < (*shards)[s].NumSamples(); ++i) {
+      max_here = std::max(max_here, (*shards)[s].features()(i, 0));
+    }
+    for (size_t i = 0; i < (*shards)[s + 1].NumSamples(); ++i) {
+      min_next = std::min(min_next, (*shards)[s + 1].features()(i, 0));
+    }
+    EXPECT_LT(max_here, min_next);
+  }
+}
+
+TEST(PartitionByFeatureTest, Errors) {
+  Dataset d = Sequential(10);
+  EXPECT_FALSE(PartitionByFeature(d, 5, 2).ok());   // Bad feature index.
+  EXPECT_FALSE(PartitionByFeature(d, 0, 0).ok());   // n == 0.
+  EXPECT_FALSE(PartitionByFeature(d, 0, 11).ok());  // Too many shards.
+}
+
+}  // namespace
+}  // namespace qens::data

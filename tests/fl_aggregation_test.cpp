@@ -1,0 +1,146 @@
+// Tests for the aggregation rules: Eq. 6 (equal prediction average), Eq. 7
+// (ranking-weighted, lambda normalization), FedAvg parameters, ensemble.
+
+#include "qens/fl/aggregation.h"
+
+#include <gtest/gtest.h>
+
+namespace qens::fl {
+namespace {
+
+/// A 1-feature linear model y = w x + b.
+ml::SequentialModel Linear(double w, double b) {
+  ml::SequentialModel m;
+  EXPECT_TRUE(m.AddLayer(1, 1, ml::Activation::kIdentity).ok());
+  m.layer(0).weights()(0, 0) = w;
+  m.layer(0).bias()[0] = b;
+  return m;
+}
+
+TEST(AggregationTest, Eq6EqualAverage) {
+  // Models y = 2x and y = 4x at x = 1: average 3.
+  std::vector<ml::SequentialModel> models = {Linear(2, 0), Linear(4, 0)};
+  Matrix x{{1.0}};
+  auto pred = AggregatePredictions(models, x);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_DOUBLE_EQ((*pred)(0, 0), 3.0);
+}
+
+TEST(AggregationTest, Eq6SingleModelIsIdentity) {
+  std::vector<ml::SequentialModel> models = {Linear(5, 1)};
+  Matrix x{{2.0}};
+  auto pred = AggregatePredictions(models, x);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_DOUBLE_EQ((*pred)(0, 0), 11.0);
+}
+
+TEST(AggregationTest, Eq7WeightsNormalizeToLambda) {
+  // Rankings 1 and 3 -> lambdas 0.25 / 0.75.
+  std::vector<ml::SequentialModel> models = {Linear(0, 0), Linear(0, 4)};
+  Matrix x{{1.0}};
+  auto pred = AggregatePredictionsWeighted(models, {1.0, 3.0}, x);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_DOUBLE_EQ((*pred)(0, 0), 0.25 * 0.0 + 0.75 * 4.0);
+}
+
+TEST(AggregationTest, Eq7EqualWeightsMatchEq6) {
+  std::vector<ml::SequentialModel> models = {Linear(1, 1), Linear(3, -1)};
+  Matrix x{{0.5}, {2.0}};
+  auto a = AggregatePredictions(models, x);
+  auto b = AggregatePredictionsWeighted(models, {2.0, 2.0}, x);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->MaxAbsDiff(*b), 1e-12);
+}
+
+TEST(AggregationTest, Eq7ScaleInvariantInWeights) {
+  std::vector<ml::SequentialModel> models = {Linear(1, 0), Linear(2, 0)};
+  Matrix x{{1.0}};
+  auto a = AggregatePredictionsWeighted(models, {1.0, 4.0}, x);
+  auto b = AggregatePredictionsWeighted(models, {10.0, 40.0}, x);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ((*a)(0, 0), (*b)(0, 0));
+}
+
+TEST(AggregationTest, WeightErrors) {
+  std::vector<ml::SequentialModel> models = {Linear(1, 0), Linear(2, 0)};
+  Matrix x{{1.0}};
+  EXPECT_FALSE(AggregatePredictionsWeighted(models, {1.0}, x).ok());
+  EXPECT_FALSE(AggregatePredictionsWeighted(models, {0.0, 0.0}, x).ok());
+  EXPECT_FALSE(AggregatePredictionsWeighted(models, {1.0, -1.0}, x).ok());
+  EXPECT_FALSE(AggregatePredictions({}, x).ok());
+}
+
+TEST(FedAvgTest, ParameterAverage) {
+  std::vector<ml::SequentialModel> models = {Linear(2, 0), Linear(4, 2)};
+  auto merged = FedAvgParameters(models, {1.0, 1.0});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_DOUBLE_EQ(merged->layer(0).weights()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(merged->layer(0).bias()[0], 1.0);
+}
+
+TEST(FedAvgTest, WeightedParameterAverage) {
+  std::vector<ml::SequentialModel> models = {Linear(0, 0), Linear(4, 0)};
+  auto merged = FedAvgParameters(models, {3.0, 1.0});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_DOUBLE_EQ(merged->layer(0).weights()(0, 0), 1.0);
+}
+
+TEST(FedAvgTest, ForLinearModelsMatchesPredictionAverage) {
+  // Parameter averaging and prediction averaging coincide exactly for
+  // linear models — a useful sanity identity.
+  std::vector<ml::SequentialModel> models = {Linear(2, 1), Linear(-4, 3)};
+  Matrix x{{0.7}, {-1.3}};
+  auto merged = FedAvgParameters(models, {1.0, 1.0});
+  ASSERT_TRUE(merged.ok());
+  auto from_params = merged->Predict(x);
+  auto from_preds = AggregatePredictions(models, x);
+  ASSERT_TRUE(from_params.ok());
+  ASSERT_TRUE(from_preds.ok());
+  EXPECT_LT(from_params->MaxAbsDiff(*from_preds), 1e-12);
+}
+
+TEST(FedAvgTest, ArchitectureMismatchFails) {
+  ml::SequentialModel nn;
+  ASSERT_TRUE(nn.AddLayer(1, 4, ml::Activation::kRelu).ok());
+  ASSERT_TRUE(nn.AddLayer(4, 1, ml::Activation::kIdentity).ok());
+  std::vector<ml::SequentialModel> models = {Linear(1, 0), nn};
+  EXPECT_FALSE(FedAvgParameters(models, {1.0, 1.0}).ok());
+}
+
+TEST(EnsembleTest, PredictAllKinds) {
+  auto ensemble =
+      EnsembleModel::Create({Linear(2, 0), Linear(4, 0)}, {1.0, 3.0});
+  ASSERT_TRUE(ensemble.ok());
+  Matrix x{{1.0}};
+  EXPECT_DOUBLE_EQ(
+      ensemble->Predict(x, AggregationKind::kModelAveraging).value()(0, 0),
+      3.0);
+  EXPECT_DOUBLE_EQ(
+      ensemble->Predict(x, AggregationKind::kWeightedAveraging).value()(0, 0),
+      0.25 * 2 + 0.75 * 4);
+  EXPECT_DOUBLE_EQ(
+      ensemble->Predict(x, AggregationKind::kFedAvgParameters).value()(0, 0),
+      0.25 * 2 + 0.75 * 4);  // Linear: coincides with weighted.
+}
+
+TEST(EnsembleTest, CreateErrors) {
+  EXPECT_FALSE(EnsembleModel::Create({}, {}).ok());
+  EXPECT_FALSE(EnsembleModel::Create({Linear(1, 0)}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(EnsembleModel::Create({Linear(1, 0)}, {-1.0}).ok());
+}
+
+TEST(AggregationKindTest, NamesRoundTrip) {
+  for (AggregationKind kind :
+       {AggregationKind::kModelAveraging, AggregationKind::kWeightedAveraging,
+        AggregationKind::kFedAvgParameters}) {
+    EXPECT_EQ(ParseAggregationKind(AggregationKindName(kind)).value(), kind);
+  }
+  EXPECT_EQ(ParseAggregationKind("weighted").value(),
+            AggregationKind::kWeightedAveraging);
+  EXPECT_FALSE(ParseAggregationKind("median").ok());
+}
+
+}  // namespace
+}  // namespace qens::fl

@@ -1,0 +1,237 @@
+// Tests for the Federation orchestrator: leader decisions, per-policy query
+// execution, accounting, skip paths.
+
+#include "qens/fl/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "qens/common/rng.h"
+
+namespace qens::fl {
+namespace {
+
+/// Node with x in [offset, offset+10], y = slope x + noise.
+data::Dataset MakeNodeData(double offset, double slope, uint64_t seed,
+                           size_t n = 250) {
+  Rng rng(seed);
+  Matrix x(n, 1), y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = offset + rng.Uniform(0, 10);
+    y(i, 0) = slope * x(i, 0) + rng.Gaussian(0, 0.2);
+  }
+  return data::Dataset::Create(x, y).value();
+}
+
+FederationOptions FastOptions() {
+  FederationOptions options;
+  options.environment.kmeans.k = 3;
+  options.ranking.epsilon = 0.1;
+  options.query_driven.top_l = 2;
+  options.hyper = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
+  options.hyper.epochs = 25;
+  options.epochs_per_cluster = 10;
+  options.random_l = 2;
+  options.test_fraction = 0.2;
+  options.seed = 42;
+  return options;
+}
+
+/// Four nodes: two in x-region [0, 10] (slope 2), two in [50, 60] (slope 2).
+Result<Federation> MakeFederation() {
+  std::vector<data::Dataset> nodes = {
+      MakeNodeData(0, 2.0, 1), MakeNodeData(0, 2.0, 2),
+      MakeNodeData(50, 2.0, 3), MakeNodeData(50, 2.0, 4)};
+  return Federation::Create(std::move(nodes), FastOptions());
+}
+
+query::RangeQuery QueryOver(double lo, double hi) {
+  query::RangeQuery q;
+  q.id = 1;
+  q.region = query::HyperRectangle::FromFlatBounds({lo, hi}).value();
+  return q;
+}
+
+TEST(FederationTest, CreateSplitsTrainTest) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  // 250 rows per node, 20% test -> 200 train per node in the environment.
+  EXPECT_EQ(fed->environment().num_nodes(), 4u);
+  EXPECT_EQ(fed->environment().TotalSamples(), 4u * 200u);
+}
+
+TEST(FederationTest, QueryRegionTestDataPoolsAcrossNodes) {
+  // Run without normalization so returned features are in raw units.
+  FederationOptions options = FastOptions();
+  options.normalize = false;
+  std::vector<data::Dataset> nodes = {
+      MakeNodeData(0, 2.0, 1), MakeNodeData(0, 2.0, 2),
+      MakeNodeData(50, 2.0, 3), MakeNodeData(50, 2.0, 4)};
+  auto fed = Federation::Create(std::move(nodes), options);
+  ASSERT_TRUE(fed.ok());
+  auto test = fed->QueryRegionTestData(QueryOver(0, 10));
+  ASSERT_TRUE(test.ok());
+  EXPECT_GT(test->NumSamples(), 0u);
+  // Everything pooled lies inside the region.
+  for (size_t i = 0; i < test->NumSamples(); ++i) {
+    EXPECT_GE(test->features()(i, 0), 0.0);
+    EXPECT_LE(test->features()(i, 0), 10.0);
+  }
+  // A region with no data fails.
+  EXPECT_TRUE(fed->QueryRegionTestData(QueryOver(1000, 1010))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(FederationTest, NormalizedFederationHandlesRawQueries) {
+  // With normalization on (the default), raw-unit queries still pool the
+  // right rows and the internal query maps into the unit cube.
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  auto test = fed->QueryRegionTestData(QueryOver(0, 10));
+  ASSERT_TRUE(test.ok());
+  EXPECT_GT(test->NumSamples(), 0u);
+  auto internal = fed->InternalQuery(QueryOver(0, 60));
+  ASSERT_TRUE(internal.ok());
+  EXPECT_GE(internal->region.dim(0).lo, -0.1);
+  EXPECT_LE(internal->region.dim(0).hi, 1.1);
+}
+
+TEST(FederationTest, RawDataSpaceStaysInRawUnits) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  const auto& space = fed->RawDataSpace();
+  EXPECT_GT(space.dim(0).hi, 40.0);  // Covers the [50, 60] node region.
+  EXPECT_LT(space.dim(0).lo, 10.0);
+}
+
+TEST(FederationTest, DenormalizeMseRoundTrips) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  // The raw target range is ~[0, 120]; a normalized MSE of 1 maps to
+  // roughly range^2.
+  const double raw = fed->DenormalizeMse(1.0);
+  EXPECT_GT(raw, 100.0);
+  EXPECT_DOUBLE_EQ(fed->DenormalizeMse(0.0), 0.0);
+}
+
+TEST(FederationTest, QueryDrivenSelectsMatchingNodes) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  auto outcome = fed->RunQueryDriven(QueryOver(0, 10));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->skipped);
+  // Only nodes 0/1 hold [0, 10] data.
+  for (size_t id : outcome->selected_nodes) EXPECT_LT(id, 2u);
+  EXPECT_FALSE(outcome->selected_rankings.empty());
+  EXPECT_GT(outcome->test_rows, 0u);
+  EXPECT_GT(outcome->samples_used, 0u);
+  EXPECT_LE(outcome->samples_used, outcome->samples_selected);
+  EXPECT_GT(outcome->sim_time_total, 0.0);
+  EXPECT_GE(outcome->sim_time_total, outcome->sim_time_parallel);
+  EXPECT_GT(outcome->sim_time_comm, 0.0);
+}
+
+TEST(FederationTest, QueryDrivenLossIsReasonable) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  auto outcome = fed->RunQueryDriven(QueryOver(0, 10));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->skipped);
+  // y = 2x on [0,10]: a fitted model should do far better than predicting
+  // the mean (variance of y ~ (2*10)^2/12 ~ 33).
+  EXPECT_LT(outcome->loss_model_avg, 10.0);
+  EXPECT_LT(outcome->loss_weighted, 10.0);
+}
+
+TEST(FederationTest, AllNodesPolicyEngagesEveryone) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  auto outcome = fed->RunQuery(QueryOver(0, 10),
+                               selection::PolicyKind::kAllNodes,
+                               /*data_selectivity=*/false);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->skipped);
+  EXPECT_EQ(outcome->selected_nodes.size(), 4u);
+  EXPECT_EQ(outcome->samples_used, fed->environment().TotalSamples());
+  EXPECT_DOUBLE_EQ(outcome->DataFractionOfAll(), 1.0);
+}
+
+TEST(FederationTest, RandomPolicyRespectsL) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  auto outcome = fed->RunQuery(QueryOver(0, 60),
+                               selection::PolicyKind::kRandom,
+                               /*data_selectivity=*/false);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->skipped);
+  EXPECT_EQ(outcome->selected_nodes.size(), 2u);  // random_l = 2.
+  EXPECT_TRUE(outcome->selected_rankings.empty());
+}
+
+TEST(FederationTest, GameTheoryPolicyRunsPreRound) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  auto outcome = fed->RunQuery(QueryOver(0, 60),
+                               selection::PolicyKind::kGameTheory,
+                               /*data_selectivity=*/false);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->skipped);
+  EXPECT_GT(outcome->gt_preround_seconds, 0.0);
+  EXPECT_FALSE(outcome->selected_nodes.empty());
+}
+
+TEST(FederationTest, SelectivityUsesFewerSamplesThanFull) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  // Narrow query inside node 0/1's space.
+  auto selective = fed->RunQueryDriven(QueryOver(2, 6));
+  auto full = fed->RunQuery(QueryOver(2, 6), selection::PolicyKind::kAllNodes,
+                            /*data_selectivity=*/false);
+  ASSERT_TRUE(selective.ok());
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(selective->skipped);
+  ASSERT_FALSE(full->skipped);
+  EXPECT_LT(selective->samples_used, full->samples_used);
+  EXPECT_LT(selective->sim_time_total, full->sim_time_total);
+}
+
+TEST(FederationTest, SkipsQueryOutsideAllData) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  auto outcome = fed->RunQueryDriven(QueryOver(1000, 1010));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->skipped);
+}
+
+TEST(FederationTest, WeightedAggregationWeightsMatchRankings) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  auto outcome = fed->RunQueryDriven(QueryOver(0, 10));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->skipped);
+  ASSERT_EQ(outcome->selected_rankings.size(),
+            outcome->selected_nodes.size());
+  for (double r : outcome->selected_rankings) EXPECT_GT(r, 0.0);
+}
+
+TEST(FederationTest, NetworkTrafficRecorded) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  const size_t before = fed->environment().network().total_messages();
+  ASSERT_TRUE(fed->RunQueryDriven(QueryOver(0, 10)).ok());
+  const auto& net = fed->environment().network();
+  EXPECT_GT(net.total_messages(), before);
+  EXPECT_GT(net.BytesWithTag("model-down"), 0u);
+  EXPECT_GT(net.BytesWithTag("model-up"), 0u);
+}
+
+TEST(FederationTest, CreateErrors) {
+  EXPECT_FALSE(Federation::Create({}, FastOptions()).ok());
+  FederationOptions bad = FastOptions();
+  bad.test_fraction = 0.0;
+  EXPECT_FALSE(
+      Federation::Create({MakeNodeData(0, 1, 1)}, bad).ok());
+}
+
+}  // namespace
+}  // namespace qens::fl

@@ -1,0 +1,107 @@
+// Tests for activation functions and their derivatives.
+
+#include "qens/ml/activation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qens::ml {
+namespace {
+
+Matrix Apply(Activation a, const Matrix& z) {
+  Matrix out;
+  ApplyActivation(a, z, &out);
+  return out;
+}
+
+Matrix Grad(Activation a, const Matrix& z) {
+  Matrix out;
+  ApplyActivationGrad(a, z, &out);
+  return out;
+}
+
+TEST(ActivationTest, Identity) {
+  Matrix z{{-2, 0, 3}};
+  EXPECT_EQ(Apply(Activation::kIdentity, z), z);
+  Matrix g = Grad(Activation::kIdentity, z);
+  EXPECT_EQ(g(0, 0), 1.0);
+  EXPECT_EQ(g(0, 2), 1.0);
+}
+
+TEST(ActivationTest, Relu) {
+  Matrix z{{-2, 0, 3}};
+  Matrix y = Apply(Activation::kRelu, z);
+  EXPECT_EQ(y(0, 0), 0.0);
+  EXPECT_EQ(y(0, 1), 0.0);
+  EXPECT_EQ(y(0, 2), 3.0);
+  Matrix g = Grad(Activation::kRelu, z);
+  EXPECT_EQ(g(0, 0), 0.0);
+  EXPECT_EQ(g(0, 1), 0.0);  // Subgradient choice at 0.
+  EXPECT_EQ(g(0, 2), 1.0);
+}
+
+TEST(ActivationTest, Sigmoid) {
+  Matrix z{{0.0}};
+  EXPECT_DOUBLE_EQ(Apply(Activation::kSigmoid, z)(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(Grad(Activation::kSigmoid, z)(0, 0), 0.25);
+  Matrix big{{50.0}};
+  EXPECT_NEAR(Apply(Activation::kSigmoid, big)(0, 0), 1.0, 1e-12);
+}
+
+TEST(ActivationTest, Tanh) {
+  Matrix z{{0.0}};
+  EXPECT_DOUBLE_EQ(Apply(Activation::kTanh, z)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Grad(Activation::kTanh, z)(0, 0), 1.0);
+  Matrix one{{1.0}};
+  EXPECT_NEAR(Apply(Activation::kTanh, one)(0, 0), std::tanh(1.0), 1e-15);
+}
+
+TEST(ActivationTest, InPlaceAliasedOutput) {
+  Matrix z{{-1, 1}};
+  ApplyActivation(Activation::kRelu, z, &z);
+  EXPECT_EQ(z(0, 0), 0.0);
+  EXPECT_EQ(z(0, 1), 1.0);
+}
+
+// Numerical derivative check across all activations.
+class ActivationGradParamTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationGradParamTest, MatchesFiniteDifference) {
+  const Activation act = GetParam();
+  const double eps = 1e-6;
+  for (double x : {-1.7, -0.5, 0.3, 1.2, 2.8}) {
+    Matrix lo{{x - eps}};
+    Matrix hi{{x + eps}};
+    const double numeric =
+        (Apply(act, hi)(0, 0) - Apply(act, lo)(0, 0)) / (2 * eps);
+    Matrix z{{x}};
+    const double analytic = Grad(act, z)(0, 0);
+    EXPECT_NEAR(analytic, numeric, 1e-5) << "activation "
+                                         << ActivationName(act) << " at " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGradParamTest,
+                         ::testing::Values(Activation::kIdentity,
+                                           Activation::kRelu,
+                                           Activation::kSigmoid,
+                                           Activation::kTanh));
+
+TEST(ActivationNameTest, RoundTrip) {
+  for (Activation a : {Activation::kIdentity, Activation::kRelu,
+                       Activation::kSigmoid, Activation::kTanh}) {
+    auto parsed = ParseActivation(ActivationName(a));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(ActivationNameTest, ParseAliasesAndErrors) {
+  EXPECT_EQ(ParseActivation("linear").value(), Activation::kIdentity);
+  EXPECT_EQ(ParseActivation("  ReLU ").value(), Activation::kRelu);
+  EXPECT_FALSE(ParseActivation("swish").ok());
+}
+
+}  // namespace
+}  // namespace qens::ml

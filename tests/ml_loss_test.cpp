@@ -1,0 +1,87 @@
+// Tests for training losses: values, gradients vs finite differences.
+
+#include "qens/ml/loss.h"
+
+#include <gtest/gtest.h>
+
+namespace qens::ml {
+namespace {
+
+TEST(LossTest, MseValue) {
+  Matrix pred{{1, 2}, {3, 4}};
+  Matrix target{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(ComputeLoss(LossKind::kMse, pred, target).value(), 0.0);
+  Matrix off{{2, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(ComputeLoss(LossKind::kMse, off, target).value(), 0.25);
+}
+
+TEST(LossTest, MaeValue) {
+  Matrix pred{{0, 4}};
+  Matrix target{{1, 2}};
+  EXPECT_DOUBLE_EQ(ComputeLoss(LossKind::kMae, pred, target).value(), 1.5);
+}
+
+TEST(LossTest, HuberQuadraticInsideDelta) {
+  Matrix pred{{0.5}};
+  Matrix target{{0.0}};
+  EXPECT_DOUBLE_EQ(ComputeLoss(LossKind::kHuber, pred, target).value(),
+                   0.5 * 0.25);
+}
+
+TEST(LossTest, HuberLinearOutsideDelta) {
+  Matrix pred{{3.0}};
+  Matrix target{{0.0}};
+  EXPECT_DOUBLE_EQ(ComputeLoss(LossKind::kHuber, pred, target).value(),
+                   1.0 * (3.0 - 0.5));
+}
+
+TEST(LossTest, ShapeAndEmptyErrors) {
+  Matrix a(1, 2), b(2, 1), empty;
+  EXPECT_FALSE(ComputeLoss(LossKind::kMse, a, b).ok());
+  EXPECT_FALSE(ComputeLoss(LossKind::kMse, empty, empty).ok());
+  EXPECT_FALSE(ComputeLossGrad(LossKind::kMse, a, b).ok());
+}
+
+class LossGradCheck : public ::testing::TestWithParam<LossKind> {};
+
+TEST_P(LossGradCheck, GradMatchesFiniteDifference) {
+  const LossKind kind = GetParam();
+  Matrix pred{{0.7, -1.4}, {2.3, 0.1}};
+  Matrix target{{0.5, 0.5}, {0.5, 0.5}};
+  Matrix grad = ComputeLossGrad(kind, pred, target).value();
+  const double eps = 1e-7;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      Matrix lo = pred, hi = pred;
+      lo(r, c) -= eps;
+      hi(r, c) += eps;
+      const double numeric = (ComputeLoss(kind, hi, target).value() -
+                              ComputeLoss(kind, lo, target).value()) /
+                             (2 * eps);
+      EXPECT_NEAR(grad(r, c), numeric, 1e-5) << LossName(kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradCheck,
+                         ::testing::Values(LossKind::kMse, LossKind::kMae,
+                                           LossKind::kHuber));
+
+TEST(LossNameTest, RoundTrip) {
+  for (LossKind k : {LossKind::kMse, LossKind::kMae, LossKind::kHuber}) {
+    EXPECT_EQ(ParseLoss(LossName(k)).value(), k);
+  }
+  EXPECT_EQ(ParseLoss("MSE").value(), LossKind::kMse);
+  EXPECT_FALSE(ParseLoss("crossentropy").ok());
+}
+
+TEST(LossTest, MseGradZeroAtOptimum) {
+  Matrix pred{{2, 3}};
+  Matrix target{{2, 3}};
+  Matrix grad = ComputeLossGrad(LossKind::kMse, pred, target).value();
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace qens::ml

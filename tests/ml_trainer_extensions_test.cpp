@@ -1,0 +1,148 @@
+// Tests for the trainer extensions: weight decay, gradient clipping and
+// learning-rate decay.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qens/common/rng.h"
+#include "qens/ml/trainer.h"
+
+namespace qens::ml {
+namespace {
+
+void MakeLinearData(size_t n, uint64_t seed, Matrix* x, Matrix* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 1);
+  *y = Matrix(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng.Uniform(-1.0, 1.0);
+    (*y)(i, 0) = 2.0 * (*x)(i, 0) + rng.Gaussian(0, 0.02);
+  }
+}
+
+SequentialModel ScalarModel() {
+  SequentialModel m;
+  EXPECT_TRUE(m.AddLayer(1, 1, Activation::kIdentity).ok());
+  return m;
+}
+
+std::unique_ptr<Trainer> MakeTrainer(TrainOptions options, double lr = 0.05) {
+  return std::make_unique<Trainer>(std::make_unique<SgdOptimizer>(lr),
+                                   options);
+}
+
+TEST(WeightDecayTest, ShrinksWeightsTowardZero) {
+  Matrix x, y;
+  MakeLinearData(200, 1, &x, &y);
+  TrainOptions plain;
+  plain.epochs = 60;
+  plain.validation_split = 0.0;
+  TrainOptions decayed = plain;
+  decayed.weight_decay = 0.5;  // Strong decay to make the shrinkage clear.
+
+  SequentialModel m_plain = ScalarModel();
+  SequentialModel m_decayed = ScalarModel();
+  ASSERT_TRUE(MakeTrainer(plain)->Fit(&m_plain, x, y).ok());
+  ASSERT_TRUE(MakeTrainer(decayed)->Fit(&m_decayed, x, y).ok());
+  EXPECT_LT(std::abs(m_decayed.layer(0).weights()(0, 0)),
+            std::abs(m_plain.layer(0).weights()(0, 0)));
+  // Plain training recovers the true slope.
+  EXPECT_NEAR(m_plain.layer(0).weights()(0, 0), 2.0, 0.1);
+}
+
+TEST(WeightDecayTest, BiasIsNotDecayed) {
+  // Constant targets: only the bias should grow toward the mean; strong
+  // weight decay must not block that.
+  Matrix x(50, 1), y(50, 1);
+  Rng rng(2);
+  for (size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    y(i, 0) = 3.0;
+  }
+  TrainOptions options;
+  options.epochs = 100;
+  options.validation_split = 0.0;
+  options.weight_decay = 1.0;
+  SequentialModel m = ScalarModel();
+  ASSERT_TRUE(MakeTrainer(options)->Fit(&m, x, y).ok());
+  EXPECT_NEAR(m.layer(0).bias()[0], 3.0, 0.1);
+  EXPECT_NEAR(m.layer(0).weights()(0, 0), 0.0, 0.1);
+}
+
+TEST(ClipNormTest, PreventsDivergenceAtLargeScale) {
+  // Raw-scale data that diverges without clipping (see the normalization
+  // design note): clipping keeps training finite.
+  Rng rng(3);
+  Matrix x(100, 1), y(100, 1);
+  for (size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.Uniform(0, 50);
+    y(i, 0) = 2.0 * x(i, 0);
+  }
+  TrainOptions unclipped;
+  unclipped.epochs = 30;
+  unclipped.validation_split = 0.0;
+  TrainOptions clipped = unclipped;
+  clipped.clip_norm = 1.0;
+
+  SequentialModel m_unclipped = ScalarModel();
+  SequentialModel m_clipped = ScalarModel();
+  ASSERT_TRUE(MakeTrainer(unclipped)->Fit(&m_unclipped, x, y).ok());
+  auto report = MakeTrainer(clipped)->Fit(&m_clipped, x, y);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(std::isfinite(m_unclipped.layer(0).weights()(0, 0)) &&
+               std::abs(m_unclipped.layer(0).weights()(0, 0)) < 100.0)
+      << "expected divergence without clipping";
+  EXPECT_TRUE(std::isfinite(m_clipped.layer(0).weights()(0, 0)));
+  EXPECT_TRUE(std::isfinite(report->final_train_loss()));
+}
+
+TEST(ClipNormTest, NoEffectWhenGradientsSmall) {
+  Matrix x, y;
+  MakeLinearData(100, 4, &x, &y);
+  TrainOptions plain;
+  plain.epochs = 20;
+  plain.validation_split = 0.0;
+  plain.shuffle = false;
+  TrainOptions clipped = plain;
+  clipped.clip_norm = 1e9;  // Never binds.
+
+  SequentialModel m1 = ScalarModel();
+  SequentialModel m2 = ScalarModel();
+  ASSERT_TRUE(MakeTrainer(plain)->Fit(&m1, x, y).ok());
+  ASSERT_TRUE(MakeTrainer(clipped)->Fit(&m2, x, y).ok());
+  EXPECT_EQ(m1.GetParameters(), m2.GetParameters());
+}
+
+TEST(LrDecayTest, DecayedRunTakesSmallerLateSteps) {
+  Matrix x, y;
+  MakeLinearData(100, 5, &x, &y);
+  TrainOptions options;
+  options.epochs = 100;
+  options.validation_split = 0.0;
+  options.lr_decay = 0.05;  // Mild inverse-time decay.
+  SequentialModel m = ScalarModel();
+  auto trainer = MakeTrainer(options, 0.05);
+  auto report = trainer->Fit(&m, x, y);
+  ASSERT_TRUE(report.ok());
+  // Still converges (decay slows but does not stop learning).
+  EXPECT_NEAR(m.layer(0).weights()(0, 0), 2.0, 0.2);
+}
+
+TEST(LrDecayTest, BaseLearningRateRestoredAfterFit) {
+  Matrix x, y;
+  MakeLinearData(50, 6, &x, &y);
+  TrainOptions options;
+  options.epochs = 10;
+  options.validation_split = 0.0;
+  options.lr_decay = 1.0;
+  auto optimizer = std::make_unique<SgdOptimizer>(0.05);
+  SgdOptimizer* raw = optimizer.get();
+  Trainer trainer(std::move(optimizer), options);
+  SequentialModel m = ScalarModel();
+  ASSERT_TRUE(trainer.Fit(&m, x, y).ok());
+  EXPECT_DOUBLE_EQ(raw->learning_rate(), 0.05);
+}
+
+}  // namespace
+}  // namespace qens::ml

@@ -1,0 +1,172 @@
+// Tests for Interval and HyperRectangle geometry.
+
+#include "qens/query/hyper_rectangle.h"
+
+#include <gtest/gtest.h>
+
+namespace qens::query {
+namespace {
+
+TEST(IntervalTest, Basics) {
+  Interval iv(1.0, 3.0);
+  EXPECT_TRUE(iv.valid());
+  EXPECT_DOUBLE_EQ(iv.length(), 2.0);
+  EXPECT_TRUE(iv.Contains(1.0));
+  EXPECT_TRUE(iv.Contains(3.0));
+  EXPECT_TRUE(iv.Contains(2.0));
+  EXPECT_FALSE(iv.Contains(0.999));
+}
+
+TEST(IntervalTest, PointInterval) {
+  Interval pt(2.0, 2.0);
+  EXPECT_TRUE(pt.valid());
+  EXPECT_DOUBLE_EQ(pt.length(), 0.0);
+  EXPECT_TRUE(pt.Contains(2.0));
+}
+
+TEST(IntervalTest, InvalidWhenReversed) {
+  EXPECT_FALSE(Interval(3.0, 1.0).valid());
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval big(0, 10), small(2, 3);
+  EXPECT_TRUE(big.ContainsInterval(small));
+  EXPECT_FALSE(small.ContainsInterval(big));
+  EXPECT_TRUE(big.ContainsInterval(big));
+}
+
+TEST(IntervalTest, IntersectsAndIntersection) {
+  Interval a(0, 5), b(3, 8), c(6, 9);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+  Interval ab = a.Intersection(b);
+  EXPECT_DOUBLE_EQ(ab.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ab.hi, 5.0);
+  EXPECT_FALSE(a.Intersection(c).valid());  // Disjoint -> invalid.
+}
+
+TEST(IntervalTest, TouchingEndpointsIntersect) {
+  Interval a(0, 5), b(5, 8);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.Intersection(b).length(), 0.0);
+}
+
+TEST(IntervalTest, Hull) {
+  Interval h = Interval(0, 2).Hull(Interval(5, 7));
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 7.0);
+}
+
+TEST(HyperRectangleTest, FromFlatBounds) {
+  auto box = HyperRectangle::FromFlatBounds({0, 1, -5, 5});
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box->dims(), 2u);
+  EXPECT_DOUBLE_EQ(box->dim(1).lo, -5.0);
+  EXPECT_FALSE(HyperRectangle::FromFlatBounds({0, 1, 2}).ok());  // Odd.
+  EXPECT_FALSE(HyperRectangle::FromFlatBounds({1, 0}).ok());     // min > max.
+}
+
+TEST(HyperRectangleTest, FlatRoundTrip) {
+  const std::vector<double> flat{0, 1, -5, 5, 100, 200};
+  auto box = HyperRectangle::FromFlatBounds(flat);
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box->ToFlatBounds(), flat);
+}
+
+TEST(HyperRectangleTest, BoundingBoxAllRows) {
+  Matrix data{{0, 10}, {5, -2}, {3, 4}};
+  auto box = HyperRectangle::BoundingBox(data);
+  ASSERT_TRUE(box.ok());
+  EXPECT_DOUBLE_EQ(box->dim(0).lo, 0.0);
+  EXPECT_DOUBLE_EQ(box->dim(0).hi, 5.0);
+  EXPECT_DOUBLE_EQ(box->dim(1).lo, -2.0);
+  EXPECT_DOUBLE_EQ(box->dim(1).hi, 10.0);
+}
+
+TEST(HyperRectangleTest, BoundingBoxSelectedRows) {
+  Matrix data{{0.0}, {100.0}, {5.0}};
+  auto box = HyperRectangle::BoundingBox(data, {0, 2});
+  ASSERT_TRUE(box.ok());
+  EXPECT_DOUBLE_EQ(box->dim(0).hi, 5.0);
+}
+
+TEST(HyperRectangleTest, BoundingBoxErrors) {
+  EXPECT_FALSE(HyperRectangle::BoundingBox(Matrix()).ok());
+  Matrix data{{1.0}};
+  EXPECT_TRUE(
+      HyperRectangle::BoundingBox(data, {5}).status().IsOutOfRange());
+}
+
+TEST(HyperRectangleTest, ContainsPoint) {
+  auto box = HyperRectangle::FromFlatBounds({0, 1, 0, 1}).value();
+  EXPECT_TRUE(box.ContainsPoint({0.5, 0.5}));
+  EXPECT_TRUE(box.ContainsPoint({0.0, 1.0}));  // Boundary closed.
+  EXPECT_FALSE(box.ContainsPoint({1.5, 0.5}));
+  EXPECT_FALSE(box.ContainsPoint({0.5}));  // Dim mismatch.
+}
+
+TEST(HyperRectangleTest, ContainsBoxAndIntersects) {
+  auto big = HyperRectangle::FromFlatBounds({0, 10, 0, 10}).value();
+  auto small = HyperRectangle::FromFlatBounds({2, 3, 4, 5}).value();
+  auto off = HyperRectangle::FromFlatBounds({20, 30, 0, 10}).value();
+  EXPECT_TRUE(big.ContainsBox(small));
+  EXPECT_FALSE(small.ContainsBox(big));
+  EXPECT_TRUE(big.Intersects(small));
+  EXPECT_FALSE(big.Intersects(off));
+}
+
+TEST(HyperRectangleTest, PartialDimensionOverlapDoesNotIntersect) {
+  // Overlaps in x but disjoint in y -> no intersection overall.
+  auto a = HyperRectangle::FromFlatBounds({0, 10, 0, 1}).value();
+  auto b = HyperRectangle::FromFlatBounds({5, 15, 5, 6}).value();
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(HyperRectangleTest, IntersectionAndHull) {
+  auto a = HyperRectangle::FromFlatBounds({0, 10, 0, 10}).value();
+  auto b = HyperRectangle::FromFlatBounds({5, 15, -5, 5}).value();
+  HyperRectangle inter = a.Intersection(b);
+  EXPECT_DOUBLE_EQ(inter.dim(0).lo, 5.0);
+  EXPECT_DOUBLE_EQ(inter.dim(0).hi, 10.0);
+  EXPECT_DOUBLE_EQ(inter.dim(1).lo, 0.0);
+  EXPECT_DOUBLE_EQ(inter.dim(1).hi, 5.0);
+  auto hull = a.Hull(b);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_DOUBLE_EQ(hull->dim(0).hi, 15.0);
+  EXPECT_DOUBLE_EQ(hull->dim(1).lo, -5.0);
+}
+
+TEST(HyperRectangleTest, HullDimMismatch) {
+  auto a = HyperRectangle::FromFlatBounds({0, 1}).value();
+  auto b = HyperRectangle::FromFlatBounds({0, 1, 0, 1}).value();
+  EXPECT_FALSE(a.Hull(b).ok());
+}
+
+TEST(HyperRectangleTest, Volume) {
+  auto box = HyperRectangle::FromFlatBounds({0, 2, 0, 3}).value();
+  EXPECT_DOUBLE_EQ(box.Volume(), 6.0);
+  auto flat = HyperRectangle::FromFlatBounds({0, 2, 1, 1}).value();
+  EXPECT_DOUBLE_EQ(flat.Volume(), 0.0);
+  EXPECT_DOUBLE_EQ(HyperRectangle().Volume(), 0.0);
+}
+
+TEST(HyperRectangleTest, ValidChecksEveryDim) {
+  std::vector<Interval> ivs{Interval(0, 1), Interval(5, 2)};
+  HyperRectangle box(std::move(ivs));
+  EXPECT_FALSE(box.valid());
+  EXPECT_FALSE(HyperRectangle().valid());  // Empty box invalid.
+}
+
+TEST(HyperRectangleTest, WireBytes) {
+  auto box = HyperRectangle::FromFlatBounds({0, 1, 0, 1, 0, 1}).value();
+  EXPECT_EQ(box.WireBytes(), 3u * 2 * sizeof(double));
+}
+
+TEST(HyperRectangleTest, ToStringFormat) {
+  auto box = HyperRectangle::FromFlatBounds({0, 1}).value();
+  EXPECT_EQ(box.ToString(), "{[0, 1]}");
+}
+
+}  // namespace
+}  // namespace qens::query

@@ -1,0 +1,135 @@
+// Tests for the cluster-digest selectivity estimator: exact cases under
+// uniform density, degenerate boxes, and accuracy against actual counts
+// on uniformly generated data.
+
+#include "qens/query/selectivity_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "qens/clustering/kmeans.h"
+#include "qens/common/rng.h"
+
+namespace qens::query {
+namespace {
+
+clustering::ClusterSummary MakeCluster(double lo, double hi, size_t size) {
+  clustering::ClusterSummary c;
+  c.centroid = {(lo + hi) / 2};
+  c.bounds = HyperRectangle::FromFlatBounds({lo, hi}).value();
+  c.size = size;
+  return c;
+}
+
+RangeQuery MakeQuery(std::vector<double> flat) {
+  RangeQuery q;
+  q.region = HyperRectangle::FromFlatBounds(flat).value();
+  return q;
+}
+
+TEST(SelectivityTest, FullCoverage) {
+  const auto cluster = MakeCluster(0, 10, 100);
+  EXPECT_DOUBLE_EQ(
+      EstimateClusterRows(cluster, MakeQuery({-5, 15})).value(), 100.0);
+}
+
+TEST(SelectivityTest, HalfCoverage) {
+  const auto cluster = MakeCluster(0, 10, 100);
+  EXPECT_DOUBLE_EQ(EstimateClusterRows(cluster, MakeQuery({0, 5})).value(),
+                   50.0);
+}
+
+TEST(SelectivityTest, Disjoint) {
+  const auto cluster = MakeCluster(0, 10, 100);
+  EXPECT_DOUBLE_EQ(EstimateClusterRows(cluster, MakeQuery({20, 30})).value(),
+                   0.0);
+}
+
+TEST(SelectivityTest, MultiDimensionalProduct) {
+  clustering::ClusterSummary c;
+  c.centroid = {5, 5};
+  c.bounds = HyperRectangle::FromFlatBounds({0, 10, 0, 10}).value();
+  c.size = 100;
+  // Query covers half of each dimension: expect a quarter of the rows.
+  EXPECT_DOUBLE_EQ(
+      EstimateClusterRows(c, MakeQuery({0, 5, 5, 10})).value(), 25.0);
+}
+
+TEST(SelectivityTest, EmptyClusterIsZero) {
+  auto cluster = MakeCluster(0, 10, 0);
+  EXPECT_DOUBLE_EQ(EstimateClusterRows(cluster, MakeQuery({0, 10})).value(),
+                   0.0);
+}
+
+TEST(SelectivityTest, DegenerateDimensionCoveredCountsFully) {
+  // All rows at one coordinate; the query covers it.
+  const auto cluster = MakeCluster(5, 5, 40);
+  EXPECT_DOUBLE_EQ(EstimateClusterRows(cluster, MakeQuery({0, 10})).value(),
+                   40.0);
+  // Query misses the point: no intersection, zero.
+  EXPECT_DOUBLE_EQ(EstimateClusterRows(cluster, MakeQuery({6, 10})).value(),
+                   0.0);
+}
+
+TEST(SelectivityTest, DimMismatchFails) {
+  const auto cluster = MakeCluster(0, 10, 10);
+  EXPECT_FALSE(EstimateClusterRows(cluster, MakeQuery({0, 1, 0, 1})).ok());
+}
+
+TEST(SelectivityTest, NodeAggregation) {
+  std::vector<clustering::ClusterSummary> clusters = {
+      MakeCluster(0, 10, 100),   // Fully inside.
+      MakeCluster(10, 20, 100),  // Half inside.
+      MakeCluster(40, 50, 100),  // Outside.
+  };
+  auto estimate = EstimateNodeSelectivity(clusters, MakeQuery({0, 15}));
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(estimate->estimated_rows, 150.0);
+  EXPECT_EQ(estimate->total_rows, 300u);
+  EXPECT_DOUBLE_EQ(estimate->Fraction(), 0.5);
+  ASSERT_EQ(estimate->per_cluster.size(), 3u);
+  EXPECT_DOUBLE_EQ(estimate->per_cluster[2], 0.0);
+}
+
+TEST(SelectivityTest, EstimateTracksActualOnUniformData) {
+  // Uniform 1-D data, k-means digests: the estimate should come close to
+  // the true matching-row count.
+  Rng rng(3);
+  Matrix data(4000, 1);
+  for (double& v : data.data()) v = rng.Uniform(0, 100);
+
+  clustering::KMeansOptions km;
+  km.k = 8;
+  auto summaries = clustering::KMeans(km).FitSummaries(data);
+  ASSERT_TRUE(summaries.ok());
+
+  for (double lo : {5.0, 25.0, 60.0}) {
+    RangeQuery q = MakeQuery({lo, lo + 20.0});
+    auto estimate = EstimateNodeSelectivity(*summaries, q);
+    ASSERT_TRUE(estimate.ok());
+    auto actual_rows = q.MatchingRows(data);
+    ASSERT_TRUE(actual_rows.ok());
+    const double actual = static_cast<double>(actual_rows->size());
+    // Within 15% relative error on uniform data.
+    EXPECT_NEAR(estimate->estimated_rows, actual, 0.15 * actual)
+        << "query [" << lo << ", " << lo + 20 << "]";
+  }
+}
+
+TEST(SelectivityTest, EstimateBoundedByPopulation) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double lo = rng.Uniform(-50, 50);
+    const auto cluster =
+        MakeCluster(lo, lo + rng.Uniform(0.1, 30),
+                    static_cast<size_t>(rng.UniformInt(uint64_t{1000})) + 1);
+    const double qlo = rng.Uniform(-60, 60);
+    auto rows = EstimateClusterRows(
+        cluster, MakeQuery({qlo, qlo + rng.Uniform(0.1, 60)}));
+    ASSERT_TRUE(rows.ok());
+    EXPECT_GE(*rows, 0.0);
+    EXPECT_LE(*rows, static_cast<double>(cluster.size));
+  }
+}
+
+}  // namespace
+}  // namespace qens::query

@@ -1,0 +1,199 @@
+// Tests for RangeQuery row matching and the [18]-style workload generator.
+
+#include "qens/query/workload_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "qens/query/range_query.h"
+
+namespace qens::query {
+namespace {
+
+TEST(RangeQueryTest, MatchingRows) {
+  Matrix features{{1, 1}, {5, 5}, {3, 9}, {2, 2}};
+  RangeQuery q;
+  q.region = HyperRectangle::FromFlatBounds({0, 3, 0, 3}).value();
+  auto rows = q.MatchingRows(features);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<size_t>{0, 3}));
+}
+
+TEST(RangeQueryTest, BoundaryIsInclusive) {
+  Matrix features{{3.0}};
+  RangeQuery q;
+  q.region = HyperRectangle::FromFlatBounds({0, 3}).value();
+  EXPECT_EQ(q.MatchingRows(features)->size(), 1u);
+}
+
+TEST(RangeQueryTest, DimMismatchFails) {
+  Matrix features{{1, 2}};
+  RangeQuery q;
+  q.region = HyperRectangle::FromFlatBounds({0, 3}).value();
+  EXPECT_FALSE(q.MatchingRows(features).ok());
+}
+
+TEST(RangeQueryTest, Selectivity) {
+  Matrix features{{0.0}, {1.0}, {2.0}, {3.0}};
+  RangeQuery q;
+  q.region = HyperRectangle::FromFlatBounds({0.5, 2.5}).value();
+  EXPECT_DOUBLE_EQ(q.Selectivity(features).value(), 0.5);
+  Matrix empty(0, 1);
+  EXPECT_DOUBLE_EQ(q.Selectivity(empty).value(), 0.0);
+}
+
+TEST(RangeQueryTest, ToStringContainsId) {
+  RangeQuery q;
+  q.id = 42;
+  q.region = HyperRectangle::FromFlatBounds({0, 1}).value();
+  EXPECT_NE(q.ToString().find("q42"), std::string::npos);
+}
+
+HyperRectangle UnitSpace2D() {
+  return HyperRectangle::FromFlatBounds({0, 100, -50, 50}).value();
+}
+
+TEST(WorkloadGeneratorTest, GeneratesRequestedCount) {
+  WorkloadOptions options;
+  options.num_queries = 200;  // The paper's workload size.
+  WorkloadGenerator gen(UnitSpace2D(), options);
+  auto queries = gen.Generate();
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries->size(), 200u);
+}
+
+TEST(WorkloadGeneratorTest, QueriesStayInsideDataSpace) {
+  WorkloadOptions options;
+  options.num_queries = 500;
+  WorkloadGenerator gen(UnitSpace2D(), options);
+  auto queries = gen.Generate();
+  ASSERT_TRUE(queries.ok());
+  const HyperRectangle space = UnitSpace2D();
+  for (const auto& q : *queries) {
+    ASSERT_EQ(q.dims(), 2u);
+    EXPECT_TRUE(space.ContainsBox(q.region)) << q.ToString();
+    EXPECT_TRUE(q.region.valid());
+  }
+}
+
+TEST(WorkloadGeneratorTest, WidthsRespectFractions) {
+  WorkloadOptions options;
+  options.num_queries = 300;
+  options.min_width_frac = 0.2;
+  options.max_width_frac = 0.4;
+  WorkloadGenerator gen(UnitSpace2D(), options);
+  auto queries = gen.Generate();
+  ASSERT_TRUE(queries.ok());
+  for (const auto& q : *queries) {
+    for (size_t d = 0; d < 2; ++d) {
+      const double extent = UnitSpace2D().dim(d).length();
+      // Clipping at the space border can shrink but never widen a query.
+      EXPECT_LE(q.region.dim(d).length(), 0.4 * extent + 1e-9);
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, ConsecutiveIds) {
+  WorkloadOptions options;
+  options.num_queries = 5;
+  options.first_id = 10;
+  WorkloadGenerator gen(UnitSpace2D(), options);
+  auto queries = gen.Generate();
+  ASSERT_TRUE(queries.ok());
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ((*queries)[i].id, 10u + i);
+}
+
+TEST(WorkloadGeneratorTest, DeterministicGivenSeed) {
+  WorkloadOptions options;
+  options.num_queries = 50;
+  options.seed = 777;
+  auto q1 = WorkloadGenerator(UnitSpace2D(), options).Generate();
+  auto q2 = WorkloadGenerator(UnitSpace2D(), options).Generate();
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ((*q1)[i].region, (*q2)[i].region);
+  }
+}
+
+TEST(WorkloadGeneratorTest, DifferentSeedsDiffer) {
+  WorkloadOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  auto qa = WorkloadGenerator(UnitSpace2D(), a).Generate();
+  auto qb = WorkloadGenerator(UnitSpace2D(), b).Generate();
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  EXPECT_NE((*qa)[0].region, (*qb)[0].region);
+}
+
+TEST(WorkloadGeneratorTest, DriftingCentersStayBounded) {
+  WorkloadOptions options;
+  options.num_queries = 200;
+  options.drifting_centers = true;
+  options.drift_step_frac = 0.05;
+  WorkloadGenerator gen(UnitSpace2D(), options);
+  auto queries = gen.Generate();
+  ASSERT_TRUE(queries.ok());
+  const HyperRectangle space = UnitSpace2D();
+  for (const auto& q : *queries) EXPECT_TRUE(space.ContainsBox(q.region));
+}
+
+TEST(WorkloadGeneratorTest, DriftingCentersMoveGradually) {
+  WorkloadOptions options;
+  options.num_queries = 100;
+  options.drifting_centers = true;
+  options.drift_step_frac = 0.02;
+  options.min_width_frac = 0.1;
+  options.max_width_frac = 0.1;
+  WorkloadGenerator gen(UnitSpace2D(), options);
+  auto queries = gen.Generate();
+  ASSERT_TRUE(queries.ok());
+  // Consecutive query centers must lie within the drift step (+width jitter).
+  for (size_t i = 1; i < queries->size(); ++i) {
+    for (size_t d = 0; d < 2; ++d) {
+      const double extent = UnitSpace2D().dim(d).length();
+      const double c_prev = 0.5 * ((*queries)[i - 1].region.dim(d).lo +
+                                   (*queries)[i - 1].region.dim(d).hi);
+      const double c_cur = 0.5 * ((*queries)[i].region.dim(d).lo +
+                                  (*queries)[i].region.dim(d).hi);
+      EXPECT_LE(std::abs(c_cur - c_prev), 0.1 * extent + 1e-9);
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, ValidationErrors) {
+  WorkloadOptions options;
+  options.num_queries = 0;
+  EXPECT_FALSE(WorkloadGenerator(UnitSpace2D(), options).Generate().ok());
+
+  options = WorkloadOptions();
+  options.min_width_frac = 0.0;
+  EXPECT_FALSE(WorkloadGenerator(UnitSpace2D(), options).Generate().ok());
+
+  options = WorkloadOptions();
+  options.min_width_frac = 0.6;
+  options.max_width_frac = 0.5;
+  EXPECT_FALSE(WorkloadGenerator(UnitSpace2D(), options).Generate().ok());
+
+  options = WorkloadOptions();
+  EXPECT_FALSE(WorkloadGenerator(HyperRectangle(), options).Generate().ok());
+
+  options = WorkloadOptions();
+  options.drifting_centers = true;
+  options.drift_step_frac = 0.0;
+  EXPECT_FALSE(WorkloadGenerator(UnitSpace2D(), options).Generate().ok());
+}
+
+TEST(WorkloadGeneratorTest, NextAdvancesStream) {
+  WorkloadOptions options;
+  WorkloadGenerator gen(UnitSpace2D(), options);
+  auto a = gen.Next();
+  auto b = gen.Next();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->id + 1, b->id);
+  EXPECT_NE(a->region, b->region);
+}
+
+}  // namespace
+}  // namespace qens::query

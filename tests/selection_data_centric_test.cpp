@@ -1,0 +1,123 @@
+// Tests for the data-centric ([8]-style) baseline: component scoring,
+// weight handling, top-l selection, validation.
+
+#include "qens/selection/data_centric.h"
+
+#include <gtest/gtest.h>
+
+namespace qens::selection {
+namespace {
+
+NodeProfile MakeProfile(size_t id, size_t samples, size_t clusters,
+                        size_t empty_clusters = 0) {
+  NodeProfile p;
+  p.node_id = id;
+  p.total_samples = samples;
+  for (size_t c = 0; c < clusters; ++c) {
+    clustering::ClusterSummary cluster;
+    cluster.size = c < clusters - empty_clusters ? samples / clusters : 0;
+    cluster.bounds =
+        query::HyperRectangle::FromFlatBounds({0.0, 1.0}).value();
+    cluster.centroid = {0.5};
+    p.clusters.push_back(cluster);
+  }
+  return p;
+}
+
+TEST(DataCentricTest, BiggerDataScoresHigher) {
+  std::vector<NodeProfile> profiles = {MakeProfile(0, 100, 5),
+                                       MakeProfile(1, 1000, 5)};
+  std::vector<double> caps = {1.0, 1.0};
+  std::vector<double> lats = {0.01, 0.01};
+  DataCentricOptions options;
+  auto scores = ScoreNodesDataCentric(profiles, caps, lats, options);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[1].total, (*scores)[0].total);
+  EXPECT_GT((*scores)[1].data_quality, (*scores)[0].data_quality);
+}
+
+TEST(DataCentricTest, FasterNodeScoresHigher) {
+  std::vector<NodeProfile> profiles = {MakeProfile(0, 500, 5),
+                                       MakeProfile(1, 500, 5)};
+  std::vector<double> caps = {1.0, 4.0};
+  std::vector<double> lats = {0.01, 0.01};
+  DataCentricOptions options;
+  auto scores = ScoreNodesDataCentric(profiles, caps, lats, options);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[1].total, (*scores)[0].total);
+  EXPECT_DOUBLE_EQ((*scores)[1].compute, 1.0);  // Max-normalized.
+}
+
+TEST(DataCentricTest, EmptyClustersReduceDiversity) {
+  std::vector<NodeProfile> profiles = {
+      MakeProfile(0, 500, 5, /*empty_clusters=*/0),
+      MakeProfile(1, 500, 5, /*empty_clusters=*/3)};
+  std::vector<double> caps = {1.0, 1.0};
+  std::vector<double> lats = {0.01, 0.01};
+  DataCentricOptions options;
+  auto scores = ScoreNodesDataCentric(profiles, caps, lats, options);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[0].data_quality, (*scores)[1].data_quality);
+}
+
+TEST(DataCentricTest, LowerLatencyScoresHigher) {
+  std::vector<NodeProfile> profiles = {MakeProfile(0, 500, 5),
+                                       MakeProfile(1, 500, 5)};
+  std::vector<double> caps = {1.0, 1.0};
+  std::vector<double> lats = {1.0, 0.0};
+  DataCentricOptions options;
+  auto scores = ScoreNodesDataCentric(profiles, caps, lats, options);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[1].comm, (*scores)[0].comm);
+}
+
+TEST(DataCentricTest, SelectTopL) {
+  std::vector<NodeProfile> profiles = {
+      MakeProfile(0, 100, 5), MakeProfile(1, 900, 5), MakeProfile(2, 500, 5),
+      MakeProfile(3, 800, 5)};
+  std::vector<double> caps(4, 1.0);
+  std::vector<double> lats(4, 0.01);
+  DataCentricOptions options;
+  options.top_l = 2;
+  auto selected = SelectDataCentric(profiles, caps, lats, options);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(*selected, (std::vector<size_t>{1, 3}));
+}
+
+TEST(DataCentricTest, SelectionIsQueryAgnostic) {
+  // The defining property the paper criticizes: no query enters the API at
+  // all, so the same nodes are selected for every query.
+  std::vector<NodeProfile> profiles = {MakeProfile(0, 100, 5),
+                                       MakeProfile(1, 900, 5)};
+  std::vector<double> caps(2, 1.0);
+  std::vector<double> lats(2, 0.01);
+  DataCentricOptions options;
+  options.top_l = 1;
+  auto s1 = SelectDataCentric(profiles, caps, lats, options);
+  auto s2 = SelectDataCentric(profiles, caps, lats, options);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);
+}
+
+TEST(DataCentricTest, Errors) {
+  std::vector<NodeProfile> profiles = {MakeProfile(0, 100, 5)};
+  DataCentricOptions options;
+  EXPECT_FALSE(ScoreNodesDataCentric({}, {}, {}, options).ok());
+  EXPECT_FALSE(
+      ScoreNodesDataCentric(profiles, {1.0, 2.0}, {0.01}, options).ok());
+  EXPECT_FALSE(ScoreNodesDataCentric(profiles, {0.0}, {0.01}, options).ok());
+  EXPECT_FALSE(ScoreNodesDataCentric(profiles, {1.0}, {-1.0}, options).ok());
+
+  DataCentricOptions zero_weights;
+  zero_weights.w_data = zero_weights.w_compute = zero_weights.w_comm = 0.0;
+  EXPECT_FALSE(
+      ScoreNodesDataCentric(profiles, {1.0}, {0.01}, zero_weights).ok());
+
+  DataCentricOptions zero_l;
+  zero_l.top_l = 0;
+  EXPECT_FALSE(SelectDataCentric(profiles, {1.0}, {0.01}, zero_l).ok());
+}
+
+}  // namespace
+}  // namespace qens::selection

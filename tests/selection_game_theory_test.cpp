@@ -1,0 +1,113 @@
+// Tests for the GT baseline: it must select the nodes whose data is MOST
+// dissimilar to the leader's (worst probe loss), after a mandatory
+// training pre-round.
+
+#include "qens/selection/game_theory.h"
+
+#include <gtest/gtest.h>
+
+#include "qens/common/rng.h"
+
+namespace qens::selection {
+namespace {
+
+/// Node with data y = slope * x + noise over x in [0, 10].
+data::Dataset MakeNode(double slope, uint64_t seed, size_t n = 300) {
+  Rng rng(seed);
+  Matrix x(n, 1), y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(0, 10);
+    y(i, 0) = slope * x(i, 0) + rng.Gaussian(0, 0.2);
+  }
+  return data::Dataset::Create(x, y).value();
+}
+
+GameTheoryOptions FastOptions() {
+  GameTheoryOptions options;
+  options.model = ml::ModelKind::kLinearRegression;
+  options.loss_quantile = 0.5;
+  options.seed = 4;
+  return options;
+}
+
+TEST(GameTheoryTest, SelectsDissimilarNodes) {
+  // Leader slope 2; nodes 0-1 match, nodes 2-3 have flipped slope.
+  data::Dataset leader = MakeNode(2.0, 1);
+  std::vector<data::Dataset> nodes = {
+      MakeNode(2.0, 2), MakeNode(2.0, 3), MakeNode(-2.0, 4),
+      MakeNode(-2.0, 5)};
+  auto sel = RunGameTheorySelection(leader, nodes, FastOptions());
+  ASSERT_TRUE(sel.ok());
+  // The dissimilar nodes (2, 3) must be selected; similar ones must not.
+  EXPECT_EQ(sel->selected, (std::vector<size_t>{2, 3}));
+  // Probe losses on dissimilar nodes dominate.
+  EXPECT_GT(sel->probe_loss[2], sel->probe_loss[0]);
+  EXPECT_GT(sel->probe_loss[3], sel->probe_loss[1]);
+}
+
+TEST(GameTheoryTest, PreRoundCostIsAccounted) {
+  data::Dataset leader = MakeNode(1.0, 10);
+  std::vector<data::Dataset> nodes = {MakeNode(1.0, 11), MakeNode(-1.0, 12)};
+  auto sel = RunGameTheorySelection(leader, nodes, FastOptions());
+  ASSERT_TRUE(sel.ok());
+  EXPECT_GT(sel->leader_samples_trained, 0u);
+  EXPECT_GT(sel->pre_round_seconds, 0.0);
+}
+
+TEST(GameTheoryTest, MaxSelectedCapsAndKeepsWorst) {
+  data::Dataset leader = MakeNode(2.0, 20);
+  std::vector<data::Dataset> nodes = {
+      MakeNode(2.0, 21), MakeNode(-1.0, 22), MakeNode(-4.0, 23),
+      MakeNode(-2.0, 24)};
+  GameTheoryOptions options = FastOptions();
+  options.loss_quantile = 0.25;
+  options.max_selected = 1;
+  auto sel = RunGameTheorySelection(leader, nodes, options);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->selected.size(), 1u);
+  // The single selected node must be the worst-loss node.
+  size_t worst = 0;
+  for (size_t i = 1; i < sel->probe_loss.size(); ++i) {
+    if (sel->probe_loss[i] > sel->probe_loss[worst]) worst = i;
+  }
+  EXPECT_EQ(sel->selected[0], worst);
+}
+
+TEST(GameTheoryTest, DegenerateDistributionFallsBackToWorstNode) {
+  // All nodes identical to the leader: quantile rule selects nothing, so
+  // GT falls back to the single worst node.
+  data::Dataset leader = MakeNode(1.0, 30);
+  std::vector<data::Dataset> nodes = {leader, leader, leader};
+  auto sel = RunGameTheorySelection(leader, nodes, FastOptions());
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->selected.size(), 1u);
+}
+
+TEST(GameTheoryTest, ProbeLossPerNodeReported) {
+  data::Dataset leader = MakeNode(1.0, 40);
+  std::vector<data::Dataset> nodes = {MakeNode(1.0, 41), MakeNode(3.0, 42),
+                                      MakeNode(-3.0, 43)};
+  auto sel = RunGameTheorySelection(leader, nodes, FastOptions());
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->probe_loss.size(), 3u);
+  for (double loss : sel->probe_loss) EXPECT_GE(loss, 0.0);
+  // Similar node has the smallest loss.
+  EXPECT_LT(sel->probe_loss[0], sel->probe_loss[1]);
+  EXPECT_LT(sel->probe_loss[0], sel->probe_loss[2]);
+}
+
+TEST(GameTheoryTest, Errors) {
+  data::Dataset leader = MakeNode(1.0, 50, 50);
+  EXPECT_FALSE(RunGameTheorySelection(leader, {}, FastOptions()).ok());
+  EXPECT_FALSE(
+      RunGameTheorySelection(data::Dataset(), {leader}, FastOptions()).ok());
+  GameTheoryOptions bad = FastOptions();
+  bad.loss_quantile = 1.0;
+  EXPECT_FALSE(RunGameTheorySelection(leader, {leader}, bad).ok());
+  std::vector<data::Dataset> with_empty = {leader, data::Dataset()};
+  EXPECT_FALSE(
+      RunGameTheorySelection(leader, with_empty, FastOptions()).ok());
+}
+
+}  // namespace
+}  // namespace qens::selection

@@ -1,0 +1,100 @@
+// Tests for the NodeProfile wire codec: exact round trips and malformed
+// input rejection.
+
+#include "qens/selection/profile_io.h"
+
+#include <gtest/gtest.h>
+
+namespace qens::selection {
+namespace {
+
+NodeProfile SampleProfile() {
+  NodeProfile p;
+  p.node_id = 7;
+  p.name = "Dingling-7";
+  p.total_samples = 1234;
+  for (int c = 0; c < 3; ++c) {
+    clustering::ClusterSummary cluster;
+    cluster.size = 400 + c;
+    cluster.centroid = {1.5 + c, -2.25 * c};
+    cluster.bounds =
+        query::HyperRectangle::FromFlatBounds(
+            {0.1 * c, 1.0 + c, -5.5, 5.5 + 0.125 * c})
+            .value();
+    p.clusters.push_back(cluster);
+  }
+  return p;
+}
+
+TEST(ProfileIoTest, RoundTripIsExact) {
+  const NodeProfile p = SampleProfile();
+  auto back = DeserializeProfile(SerializeProfile(p));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->node_id, p.node_id);
+  EXPECT_EQ(back->name, p.name);
+  EXPECT_EQ(back->total_samples, p.total_samples);
+  ASSERT_EQ(back->clusters.size(), p.clusters.size());
+  for (size_t c = 0; c < p.clusters.size(); ++c) {
+    EXPECT_EQ(back->clusters[c].size, p.clusters[c].size);
+    EXPECT_EQ(back->clusters[c].centroid, p.clusters[c].centroid);
+    EXPECT_EQ(back->clusters[c].bounds, p.clusters[c].bounds);
+  }
+}
+
+TEST(ProfileIoTest, EmptyNameRoundTrips) {
+  NodeProfile p = SampleProfile();
+  p.name.clear();
+  auto back = DeserializeProfile(SerializeProfile(p));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->name.empty());
+}
+
+TEST(ProfileIoTest, NoClusters) {
+  NodeProfile p;
+  p.node_id = 1;
+  p.total_samples = 10;
+  auto back = DeserializeProfile(SerializeProfile(p));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->clusters.empty());
+}
+
+TEST(ProfileIoTest, RejectsBadMagic) {
+  EXPECT_FALSE(DeserializeProfile("wrong v1\n").ok());
+  EXPECT_FALSE(DeserializeProfile("").ok());
+}
+
+TEST(ProfileIoTest, RejectsMalformedClusterLine) {
+  const std::string text =
+      "qens-profile v1\nnode 0 n\nsamples 10\nclusters 1\n"
+      "cluster 5 2 0x1p0\n";  // Too few fields for d = 2.
+  EXPECT_FALSE(DeserializeProfile(text).ok());
+}
+
+TEST(ProfileIoTest, RejectsTruncatedClusters) {
+  const std::string text =
+      "qens-profile v1\nnode 0 n\nsamples 10\nclusters 2\n"
+      "cluster 5 1 0x1p0 0x0p0 0x1p0\n";  // Only one of two clusters.
+  EXPECT_FALSE(DeserializeProfile(text).ok());
+}
+
+TEST(ProfileIoTest, RejectsInvalidBounds) {
+  // min > max in the single dimension.
+  const std::string text =
+      "qens-profile v1\nnode 0 n\nsamples 10\nclusters 1\n"
+      "cluster 5 1 0x1p0 0x1p2 0x1p0\n";
+  EXPECT_FALSE(DeserializeProfile(text).ok());
+}
+
+TEST(ProfileIoTest, CommentsIgnored) {
+  NodeProfile p = SampleProfile();
+  std::string text = "# header comment\n" + SerializeProfile(p);
+  EXPECT_TRUE(DeserializeProfile(text).ok());
+}
+
+TEST(ProfileIoTest, SerializedBytesMatchesText) {
+  const NodeProfile p = SampleProfile();
+  EXPECT_EQ(SerializedProfileBytes(p), SerializeProfile(p).size());
+}
+
+}  // namespace
+}  // namespace qens::selection

@@ -1,0 +1,124 @@
+// Hand-computed multi-dimensional ranking vectors (Eqs. 2-4 at d > 1) and
+// heterogeneous-K profiles (nodes with different cluster counts).
+
+#include <gtest/gtest.h>
+
+#include "qens/selection/ranking.h"
+
+namespace qens::selection {
+namespace {
+
+using query::HyperRectangle;
+using query::RangeQuery;
+
+clustering::ClusterSummary Cluster2D(double x_lo, double x_hi, double y_lo,
+                                     double y_hi, size_t size = 10) {
+  clustering::ClusterSummary c;
+  c.centroid = {(x_lo + x_hi) / 2, (y_lo + y_hi) / 2};
+  c.bounds =
+      HyperRectangle::FromFlatBounds({x_lo, x_hi, y_lo, y_hi}).value();
+  c.size = size;
+  return c;
+}
+
+RangeQuery Query2D(double x_lo, double x_hi, double y_lo, double y_hi) {
+  RangeQuery q;
+  q.region = HyperRectangle::FromFlatBounds({x_lo, x_hi, y_lo, y_hi}).value();
+  return q;
+}
+
+TEST(MultiDimRankingTest, HandComputedTwoDimCase) {
+  // Cluster [0,10]x[0,10]; query [2,4]x[20,30].
+  // dim0: case 1, h = 2/10 = 0.2; dim1: disjoint, h = 0.
+  // Eq. 2: h = (0.2 + 0)/2 = 0.1.
+  NodeProfile p;
+  p.node_id = 0;
+  p.total_samples = 10;
+  p.clusters = {Cluster2D(0, 10, 0, 10)};
+  RankingOptions options;
+  options.epsilon = 0.05;
+  auto rank = RankNode(p, Query2D(2, 4, 20, 30), options);
+  ASSERT_TRUE(rank.ok());
+  ASSERT_EQ(rank->cluster_scores.size(), 1u);
+  EXPECT_DOUBLE_EQ(rank->cluster_scores[0].overlap, 0.1);
+  EXPECT_TRUE(rank->cluster_scores[0].supporting);
+  // K' = K = 1 -> r = p * 1 = 0.1.
+  EXPECT_DOUBLE_EQ(rank->ranking, 0.1);
+}
+
+TEST(MultiDimRankingTest, MixedCasesAverage) {
+  // Cluster [0,10]x[0,10]; query [2,4]x[6,14].
+  // dim0: case 1, 0.2; dim1: case 2 (q_min inside), (10-6)/(14-0) = 2/7.
+  // Eq. 2: (0.2 + 2/7)/2.
+  NodeProfile p;
+  p.node_id = 0;
+  p.total_samples = 10;
+  p.clusters = {Cluster2D(0, 10, 0, 10)};
+  RankingOptions options;
+  options.epsilon = 0.1;
+  auto rank = RankNode(p, Query2D(2, 4, 6, 14), options);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_NEAR(rank->cluster_scores[0].overlap, (0.2 + 2.0 / 7.0) / 2.0,
+              1e-12);
+}
+
+TEST(MultiDimRankingTest, UnconstrainedDimensionDilutes) {
+  // The hospital-example effect: query covers all of dim1 (h = 1), is
+  // disjoint in dim0 (h = 0) -> Eq. 2 average 0.5 despite zero usable
+  // data in dim0.
+  NodeProfile p;
+  p.node_id = 0;
+  p.total_samples = 10;
+  p.clusters = {Cluster2D(0, 10, 0, 10)};
+  RankingOptions options;
+  options.epsilon = 0.4;
+  auto rank = RankNode(p, Query2D(50, 60, -5, 15), options);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_DOUBLE_EQ(rank->cluster_scores[0].overlap, 0.5);
+  // With epsilon below the diluted average, the cluster *supports* the
+  // query even though it holds nothing useful — which is why epsilon must
+  // be calibrated to the constrained dimensionality.
+  EXPECT_TRUE(rank->cluster_scores[0].supporting);
+}
+
+TEST(MultiDimRankingTest, NodesWithDifferentKCompareFairly) {
+  // Node A: 2 clusters, both fully supporting -> p = 2, K'/K = 1, r = 2.
+  // Node B: 4 clusters, two fully supporting -> p = 2, K'/K = 0.5, r = 1.
+  // Eq. 4's K'/K factor rewards the node whose data is concentrated in
+  // the query region.
+  NodeProfile a;
+  a.node_id = 0;
+  a.total_samples = 20;
+  a.clusters = {Cluster2D(0, 1, 0, 1), Cluster2D(1, 2, 1, 2)};
+  NodeProfile b;
+  b.node_id = 1;
+  b.total_samples = 40;
+  b.clusters = {Cluster2D(0, 1, 0, 1), Cluster2D(1, 2, 1, 2),
+                Cluster2D(50, 60, 50, 60), Cluster2D(70, 80, 70, 80)};
+  RankingOptions options;
+  options.epsilon = 0.5;
+  RangeQuery q = Query2D(-1, 3, -1, 3);
+  auto ranks = RankNodes({a, b}, q, options);
+  ASSERT_TRUE(ranks.ok());
+  EXPECT_EQ((*ranks)[0].node_id, 0u);
+  EXPECT_DOUBLE_EQ((*ranks)[0].ranking, 2.0);
+  EXPECT_DOUBLE_EQ((*ranks)[1].ranking, 1.0);
+}
+
+TEST(MultiDimRankingTest, SupportingSamplesSumSupportingSizesOnly) {
+  NodeProfile p;
+  p.node_id = 0;
+  p.clusters = {Cluster2D(0, 10, 0, 10, 30),
+                Cluster2D(100, 110, 100, 110, 70)};
+  p.total_samples = 100;
+  RankingOptions options;
+  options.epsilon = 0.5;
+  auto rank = RankNode(p, Query2D(0, 10, 0, 10), options);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(rank->supporting_clusters, 1u);
+  EXPECT_EQ(rank->supporting_samples, 30u);
+  EXPECT_EQ(rank->total_samples, 100u);
+}
+
+}  // namespace
+}  // namespace qens::selection

@@ -1,0 +1,156 @@
+// Tests for the fair stochastic ([12]-style) selector: draw validity,
+// fairness convergence, effectiveness weighting, Jain index.
+
+#include "qens/selection/stochastic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qens::selection {
+namespace {
+
+std::vector<NodeRank> UniformRanks(size_t n, double value = 1.0) {
+  std::vector<NodeRank> ranks(n);
+  for (size_t i = 0; i < n; ++i) {
+    ranks[i].node_id = i;
+    ranks[i].ranking = value;
+  }
+  return ranks;
+}
+
+TEST(StochasticTest, DrawsDistinctValidIds) {
+  StochasticOptions options;
+  options.draw_l = 3;
+  StochasticSelector selector(8, options);
+  for (int round = 0; round < 50; ++round) {
+    auto sel = selector.Select(UniformRanks(8));
+    ASSERT_TRUE(sel.ok());
+    ASSERT_EQ(sel->size(), 3u);
+    std::set<size_t> distinct(sel->begin(), sel->end());
+    EXPECT_EQ(distinct.size(), 3u);
+    for (size_t id : *sel) EXPECT_LT(id, 8u);
+  }
+}
+
+TEST(StochasticTest, DrawLClampedToPopulation) {
+  StochasticOptions options;
+  options.draw_l = 10;
+  StochasticSelector selector(4, options);
+  auto sel = selector.Select({});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(StochasticTest, ParticipationCountsTrackSelections) {
+  StochasticOptions options;
+  options.draw_l = 2;
+  StochasticSelector selector(5, options);
+  size_t total = 0;
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(selector.Select({}).ok());
+    total += 2;
+  }
+  size_t counted = 0;
+  for (size_t c : selector.participation_counts()) counted += c;
+  EXPECT_EQ(counted, total);
+}
+
+TEST(StochasticTest, FairnessEqualizesParticipationOverTime) {
+  // Pure fairness (alpha = 0): long-run counts become near-uniform even
+  // though the ranks are wildly uneven.
+  StochasticOptions options;
+  options.alpha = 0.0;
+  options.draw_l = 2;
+  options.seed = 5;
+  StochasticSelector selector(6, options);
+  std::vector<NodeRank> skewed = UniformRanks(6, 0.0);
+  skewed[0].ranking = 100.0;  // Would dominate an effectiveness-only draw.
+  for (int round = 0; round < 600; ++round) {
+    ASSERT_TRUE(selector.Select(skewed).ok());
+  }
+  auto fairness = JainFairnessIndex(selector.participation_counts());
+  ASSERT_TRUE(fairness.ok());
+  EXPECT_GT(*fairness, 0.98);
+}
+
+TEST(StochasticTest, EffectivenessBiasesTowardHighRanks) {
+  // Pure effectiveness (alpha = 1): the high-rank node is drawn far more.
+  StochasticOptions options;
+  options.alpha = 1.0;
+  options.draw_l = 1;
+  options.seed = 6;
+  StochasticSelector selector(4, options);
+  std::vector<NodeRank> ranks = UniformRanks(4, 0.1);
+  ranks[2].ranking = 5.0;
+  for (int round = 0; round < 400; ++round) {
+    ASSERT_TRUE(selector.Select(ranks).ok());
+  }
+  const auto& counts = selector.participation_counts();
+  EXPECT_GT(counts[2], counts[0] * 3);
+  EXPECT_GT(counts[2], counts[1] * 3);
+  EXPECT_GT(counts[2], counts[3] * 3);
+}
+
+TEST(StochasticTest, EmptyRanksMeansPureFairnessDraw) {
+  StochasticOptions options;
+  options.draw_l = 1;
+  StochasticSelector selector(3, options);
+  auto sel = selector.Select({});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 1u);
+}
+
+TEST(StochasticTest, ResetClearsHistory) {
+  StochasticOptions options;
+  StochasticSelector selector(4, options);
+  ASSERT_TRUE(selector.Select({}).ok());
+  selector.Reset();
+  for (size_t c : selector.participation_counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(StochasticTest, DeterministicGivenSeed) {
+  StochasticOptions options;
+  options.seed = 99;
+  options.draw_l = 2;
+  StochasticSelector a(6, options), b(6, options);
+  for (int round = 0; round < 10; ++round) {
+    auto sa = a.Select(UniformRanks(6));
+    auto sb = b.Select(UniformRanks(6));
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    EXPECT_EQ(*sa, *sb);
+  }
+}
+
+TEST(StochasticTest, Errors) {
+  StochasticOptions bad_alpha;
+  bad_alpha.alpha = 1.5;
+  StochasticSelector s1(3, bad_alpha);
+  EXPECT_FALSE(s1.Select({}).ok());
+
+  StochasticOptions zero_draw;
+  zero_draw.draw_l = 0;
+  StochasticSelector s2(3, zero_draw);
+  EXPECT_FALSE(s2.Select({}).ok());
+
+  StochasticOptions options;
+  StochasticSelector s3(3, options);
+  // Rank referencing an unknown node.
+  std::vector<NodeRank> bad = UniformRanks(3);
+  bad[0].node_id = 9;
+  EXPECT_FALSE(s3.Select(bad).ok());
+  // Ranks not covering every node.
+  std::vector<NodeRank> partial = UniformRanks(2);
+  EXPECT_FALSE(s3.Select(partial).ok());
+}
+
+TEST(JainIndexTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({5, 5, 5, 5}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({4, 0, 0, 0}).value(), 0.25);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0, 0}).value(), 1.0);
+  EXPECT_FALSE(JainFairnessIndex({}).ok());
+}
+
+}  // namespace
+}  // namespace qens::selection

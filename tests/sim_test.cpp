@@ -1,0 +1,179 @@
+// Tests for the simulated edge substrate: cost model, network accounting,
+// edge nodes, and the environment builder.
+
+#include <gtest/gtest.h>
+
+#include "qens/common/rng.h"
+#include "qens/sim/cost_model.h"
+#include "qens/sim/edge_environment.h"
+#include "qens/sim/edge_node.h"
+#include "qens/sim/network.h"
+
+namespace qens::sim {
+namespace {
+
+data::Dataset MakeData(size_t n, double offset, uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, 1), y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = offset + rng.Uniform(0, 10);
+    y(i, 0) = 2 * x(i, 0) + rng.Gaussian(0, 0.1);
+  }
+  return data::Dataset::Create(x, y).value();
+}
+
+TEST(CostModelTest, TrainingTimeLinearInWork) {
+  CostModel model;
+  const double t1 = model.TrainingSeconds(1000, 10, 1.0);
+  const double t2 = model.TrainingSeconds(2000, 10, 1.0);
+  const double t3 = model.TrainingSeconds(1000, 20, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 2 * t1);
+  EXPECT_DOUBLE_EQ(t3, 2 * t1);
+}
+
+TEST(CostModelTest, FasterNodeTrainsFaster) {
+  CostModel model;
+  EXPECT_LT(model.TrainingSeconds(1000, 10, 2.0),
+            model.TrainingSeconds(1000, 10, 1.0));
+}
+
+TEST(CostModelTest, TransferIncludesLatency) {
+  CostModelOptions options;
+  options.link_latency_s = 0.1;
+  options.bandwidth_bytes_per_s = 1000.0;
+  CostModel model(options);
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(0), 0.1);
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(1000), 0.1 + 1.0);
+  EXPECT_DOUBLE_EQ(model.RoundTripSeconds(1000, 0), 1.1 + 0.1);
+}
+
+TEST(NetworkTest, AccountsMessagesAndBytes) {
+  Network net{CostModel({0.01, 1000.0, 1.0})};
+  const double t = net.Send(0, 1, 500, "model-down");
+  EXPECT_DOUBLE_EQ(t, 0.01 + 0.5);
+  net.Send(1, 0, 200, "model-up");
+  EXPECT_EQ(net.total_messages(), 2u);
+  EXPECT_EQ(net.total_bytes(), 700u);
+  EXPECT_NEAR(net.total_transfer_seconds(), 0.01 + 0.5 + 0.01 + 0.2, 1e-12);
+  EXPECT_EQ(net.BytesWithTag("model-down"), 500u);
+  EXPECT_EQ(net.BytesWithTag("nope"), 0u);
+  net.Reset();
+  EXPECT_EQ(net.total_messages(), 0u);
+  EXPECT_EQ(net.total_bytes(), 0u);
+}
+
+TEST(EdgeNodeTest, QuantizeAndProfile) {
+  EdgeNode node(3, "n3", MakeData(200, 0.0, 1), 1.5);
+  EXPECT_EQ(node.id(), 3u);
+  EXPECT_DOUBLE_EQ(node.capacity(), 1.5);
+  EXPECT_FALSE(node.quantized());
+  EXPECT_TRUE(node.profile().status().IsFailedPrecondition());
+
+  clustering::KMeansOptions km;
+  km.k = 5;
+  ASSERT_TRUE(node.Quantize(km).ok());
+  EXPECT_TRUE(node.quantized());
+  auto profile = node.profile();
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ((*profile)->node_id, 3u);
+  EXPECT_EQ((*profile)->clusters.size(), 5u);
+  EXPECT_EQ((*profile)->total_samples, 200u);
+}
+
+TEST(EdgeNodeTest, ClusterDataPartitionsNode) {
+  EdgeNode node(0, "n0", MakeData(150, 0.0, 2), 1.0);
+  clustering::KMeansOptions km;
+  km.k = 3;
+  ASSERT_TRUE(node.Quantize(km).ok());
+  size_t total = 0;
+  for (size_t c = 0; c < 3; ++c) {
+    auto data = node.ClusterData(c);
+    if (data.ok()) total += data->NumSamples();
+  }
+  EXPECT_EQ(total, 150u);
+}
+
+TEST(EdgeNodeTest, ClustersDataUnion) {
+  EdgeNode node(0, "n0", MakeData(100, 0.0, 3), 1.0);
+  clustering::KMeansOptions km;
+  km.k = 4;
+  ASSERT_TRUE(node.Quantize(km).ok());
+  auto all = node.ClustersData({0, 1, 2, 3});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->NumSamples(), 100u);
+  EXPECT_TRUE(node.ClusterData(9).status().IsOutOfRange());
+}
+
+TEST(EdgeNodeTest, AccessBeforeQuantizeFails) {
+  EdgeNode node(0, "n0", MakeData(10, 0.0, 4), 1.0);
+  EXPECT_TRUE(node.ClusterData(0).status().IsFailedPrecondition());
+  EXPECT_TRUE(node.ClustersData({0}).status().IsFailedPrecondition());
+}
+
+EnvironmentOptions SmallEnvOptions() {
+  EnvironmentOptions options;
+  options.kmeans.k = 3;
+  options.leader_index = 0;
+  return options;
+}
+
+TEST(EdgeEnvironmentTest, CreateQuantizesAndShipsProfiles) {
+  std::vector<data::Dataset> shards = {MakeData(100, 0, 1), MakeData(100, 5, 2),
+                                       MakeData(100, 10, 3)};
+  auto env = EdgeEnvironment::Create(std::move(shards), SmallEnvOptions());
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env->num_nodes(), 3u);
+  EXPECT_EQ(env->TotalSamples(), 300u);
+  // Profile uploads recorded from each non-leader node.
+  EXPECT_EQ(env->network().total_messages(), 2u);
+  EXPECT_GT(env->network().BytesWithTag("profile"), 0u);
+  auto profiles = env->Profiles();
+  ASSERT_TRUE(profiles.ok());
+  EXPECT_EQ(profiles->size(), 3u);
+  EXPECT_EQ((*profiles)[1].node_id, 1u);
+}
+
+TEST(EdgeEnvironmentTest, GlobalDataSpaceIsHull) {
+  std::vector<data::Dataset> shards = {MakeData(200, 0, 1),
+                                       MakeData(200, 50, 2)};
+  auto env = EdgeEnvironment::Create(std::move(shards), SmallEnvOptions());
+  ASSERT_TRUE(env.ok());
+  auto space = env->GlobalDataSpace();
+  ASSERT_TRUE(space.ok());
+  EXPECT_LT(space->dim(0).lo, 10.0);
+  EXPECT_GT(space->dim(0).hi, 50.0);
+}
+
+TEST(EdgeEnvironmentTest, CapacitiesCycle) {
+  EnvironmentOptions options = SmallEnvOptions();
+  options.capacities = {1.0, 2.0};
+  std::vector<data::Dataset> shards = {MakeData(50, 0, 1), MakeData(50, 0, 2),
+                                       MakeData(50, 0, 3)};
+  auto env = EdgeEnvironment::Create(std::move(shards), options);
+  ASSERT_TRUE(env.ok());
+  EXPECT_DOUBLE_EQ(env->node(0).capacity(), 1.0);
+  EXPECT_DOUBLE_EQ(env->node(1).capacity(), 2.0);
+  EXPECT_DOUBLE_EQ(env->node(2).capacity(), 1.0);  // Cycled.
+}
+
+TEST(EdgeEnvironmentTest, Errors) {
+  EXPECT_FALSE(EdgeEnvironment::Create({}, SmallEnvOptions()).ok());
+
+  EnvironmentOptions bad_leader = SmallEnvOptions();
+  bad_leader.leader_index = 5;
+  EXPECT_FALSE(
+      EdgeEnvironment::Create({MakeData(10, 0, 1)}, bad_leader).ok());
+
+  EnvironmentOptions bad_cap = SmallEnvOptions();
+  bad_cap.capacities = {0.0};
+  EXPECT_FALSE(
+      EdgeEnvironment::Create({MakeData(10, 0, 1)}, bad_cap).ok());
+
+  std::vector<data::Dataset> with_empty = {MakeData(10, 0, 1),
+                                           data::Dataset()};
+  EXPECT_FALSE(
+      EdgeEnvironment::Create(std::move(with_empty), SmallEnvOptions()).ok());
+}
+
+}  // namespace
+}  // namespace qens::sim

@@ -1,0 +1,206 @@
+// Tests for the dense Matrix: construction, access, algebra, shape errors.
+
+#include "qens/tensor/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qens {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(0, 0), 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+}
+
+TEST(MatrixTest, FromFlatValid) {
+  auto m = Matrix::FromFlat(2, 2, {1, 2, 3, 4});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)(1, 0), 3.0);
+}
+
+TEST(MatrixTest, FromFlatSizeMismatch) {
+  EXPECT_FALSE(Matrix::FromFlat(2, 2, {1, 2, 3}).ok());
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_EQ(eye(0, 0), 1.0);
+  EXPECT_EQ(eye(1, 1), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAndColCopies) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3}));
+}
+
+TEST(MatrixTest, SetRow) {
+  Matrix m(2, 2);
+  EXPECT_TRUE(m.SetRow(0, {5, 6}).ok());
+  EXPECT_EQ(m(0, 1), 6.0);
+  EXPECT_TRUE(m.SetRow(5, {1, 2}).IsOutOfRange());
+  EXPECT_TRUE(m.SetRow(0, {1}).IsInvalidArgument());
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  auto sel = m.SelectRows({2, 0});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ((*sel)(0, 0), 5.0);
+  EXPECT_EQ((*sel)(1, 0), 1.0);
+  EXPECT_TRUE(m.SelectRows({7}).status().IsOutOfRange());
+}
+
+TEST(MatrixTest, SelectRowsEmptyIndexList) {
+  Matrix m{{1, 2}};
+  auto sel = m.SelectRows({});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->rows(), 0u);
+  EXPECT_EQ(sel->cols(), 2u);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(MatrixTest, MatMulCorrectness) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  auto c = a.MatMul(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)(0, 0), 19.0);
+  EXPECT_EQ((*c)(0, 1), 22.0);
+  EXPECT_EQ((*c)(1, 0), 43.0);
+  EXPECT_EQ((*c)(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulIdentity) {
+  Matrix a{{1, 2}, {3, 4}};
+  auto c = a.MatMul(Matrix::Identity(2));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, a);
+}
+
+TEST(MatrixTest, MatMulShapeMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_TRUE(a.MatMul(b).status().IsInvalidArgument());
+}
+
+TEST(MatrixTest, MatMulRectangular) {
+  Matrix a{{1, 0, 2}};          // 1x3
+  Matrix b{{1}, {2}, {3}};      // 3x1
+  auto c = a.MatMul(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->rows(), 1u);
+  EXPECT_EQ(c->cols(), 1u);
+  EXPECT_EQ((*c)(0, 0), 7.0);
+}
+
+TEST(MatrixTest, AxpyAndArithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 1}, {1, 1}};
+  ASSERT_TRUE(a.Axpy(2.0, b).ok());
+  EXPECT_EQ(a(0, 0), 3.0);
+  auto sum = a.Add(b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)(1, 1), 7.0);
+  auto diff = a.Sub(b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ((*diff)(0, 0), 2.0);
+  auto had = a.Hadamard(b);
+  ASSERT_TRUE(had.ok());
+  EXPECT_EQ((*had)(0, 1), 4.0);
+}
+
+TEST(MatrixTest, ArithmeticShapeMismatch) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_FALSE(a.Add(b).ok());
+  EXPECT_FALSE(a.Sub(b).ok());
+  EXPECT_FALSE(a.Hadamard(b).ok());
+  EXPECT_FALSE(a.Axpy(1.0, b).ok());
+}
+
+TEST(MatrixTest, ScaleAndFill) {
+  Matrix m{{1, -2}};
+  m.Scale(-3.0);
+  EXPECT_EQ(m(0, 0), -3.0);
+  EXPECT_EQ(m(0, 1), 6.0);
+  m.Fill(9.0);
+  EXPECT_EQ(m(0, 0), 9.0);
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix m{{1, 2}, {3, 4}};
+  ASSERT_TRUE(m.AddRowBroadcast({10, 20}).ok());
+  EXPECT_EQ(m(0, 0), 11.0);
+  EXPECT_EQ(m(1, 1), 24.0);
+  EXPECT_TRUE(m.AddRowBroadcast({1}).IsInvalidArgument());
+}
+
+TEST(MatrixTest, ColSumsAndMeans) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.ColSums(), (std::vector<double>{9, 12}));
+  EXPECT_EQ(m.ColMeans(), (std::vector<double>{3, 4}));
+}
+
+TEST(MatrixTest, ColMeansOfEmpty) {
+  Matrix m(0, 3);
+  EXPECT_EQ(m.ColMeans(), (std::vector<double>{0, 0, 0}));
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a{{1, 2}}, b{{1.5, 1}};
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 1.0);
+  Matrix c(2, 2);
+  EXPECT_TRUE(std::isinf(a.MaxAbsDiff(c)));
+}
+
+TEST(MatrixTest, MatMulAssociativityProperty) {
+  // (A B) C == A (B C) on small random-ish integers.
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{0, 1}, {1, 0}};
+  Matrix c{{2, 0}, {0, 2}};
+  Matrix left = a.MatMul(b).value().MatMul(c).value();
+  Matrix right = a.MatMul(b.MatMul(c).value()).value();
+  EXPECT_EQ(left, right);
+}
+
+}  // namespace
+}  // namespace qens

@@ -1,0 +1,129 @@
+// Tests for descriptive statistics: RunningStats, correlation, OLS,
+// quantiles.
+
+#include "qens/tensor/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qens/common/rng.h"
+
+namespace qens::stats {
+namespace {
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(42);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(3.0, 2.0);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats a_copy = a;
+  a.Merge(b);  // No-op.
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.Merge(a);  // Adopt.
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}).value(), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}).value(), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, Errors) {
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1}, {1}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).ok());
+}
+
+TEST(FitLineTest, ExactLine) {
+  auto fit = FitLine({0, 1, 2, 3}, {1, 3, 5, 7});  // y = 2x + 1.
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineRecoversSlopeSign) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = rng.Uniform(-5, 5);
+    x.push_back(xi);
+    y.push_back(-3.0 * xi + 2.0 + rng.Gaussian(0, 0.5));
+  }
+  auto fit = FitLine(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, -3.0, 0.1);
+  EXPECT_GT(fit->r_squared, 0.95);
+}
+
+TEST(FitLineTest, Errors) {
+  EXPECT_FALSE(FitLine({1}, {1}).ok());
+  EXPECT_FALSE(FitLine({2, 2, 2}, {1, 2, 3}).ok());  // Constant x.
+  EXPECT_FALSE(FitLine({1, 2}, {1}).ok());
+}
+
+TEST(FitLineTest, ConstantYHasZeroSlope) {
+  auto fit = FitLine({1, 2, 3}, {5, 5, 5});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 5.0, 1e-12);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5).value(), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0).value(), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({0, 10}, 0.25).value(), 2.5);
+}
+
+TEST(QuantileTest, Errors) {
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.1).ok());
+}
+
+}  // namespace
+}  // namespace qens::stats

@@ -1,0 +1,83 @@
+// Tests for the free-function vector operations.
+
+#include "qens/tensor/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qens::vec {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2({0, 0, 0}), 0.0);
+}
+
+TEST(VectorOpsTest, Distances) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(VectorOpsTest, AddSubScale) {
+  EXPECT_EQ(Add({1, 2}, {3, 4}), (std::vector<double>{4, 6}));
+  EXPECT_EQ(Sub({1, 2}, {3, 4}), (std::vector<double>{-2, -2}));
+  EXPECT_EQ(Scale({1, -2}, 3.0), (std::vector<double>{3, -6}));
+}
+
+TEST(VectorOpsTest, AxpyInPlace) {
+  std::vector<double> a{1, 2};
+  AxpyInPlace(&a, 2.0, {10, 20});
+  EXPECT_EQ(a, (std::vector<double>{21, 42}));
+}
+
+TEST(VectorOpsTest, SumMean) {
+  EXPECT_DOUBLE_EQ(Sum({1, 2, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(VectorOpsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3, 1, 2}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Max({3, 1, 2}).value(), 3.0);
+  EXPECT_FALSE(Min({}).ok());
+  EXPECT_FALSE(Max({}).ok());
+}
+
+TEST(VectorOpsTest, ArgMinArgMax) {
+  EXPECT_EQ(ArgMin({3, 1, 2}).value(), 1u);
+  EXPECT_EQ(ArgMax({3, 1, 2}).value(), 0u);
+  // Ties break low.
+  EXPECT_EQ(ArgMin({1, 1, 1}).value(), 0u);
+  EXPECT_FALSE(ArgMin({}).ok());
+}
+
+TEST(VectorOpsTest, NormalizeWeightsBasic) {
+  auto w = NormalizeWeights({1, 3});
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ((*w)[0], 0.25);
+  EXPECT_DOUBLE_EQ((*w)[1], 0.75);
+}
+
+TEST(VectorOpsTest, NormalizeWeightsSumsToOne) {
+  auto w = NormalizeWeights({0.2, 0.7, 1.9, 0.0});
+  ASSERT_TRUE(w.ok());
+  double total = 0.0;
+  for (double v : *w) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(VectorOpsTest, NormalizeWeightsErrors) {
+  EXPECT_FALSE(NormalizeWeights({}).ok());
+  EXPECT_FALSE(NormalizeWeights({1.0, -0.5}).ok());
+  EXPECT_FALSE(NormalizeWeights({0.0, 0.0}).ok());
+}
+
+}  // namespace
+}  // namespace qens::vec
