@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_data_fraction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_homogeneous.dir/bench_table1_homogeneous.cpp.o"
+  "CMakeFiles/bench_table1_homogeneous.dir/bench_table1_homogeneous.cpp.o.d"
+  "bench_table1_homogeneous"
+  "bench_table1_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_heterogeneous.dir/bench_table2_heterogeneous.cpp.o"
+  "CMakeFiles/bench_table2_heterogeneous.dir/bench_table2_heterogeneous.cpp.o.d"
+  "bench_table2_heterogeneous"
+  "bench_table2_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_hyperparams.dir/bench_table3_hyperparams.cpp.o"
+  "CMakeFiles/bench_table3_hyperparams.dir/bench_table3_hyperparams.cpp.o.d"
+  "bench_table3_hyperparams"
+  "bench_table3_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

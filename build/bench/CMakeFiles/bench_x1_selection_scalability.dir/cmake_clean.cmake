@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_selection_scalability.dir/bench_x1_selection_scalability.cpp.o"
+  "CMakeFiles/bench_x1_selection_scalability.dir/bench_x1_selection_scalability.cpp.o.d"
+  "bench_x1_selection_scalability"
+  "bench_x1_selection_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_selection_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_ablations.dir/bench_x2_ablations.cpp.o"
+  "CMakeFiles/bench_x2_ablations.dir/bench_x2_ablations.cpp.o.d"
+  "bench_x2_ablations"
+  "bench_x2_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_kmeans.dir/bench_x3_kmeans.cpp.o"
+  "CMakeFiles/bench_x3_kmeans.dir/bench_x3_kmeans.cpp.o.d"
+  "bench_x3_kmeans"
+  "bench_x3_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

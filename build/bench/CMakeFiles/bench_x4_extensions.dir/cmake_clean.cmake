@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_extensions.dir/bench_x4_extensions.cpp.o"
+  "CMakeFiles/bench_x4_extensions.dir/bench_x4_extensions.cpp.o.d"
+  "bench_x4_extensions"
+  "bench_x4_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

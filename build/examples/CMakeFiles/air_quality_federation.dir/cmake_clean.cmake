@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_quality_federation.dir/air_quality_federation.cpp.o"
+  "CMakeFiles/air_quality_federation.dir/air_quality_federation.cpp.o.d"
+  "air_quality_federation"
+  "air_quality_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_quality_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_federation.dir/hospital_federation.cpp.o"
+  "CMakeFiles/hospital_federation.dir/hospital_federation.cpp.o.d"
+  "hospital_federation"
+  "hospital_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_workload_explorer.dir/query_workload_explorer.cpp.o"
+  "CMakeFiles/query_workload_explorer.dir/query_workload_explorer.cpp.o.d"
+  "query_workload_explorer"
+  "query_workload_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_workload_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_edge_node.dir/streaming_edge_node.cpp.o"
+  "CMakeFiles/streaming_edge_node.dir/streaming_edge_node.cpp.o.d"
+  "streaming_edge_node"
+  "streaming_edge_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_edge_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qens/clustering/cluster_summary.cpp" "src/CMakeFiles/qens.dir/qens/clustering/cluster_summary.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/clustering/cluster_summary.cpp.o.d"
+  "/root/repo/src/qens/clustering/kmeans.cpp" "src/CMakeFiles/qens.dir/qens/clustering/kmeans.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/clustering/kmeans.cpp.o.d"
+  "/root/repo/src/qens/clustering/silhouette.cpp" "src/CMakeFiles/qens.dir/qens/clustering/silhouette.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/clustering/silhouette.cpp.o.d"
+  "/root/repo/src/qens/clustering/streaming_quantizer.cpp" "src/CMakeFiles/qens.dir/qens/clustering/streaming_quantizer.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/clustering/streaming_quantizer.cpp.o.d"
+  "/root/repo/src/qens/common/config.cpp" "src/CMakeFiles/qens.dir/qens/common/config.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/common/config.cpp.o.d"
+  "/root/repo/src/qens/common/logging.cpp" "src/CMakeFiles/qens.dir/qens/common/logging.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/common/logging.cpp.o.d"
+  "/root/repo/src/qens/common/rng.cpp" "src/CMakeFiles/qens.dir/qens/common/rng.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/common/rng.cpp.o.d"
+  "/root/repo/src/qens/common/status.cpp" "src/CMakeFiles/qens.dir/qens/common/status.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/common/status.cpp.o.d"
+  "/root/repo/src/qens/common/stopwatch.cpp" "src/CMakeFiles/qens.dir/qens/common/stopwatch.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/common/stopwatch.cpp.o.d"
+  "/root/repo/src/qens/common/string_util.cpp" "src/CMakeFiles/qens.dir/qens/common/string_util.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/common/string_util.cpp.o.d"
+  "/root/repo/src/qens/data/air_quality_generator.cpp" "src/CMakeFiles/qens.dir/qens/data/air_quality_generator.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/data/air_quality_generator.cpp.o.d"
+  "/root/repo/src/qens/data/csv.cpp" "src/CMakeFiles/qens.dir/qens/data/csv.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/data/csv.cpp.o.d"
+  "/root/repo/src/qens/data/dataset.cpp" "src/CMakeFiles/qens.dir/qens/data/dataset.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/data/dataset.cpp.o.d"
+  "/root/repo/src/qens/data/hospital_generator.cpp" "src/CMakeFiles/qens.dir/qens/data/hospital_generator.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/data/hospital_generator.cpp.o.d"
+  "/root/repo/src/qens/data/normalizer.cpp" "src/CMakeFiles/qens.dir/qens/data/normalizer.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/data/normalizer.cpp.o.d"
+  "/root/repo/src/qens/data/splitter.cpp" "src/CMakeFiles/qens.dir/qens/data/splitter.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/data/splitter.cpp.o.d"
+  "/root/repo/src/qens/fl/aggregation.cpp" "src/CMakeFiles/qens.dir/qens/fl/aggregation.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/fl/aggregation.cpp.o.d"
+  "/root/repo/src/qens/fl/experiment.cpp" "src/CMakeFiles/qens.dir/qens/fl/experiment.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/fl/experiment.cpp.o.d"
+  "/root/repo/src/qens/fl/federation.cpp" "src/CMakeFiles/qens.dir/qens/fl/federation.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/fl/federation.cpp.o.d"
+  "/root/repo/src/qens/fl/leader.cpp" "src/CMakeFiles/qens.dir/qens/fl/leader.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/fl/leader.cpp.o.d"
+  "/root/repo/src/qens/fl/participant.cpp" "src/CMakeFiles/qens.dir/qens/fl/participant.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/fl/participant.cpp.o.d"
+  "/root/repo/src/qens/fl/planner.cpp" "src/CMakeFiles/qens.dir/qens/fl/planner.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/fl/planner.cpp.o.d"
+  "/root/repo/src/qens/ml/activation.cpp" "src/CMakeFiles/qens.dir/qens/ml/activation.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/ml/activation.cpp.o.d"
+  "/root/repo/src/qens/ml/dense_layer.cpp" "src/CMakeFiles/qens.dir/qens/ml/dense_layer.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/ml/dense_layer.cpp.o.d"
+  "/root/repo/src/qens/ml/loss.cpp" "src/CMakeFiles/qens.dir/qens/ml/loss.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/ml/loss.cpp.o.d"
+  "/root/repo/src/qens/ml/metrics.cpp" "src/CMakeFiles/qens.dir/qens/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/ml/metrics.cpp.o.d"
+  "/root/repo/src/qens/ml/model_factory.cpp" "src/CMakeFiles/qens.dir/qens/ml/model_factory.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/ml/model_factory.cpp.o.d"
+  "/root/repo/src/qens/ml/model_io.cpp" "src/CMakeFiles/qens.dir/qens/ml/model_io.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/ml/model_io.cpp.o.d"
+  "/root/repo/src/qens/ml/optimizer.cpp" "src/CMakeFiles/qens.dir/qens/ml/optimizer.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/ml/optimizer.cpp.o.d"
+  "/root/repo/src/qens/ml/sequential_model.cpp" "src/CMakeFiles/qens.dir/qens/ml/sequential_model.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/ml/sequential_model.cpp.o.d"
+  "/root/repo/src/qens/ml/trainer.cpp" "src/CMakeFiles/qens.dir/qens/ml/trainer.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/ml/trainer.cpp.o.d"
+  "/root/repo/src/qens/query/hyper_rectangle.cpp" "src/CMakeFiles/qens.dir/qens/query/hyper_rectangle.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/query/hyper_rectangle.cpp.o.d"
+  "/root/repo/src/qens/query/overlap.cpp" "src/CMakeFiles/qens.dir/qens/query/overlap.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/query/overlap.cpp.o.d"
+  "/root/repo/src/qens/query/range_query.cpp" "src/CMakeFiles/qens.dir/qens/query/range_query.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/query/range_query.cpp.o.d"
+  "/root/repo/src/qens/query/selectivity_estimator.cpp" "src/CMakeFiles/qens.dir/qens/query/selectivity_estimator.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/query/selectivity_estimator.cpp.o.d"
+  "/root/repo/src/qens/query/workload_generator.cpp" "src/CMakeFiles/qens.dir/qens/query/workload_generator.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/query/workload_generator.cpp.o.d"
+  "/root/repo/src/qens/selection/data_centric.cpp" "src/CMakeFiles/qens.dir/qens/selection/data_centric.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/selection/data_centric.cpp.o.d"
+  "/root/repo/src/qens/selection/game_theory.cpp" "src/CMakeFiles/qens.dir/qens/selection/game_theory.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/selection/game_theory.cpp.o.d"
+  "/root/repo/src/qens/selection/node_profile.cpp" "src/CMakeFiles/qens.dir/qens/selection/node_profile.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/selection/node_profile.cpp.o.d"
+  "/root/repo/src/qens/selection/policies.cpp" "src/CMakeFiles/qens.dir/qens/selection/policies.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/selection/policies.cpp.o.d"
+  "/root/repo/src/qens/selection/profile_io.cpp" "src/CMakeFiles/qens.dir/qens/selection/profile_io.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/selection/profile_io.cpp.o.d"
+  "/root/repo/src/qens/selection/ranking.cpp" "src/CMakeFiles/qens.dir/qens/selection/ranking.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/selection/ranking.cpp.o.d"
+  "/root/repo/src/qens/selection/stochastic.cpp" "src/CMakeFiles/qens.dir/qens/selection/stochastic.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/selection/stochastic.cpp.o.d"
+  "/root/repo/src/qens/sim/cost_model.cpp" "src/CMakeFiles/qens.dir/qens/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/sim/cost_model.cpp.o.d"
+  "/root/repo/src/qens/sim/edge_environment.cpp" "src/CMakeFiles/qens.dir/qens/sim/edge_environment.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/sim/edge_environment.cpp.o.d"
+  "/root/repo/src/qens/sim/edge_node.cpp" "src/CMakeFiles/qens.dir/qens/sim/edge_node.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/sim/edge_node.cpp.o.d"
+  "/root/repo/src/qens/sim/network.cpp" "src/CMakeFiles/qens.dir/qens/sim/network.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/sim/network.cpp.o.d"
+  "/root/repo/src/qens/tensor/matrix.cpp" "src/CMakeFiles/qens.dir/qens/tensor/matrix.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/tensor/matrix.cpp.o.d"
+  "/root/repo/src/qens/tensor/stats.cpp" "src/CMakeFiles/qens.dir/qens/tensor/stats.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/tensor/stats.cpp.o.d"
+  "/root/repo/src/qens/tensor/vector_ops.cpp" "src/CMakeFiles/qens.dir/qens/tensor/vector_ops.cpp.o" "gcc" "src/CMakeFiles/qens.dir/qens/tensor/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_umbrella_test.dir/api_umbrella_test.cpp.o"
+  "CMakeFiles/api_umbrella_test.dir/api_umbrella_test.cpp.o.d"
+  "api_umbrella_test"
+  "api_umbrella_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_umbrella_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

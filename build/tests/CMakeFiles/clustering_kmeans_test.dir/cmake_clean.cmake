@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_kmeans_test.dir/clustering_kmeans_test.cpp.o"
+  "CMakeFiles/clustering_kmeans_test.dir/clustering_kmeans_test.cpp.o.d"
+  "clustering_kmeans_test"
+  "clustering_kmeans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

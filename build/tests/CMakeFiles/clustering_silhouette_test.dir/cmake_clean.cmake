@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_silhouette_test.dir/clustering_silhouette_test.cpp.o"
+  "CMakeFiles/clustering_silhouette_test.dir/clustering_silhouette_test.cpp.o.d"
+  "clustering_silhouette_test"
+  "clustering_silhouette_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_silhouette_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

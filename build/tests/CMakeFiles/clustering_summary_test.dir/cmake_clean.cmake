@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_summary_test.dir/clustering_summary_test.cpp.o"
+  "CMakeFiles/clustering_summary_test.dir/clustering_summary_test.cpp.o.d"
+  "clustering_summary_test"
+  "clustering_summary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_normalizer_test.dir/data_normalizer_test.cpp.o"
+  "CMakeFiles/data_normalizer_test.dir/data_normalizer_test.cpp.o.d"
+  "data_normalizer_test"
+  "data_normalizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_federation_test.dir/fl_federation_test.cpp.o"
+  "CMakeFiles/fl_federation_test.dir/fl_federation_test.cpp.o.d"
+  "fl_federation_test"
+  "fl_federation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_federation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

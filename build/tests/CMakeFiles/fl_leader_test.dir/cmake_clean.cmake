@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_leader_test.dir/fl_leader_test.cpp.o"
+  "CMakeFiles/fl_leader_test.dir/fl_leader_test.cpp.o.d"
+  "fl_leader_test"
+  "fl_leader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_leader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

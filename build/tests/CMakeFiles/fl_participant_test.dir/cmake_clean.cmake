@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_participant_test.dir/fl_participant_test.cpp.o"
+  "CMakeFiles/fl_participant_test.dir/fl_participant_test.cpp.o.d"
+  "fl_participant_test"
+  "fl_participant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_participant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

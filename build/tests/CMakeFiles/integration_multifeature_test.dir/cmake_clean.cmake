@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_multifeature_test.dir/integration_multifeature_test.cpp.o"
+  "CMakeFiles/integration_multifeature_test.dir/integration_multifeature_test.cpp.o.d"
+  "integration_multifeature_test"
+  "integration_multifeature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_multifeature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_property_test.dir/io_property_test.cpp.o"
+  "CMakeFiles/io_property_test.dir/io_property_test.cpp.o.d"
+  "io_property_test"
+  "io_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

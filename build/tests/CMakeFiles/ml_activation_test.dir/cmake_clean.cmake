@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_activation_test.dir/ml_activation_test.cpp.o"
+  "CMakeFiles/ml_activation_test.dir/ml_activation_test.cpp.o.d"
+  "ml_activation_test"
+  "ml_activation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_activation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

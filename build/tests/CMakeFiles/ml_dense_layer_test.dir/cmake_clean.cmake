@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_dense_layer_test.dir/ml_dense_layer_test.cpp.o"
+  "CMakeFiles/ml_dense_layer_test.dir/ml_dense_layer_test.cpp.o.d"
+  "ml_dense_layer_test"
+  "ml_dense_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_dense_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_nn_integration_test.dir/ml_nn_integration_test.cpp.o"
+  "CMakeFiles/ml_nn_integration_test.dir/ml_nn_integration_test.cpp.o.d"
+  "ml_nn_integration_test"
+  "ml_nn_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_nn_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_hyper_rectangle_test.dir/query_hyper_rectangle_test.cpp.o"
+  "CMakeFiles/query_hyper_rectangle_test.dir/query_hyper_rectangle_test.cpp.o.d"
+  "query_hyper_rectangle_test"
+  "query_hyper_rectangle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_hyper_rectangle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

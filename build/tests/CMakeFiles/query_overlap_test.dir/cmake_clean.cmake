@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_overlap_test.dir/query_overlap_test.cpp.o"
+  "CMakeFiles/query_overlap_test.dir/query_overlap_test.cpp.o.d"
+  "query_overlap_test"
+  "query_overlap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_overlap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

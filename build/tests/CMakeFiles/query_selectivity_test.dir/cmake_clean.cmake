@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_selectivity_test.dir/query_selectivity_test.cpp.o"
+  "CMakeFiles/query_selectivity_test.dir/query_selectivity_test.cpp.o.d"
+  "query_selectivity_test"
+  "query_selectivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_selectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

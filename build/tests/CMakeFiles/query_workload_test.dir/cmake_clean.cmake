@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_workload_test.dir/query_workload_test.cpp.o"
+  "CMakeFiles/query_workload_test.dir/query_workload_test.cpp.o.d"
+  "query_workload_test"
+  "query_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

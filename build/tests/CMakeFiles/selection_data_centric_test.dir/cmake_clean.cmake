@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_data_centric_test.dir/selection_data_centric_test.cpp.o"
+  "CMakeFiles/selection_data_centric_test.dir/selection_data_centric_test.cpp.o.d"
+  "selection_data_centric_test"
+  "selection_data_centric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_data_centric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_game_theory_test.dir/selection_game_theory_test.cpp.o"
+  "CMakeFiles/selection_game_theory_test.dir/selection_game_theory_test.cpp.o.d"
+  "selection_game_theory_test"
+  "selection_game_theory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_game_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_policies_test.dir/selection_policies_test.cpp.o"
+  "CMakeFiles/selection_policies_test.dir/selection_policies_test.cpp.o.d"
+  "selection_policies_test"
+  "selection_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

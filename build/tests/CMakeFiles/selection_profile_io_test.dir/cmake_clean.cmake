@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_profile_io_test.dir/selection_profile_io_test.cpp.o"
+  "CMakeFiles/selection_profile_io_test.dir/selection_profile_io_test.cpp.o.d"
+  "selection_profile_io_test"
+  "selection_profile_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_profile_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

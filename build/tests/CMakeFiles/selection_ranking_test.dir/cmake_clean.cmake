@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_ranking_test.dir/selection_ranking_test.cpp.o"
+  "CMakeFiles/selection_ranking_test.dir/selection_ranking_test.cpp.o.d"
+  "selection_ranking_test"
+  "selection_ranking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_stochastic_test.dir/selection_stochastic_test.cpp.o"
+  "CMakeFiles/selection_stochastic_test.dir/selection_stochastic_test.cpp.o.d"
+  "selection_stochastic_test"
+  "selection_stochastic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_stochastic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
