@@ -52,6 +52,21 @@ queries = 60
 min_width_frac = 0.15
 max_width_frac = 0.5
 seed = 99
+
+[faults]
+enabled = false
+seed = 1337
+crash_rate = 0.0
+crash_horizon = 20
+dropout_rate = 0.0
+straggler_rate = 0.0
+straggler_slowdown_min = 2.0
+straggler_slowdown_max = 8.0
+message_loss_rate = 0.0
+round_deadline_s = 0.0
+max_send_attempts = 3
+retry_backoff_s = 0.005
+min_quorum_frac = 0.5
 )";
 
 template <typename T>
@@ -121,6 +136,35 @@ Result<fl::ExperimentConfig> BuildConfig(const Config& ini) {
                         ini.GetDouble("workload.max_width_frac", 0.5));
   QENS_ASSIGN_OR_RETURN(int64_t wl_seed, ini.GetInt("workload.seed", 99));
   config.workload.seed = static_cast<uint64_t>(wl_seed);
+
+  fl::FaultToleranceOptions& ft = config.federation.fault_tolerance;
+  QENS_ASSIGN_OR_RETURN(ft.enabled, ini.GetBool("faults.enabled", false));
+  QENS_ASSIGN_OR_RETURN(int64_t fault_seed, ini.GetInt("faults.seed", 1337));
+  ft.faults.seed = static_cast<uint64_t>(fault_seed);
+  QENS_ASSIGN_OR_RETURN(ft.faults.crash_rate,
+                        ini.GetDouble("faults.crash_rate", 0.0));
+  QENS_ASSIGN_OR_RETURN(int64_t crash_horizon,
+                        ini.GetInt("faults.crash_horizon", 20));
+  ft.faults.crash_horizon = static_cast<size_t>(crash_horizon);
+  QENS_ASSIGN_OR_RETURN(ft.faults.dropout_rate,
+                        ini.GetDouble("faults.dropout_rate", 0.0));
+  QENS_ASSIGN_OR_RETURN(ft.faults.straggler_rate,
+                        ini.GetDouble("faults.straggler_rate", 0.0));
+  QENS_ASSIGN_OR_RETURN(ft.faults.straggler_slowdown_min,
+                        ini.GetDouble("faults.straggler_slowdown_min", 2.0));
+  QENS_ASSIGN_OR_RETURN(ft.faults.straggler_slowdown_max,
+                        ini.GetDouble("faults.straggler_slowdown_max", 8.0));
+  QENS_ASSIGN_OR_RETURN(ft.faults.message_loss_rate,
+                        ini.GetDouble("faults.message_loss_rate", 0.0));
+  QENS_ASSIGN_OR_RETURN(ft.round_deadline_s,
+                        ini.GetDouble("faults.round_deadline_s", 0.0));
+  QENS_ASSIGN_OR_RETURN(int64_t attempts,
+                        ini.GetInt("faults.max_send_attempts", 3));
+  ft.max_send_attempts = static_cast<size_t>(attempts);
+  QENS_ASSIGN_OR_RETURN(ft.retry_backoff_s,
+                        ini.GetDouble("faults.retry_backoff_s", 0.005));
+  QENS_ASSIGN_OR_RETURN(ft.min_quorum_frac,
+                        ini.GetDouble("faults.min_quorum_frac", 0.5));
   return config;
 }
 
@@ -153,6 +197,10 @@ int main(int argc, char** argv) {
 
   fl::ExperimentRunner runner =
       Die(fl::ExperimentRunner::Create(config), "build experiment");
+
+  if (const auto* injector = runner.federation().fault_injector()) {
+    std::printf("%s\n", injector->plan().Describe().c_str());
+  }
 
   if (rounds <= 1) {
     std::vector<fl::MechanismStats> rows;

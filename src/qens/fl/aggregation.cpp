@@ -1,5 +1,8 @@
 #include "qens/fl/aggregation.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "qens/common/string_util.h"
 #include "qens/tensor/vector_ops.h"
 
@@ -91,6 +94,91 @@ Result<ml::SequentialModel> FedAvgParameters(
   ml::SequentialModel out = models[0].Clone();
   QENS_RETURN_NOT_OK(out.SetParameters(params));
   return out;
+}
+
+Result<std::vector<double>> PartialWeights(const std::vector<double>& weights,
+                                           const std::vector<bool>& alive) {
+  if (alive.size() != weights.size()) {
+    return Status::InvalidArgument(
+        StrFormat("partial weights: %zu alive flags for %zu weights",
+                  alive.size(), weights.size()));
+  }
+  size_t survivors = 0;
+  double survivor_mass = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) {
+      return Status::InvalidArgument("partial weights: negative weight");
+    }
+    if (alive[i]) {
+      ++survivors;
+      survivor_mass += weights[i];
+    }
+  }
+  if (survivors == 0) {
+    return Status::FailedPrecondition("partial weights: no survivors");
+  }
+  std::vector<double> out(weights.size(), 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!alive[i]) continue;
+    out[i] = survivor_mass > 0.0 ? weights[i] / survivor_mass
+                                 : 1.0 / static_cast<double>(survivors);
+  }
+  return out;
+}
+
+bool MeetsQuorum(size_t survivors, size_t planned, double min_quorum_frac) {
+  if (survivors == 0) return false;
+  const double frac = std::min(1.0, std::max(0.0, min_quorum_frac));
+  const size_t needed =
+      static_cast<size_t>(std::ceil(frac * static_cast<double>(planned)));
+  return survivors >= needed;
+}
+
+namespace {
+
+/// Compact the survivor subset of (models, weights) into dense vectors for
+/// the full-participation aggregators. Weights arrive pre-renormalized.
+struct SurvivorView {
+  std::vector<ml::SequentialModel> models;
+  std::vector<double> weights;
+};
+
+Result<SurvivorView> CompactSurvivors(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights, const std::vector<bool>& alive) {
+  if (models.size() != weights.size() || models.size() != alive.size()) {
+    return Status::InvalidArgument(
+        StrFormat("partial aggregate: %zu models, %zu weights, %zu flags",
+                  models.size(), weights.size(), alive.size()));
+  }
+  QENS_ASSIGN_OR_RETURN(std::vector<double> lambda,
+                        PartialWeights(weights, alive));
+  SurvivorView view;
+  for (size_t i = 0; i < models.size(); ++i) {
+    if (!alive[i]) continue;
+    view.models.push_back(models[i].Clone());
+    view.weights.push_back(lambda[i]);
+  }
+  return view;
+}
+
+}  // namespace
+
+Result<Matrix> AggregatePredictionsPartial(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights, const std::vector<bool>& alive,
+    const Matrix& x) {
+  QENS_ASSIGN_OR_RETURN(SurvivorView view,
+                        CompactSurvivors(models, weights, alive));
+  return AggregatePredictionsWeighted(view.models, view.weights, x);
+}
+
+Result<ml::SequentialModel> FedAvgParametersPartial(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights, const std::vector<bool>& alive) {
+  QENS_ASSIGN_OR_RETURN(SurvivorView view,
+                        CompactSurvivors(models, weights, alive));
+  return FedAvgParameters(view.models, view.weights);
 }
 
 Result<EnsembleModel> EnsembleModel::Create(

@@ -51,6 +51,39 @@ Result<ml::SequentialModel> FedAvgParameters(
     const std::vector<ml::SequentialModel>& models,
     const std::vector<double>& weights);
 
+/// \name Partial participation (fault tolerance)
+/// Under failures only a subset of the engaged nodes returns a model. The
+/// round's weights are renormalized over the survivors so the aggregate
+/// stays a convex combination (sum of surviving lambda_i == 1).
+/// @{
+
+/// Renormalize `weights` over the survivor subset: non-survivors get 0,
+/// survivors keep their relative proportions scaled to sum 1. When the
+/// surviving weight mass is zero (e.g. all-zero rankings), survivors fall
+/// back to equal weights. Fails when sizes mismatch, a weight is negative,
+/// or no entry of `alive` is true.
+Result<std::vector<double>> PartialWeights(const std::vector<double>& weights,
+                                           const std::vector<bool>& alive);
+
+/// Quorum predicate: a round with `survivors` of `planned` participants
+/// meets a `min_quorum_frac` quorum when survivors >= ceil(frac * planned)
+/// and at least one participant survived. frac is clamped into [0, 1].
+bool MeetsQuorum(size_t survivors, size_t planned, double min_quorum_frac);
+
+/// Prediction-space aggregation restricted to the survivors. Dead entries'
+/// models are never evaluated.
+Result<Matrix> AggregatePredictionsPartial(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights, const std::vector<bool>& alive,
+    const Matrix& x);
+
+/// Parameter-space FedAvg restricted to the survivors.
+Result<ml::SequentialModel> FedAvgParametersPartial(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights, const std::vector<bool>& alive);
+
+/// @}
+
 /// A trained ensemble the leader keeps per query: the l local models plus
 /// their rankings, able to answer with any aggregation rule.
 class EnsembleModel {

@@ -98,9 +98,27 @@ Result<Federation> Federation::Create(std::vector<data::Dataset> node_data,
   QENS_ASSIGN_OR_RETURN(std::vector<selection::NodeProfile> profiles,
                         environment.Profiles());
   Leader leader(std::move(profiles), options.ranking, options.query_driven);
-  return Federation(std::move(environment), std::move(test_shards),
-                    std::move(leader), options, std::move(raw_space),
-                    std::move(feature_norm), std::move(target_norm));
+  const size_t num_nodes = environment.num_nodes();
+  Federation federation(std::move(environment), std::move(test_shards),
+                        std::move(leader), options, std::move(raw_space),
+                        std::move(feature_norm), std::move(target_norm));
+
+  if (options.fault_tolerance.enabled) {
+    if (options.fault_tolerance.max_send_attempts == 0) {
+      return Status::InvalidArgument(
+          "federation: max_send_attempts must be >= 1");
+    }
+    if (options.fault_tolerance.min_quorum_frac < 0.0 ||
+        options.fault_tolerance.min_quorum_frac > 1.0) {
+      return Status::InvalidArgument(
+          "federation: min_quorum_frac must be in [0, 1]");
+    }
+    QENS_ASSIGN_OR_RETURN(
+        sim::FaultPlan plan,
+        sim::FaultPlan::Create(num_nodes, options.fault_tolerance.faults));
+    federation.fault_injector_.emplace(std::move(plan));
+  }
+  return federation;
 }
 
 Result<query::RangeQuery> Federation::InternalQuery(
@@ -334,18 +352,76 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
     }
     jobs.push_back(std::move(job));
   }
+  if (jobs.empty()) {
+    // No selected node can contribute a model (e.g. nothing supports the
+    // query under selectivity): the query is unanswerable, faults or not.
+    outcome.skipped = true;
+    outcome.wall_seconds = watch.ElapsedSeconds();
+    return outcome;
+  }
+
+  // Fault layer (opt-in). With no injector the loop below reproduces the
+  // fault-free protocol exactly: every job trains, every send succeeds.
+  const FaultToleranceOptions& ft = options_.fault_tolerance;
+  sim::FaultInjector* injector =
+      fault_injector_.has_value() ? &*fault_injector_ : nullptr;
+  const size_t leader_id = environment_.leader_index();
+
+  // Per-job fate this round, precomputed from the injector's pure schedule
+  // so training can still fan out in parallel.
+  struct JobFate {
+    bool unavailable = false;   ///< Crashed or transiently offline.
+    size_t down_attempts = 1;   ///< model-down transmissions performed.
+    bool down_delivered = true;
+    double slowdown = 1.0;
+  };
+
+  auto record_once = [](std::vector<size_t>* list, size_t node_id) {
+    if (std::find(list->begin(), list->end(), node_id) == list->end()) {
+      list->push_back(node_id);
+    }
+  };
 
   std::vector<ml::SequentialModel> local_models;
   std::vector<double> eq7_weights;
   std::vector<double> fedavg_weights;  // Samples trained, per local model.
+  std::vector<bool> final_alive(jobs.size(), false);
   for (size_t round = 0; round < rounds; ++round) {
     local_models.clear();
     eq7_weights.clear();
     fedavg_weights.clear();
+    std::fill(final_alive.begin(), final_alive.end(), false);
     double round_parallel = 0.0;
 
-    // Run every job (concurrently when configured), then account the
-    // results in job order so outcomes stay deterministic.
+    // Evaluate this round's fate for every job before any training runs.
+    const size_t fault_round = injector ? fault_round_++ : 0;
+    std::vector<JobFate> fates(jobs.size());
+    if (injector) {
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        JobFate& fate = fates[j];
+        if (!injector->IsAvailable(jobs[j].node_id, fault_round)) {
+          fate.unavailable = true;
+          continue;
+        }
+        fate.slowdown = injector->SlowdownFactor(jobs[j].node_id, fault_round);
+        fate.down_delivered = false;
+        fate.down_attempts = 0;
+        for (size_t attempt = 0; attempt < ft.max_send_attempts; ++attempt) {
+          ++fate.down_attempts;
+          if (!injector->LoseMessage(leader_id, jobs[j].node_id, fault_round,
+                                     attempt)) {
+            fate.down_delivered = true;
+            break;
+          }
+        }
+      }
+    }
+    auto job_trains = [&](size_t j) {
+      return !fates[j].unavailable && fates[j].down_delivered;
+    };
+
+    // Run every training job (concurrently when configured), then account
+    // the results in job order so outcomes stay deterministic.
     auto run_job = [&](const TrainJob& job) -> Result<LocalTrainResult> {
       const sim::EdgeNode& node = environment_.node(job.node_id);
       if (job.selective) {
@@ -356,18 +432,22 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       return TrainOnFullData(node, global, local_options,
                              environment_.cost_model());
     };
-    std::vector<Result<LocalTrainResult>> results;
-    results.reserve(jobs.size());
+    std::vector<std::optional<Result<LocalTrainResult>>> results(jobs.size());
     if (options_.parallel_local_training && jobs.size() > 1) {
-      std::vector<std::future<Result<LocalTrainResult>>> futures;
-      futures.reserve(jobs.size());
-      for (const TrainJob& job : jobs) {
-        futures.push_back(std::async(std::launch::async,
-                                     [&run_job, &job] { return run_job(job); }));
+      std::vector<std::future<Result<LocalTrainResult>>> futures(jobs.size());
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        if (!job_trains(j)) continue;
+        const TrainJob& job = jobs[j];
+        futures[j] = std::async(std::launch::async,
+                                [&run_job, &job] { return run_job(job); });
       }
-      for (auto& f : futures) results.push_back(f.get());
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        if (futures[j].valid()) results[j] = futures[j].get();
+      }
     } else {
-      for (const TrainJob& job : jobs) results.push_back(run_job(job));
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        if (job_trains(j)) results[j] = run_job(jobs[j]);
+      }
     }
 
     for (size_t j = 0; j < jobs.size(); ++j) {
@@ -376,20 +456,118 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       const sim::EdgeNode& node = environment_.node(node_id);
       if (round == 0) outcome.samples_selected += node.NumSamples();
       const double rank_weight = job.rank_weight;
-      QENS_RETURN_NOT_OK(results[j].status());
-      const LocalTrainResult& result = results[j].value();
+      const JobFate& fate = fates[j];
 
+      if (fate.unavailable) {
+        // Crashed or offline: contributes nothing, costs nothing.
+        record_once(&outcome.failed_nodes, node_id);
+        leader_.RecordRoundResult(node_id, Leader::RoundResult::kFailed);
+        continue;
+      }
+      if (results[j].has_value()) {
+        QENS_RETURN_NOT_OK(results[j]->status());
+      }
+
+      // Model-down transfer(s): lost transmissions are retried with
+      // backoff; all time is accounted against the round.
+      double down_seconds = 0.0;
+      for (size_t attempt = 0; attempt < fate.down_attempts; ++attempt) {
+        const bool lost =
+            attempt + 1 < fate.down_attempts || !fate.down_delivered;
+        down_seconds += environment_.network().Send(
+            leader_id, node_id, model_bytes,
+            lost ? "model-down-lost" : "model-down");
+        if (lost) {
+          down_seconds += ft.retry_backoff_s;
+          ++outcome.messages_lost;
+        }
+      }
+      outcome.send_retries += fate.down_attempts - 1;
+      outcome.sim_time_comm += down_seconds;
+      if (!fate.down_delivered) {
+        // The global model never reached the node: no training happened.
+        record_once(&outcome.failed_nodes, node_id);
+        leader_.RecordRoundResult(node_id, Leader::RoundResult::kFailed);
+        continue;
+      }
+
+      const LocalTrainResult& result = results[j]->value();
       if (round == 0) outcome.samples_used += result.samples_used;
-      outcome.sim_time_total += result.sim_train_seconds;
-      round_parallel = std::max(round_parallel, result.sim_train_seconds);
+      const double train_seconds = result.sim_train_seconds * fate.slowdown;
+      outcome.sim_time_total += train_seconds;
+      double node_seconds = down_seconds + train_seconds;
 
-      // Account model down/up transfers.
-      outcome.sim_time_comm += environment_.network().Send(
-          environment_.leader_index(), node_id, model_bytes, "model-down");
-      outcome.sim_time_comm += environment_.network().Send(
-          node_id, environment_.leader_index(),
-          ml::SerializedModelBytes(result.model), "model-up");
+      // Deadline gate 1: a straggler whose download + training already
+      // exceeds the deadline is cut before it even uploads; the leader
+      // stops waiting at the deadline.
+      if (injector && ft.round_deadline_s > 0.0 &&
+          node_seconds > ft.round_deadline_s) {
+        record_once(&outcome.deadline_missed_nodes, node_id);
+        leader_.RecordRoundResult(node_id,
+                                  Leader::RoundResult::kMissedDeadline);
+        round_parallel = std::max(round_parallel, ft.round_deadline_s);
+        continue;
+      }
 
+      // Model-up transfer(s), with the same retry/backoff policy.
+      const size_t up_bytes = ml::SerializedModelBytes(result.model);
+      bool up_delivered = true;
+      size_t up_attempts = 1;
+      if (injector) {
+        up_delivered = false;
+        up_attempts = 0;
+        for (size_t attempt = 0; attempt < ft.max_send_attempts; ++attempt) {
+          ++up_attempts;
+          if (!injector->LoseMessage(node_id, leader_id, fault_round,
+                                     attempt)) {
+            up_delivered = true;
+            break;
+          }
+        }
+      }
+      double up_seconds = 0.0;
+      for (size_t attempt = 0; attempt < up_attempts; ++attempt) {
+        const bool lost = attempt + 1 < up_attempts || !up_delivered;
+        up_seconds += environment_.network().Send(
+            node_id, leader_id, up_bytes, lost ? "model-up-lost" : "model-up");
+        if (lost) {
+          up_seconds += ft.retry_backoff_s;
+          ++outcome.messages_lost;
+        }
+      }
+      outcome.send_retries += up_attempts - 1;
+      outcome.sim_time_comm += up_seconds;
+      node_seconds += up_seconds;
+
+      if (!up_delivered) {
+        record_once(&outcome.failed_nodes, node_id);
+        leader_.RecordRoundResult(node_id, Leader::RoundResult::kFailed);
+        round_parallel = std::max(
+            round_parallel, ft.round_deadline_s > 0.0
+                                ? std::min(node_seconds, ft.round_deadline_s)
+                                : node_seconds);
+        continue;
+      }
+      // Deadline gate 2: the upload itself can push a participant past
+      // the deadline (e.g. retry backoff) — the model arrives too late.
+      if (injector && ft.round_deadline_s > 0.0 &&
+          node_seconds > ft.round_deadline_s) {
+        record_once(&outcome.deadline_missed_nodes, node_id);
+        leader_.RecordRoundResult(node_id,
+                                  Leader::RoundResult::kMissedDeadline);
+        round_parallel = std::max(round_parallel, ft.round_deadline_s);
+        continue;
+      }
+
+      if (injector) {
+        leader_.RecordRoundResult(node_id, Leader::RoundResult::kCompleted);
+        // Under faults the round's critical path includes transfers,
+        // retries, and the straggler slowdown.
+        round_parallel = std::max(round_parallel, node_seconds);
+      } else {
+        round_parallel = std::max(round_parallel, train_seconds);
+      }
+      final_alive[j] = true;
       local_models.push_back(result.model);
       eq7_weights.push_back(rank_weight);
       fedavg_weights.push_back(
@@ -397,8 +575,23 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
     }
     // Rounds run in parallel across nodes but sequentially in time.
     outcome.sim_time_parallel += round_parallel;
+    outcome.round_survivors.push_back(local_models.size());
 
-    if (local_models.empty()) break;
+    if (injector &&
+        !MeetsQuorum(local_models.size(), jobs.size(), ft.min_quorum_frac)) {
+      // Below quorum: discard the partial update; the previous global
+      // model carries into the next round (or becomes the final answer).
+      ++outcome.degraded_rounds;
+      local_models.clear();
+      eq7_weights.clear();
+      fedavg_weights.clear();
+      std::fill(final_alive.begin(), final_alive.end(), false);
+      continue;
+    }
+    if (local_models.empty()) {
+      if (!injector) break;
+      continue;  // A later round may still gather survivors.
+    }
     if (round + 1 < rounds) {
       // FedAvg the locals into the next round's global model.
       QENS_ASSIGN_OR_RETURN(global,
@@ -406,12 +599,30 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
     }
   }
 
+  if (injector && local_models.empty()) {
+    // Graceful degradation: answer with the last committed global model
+    // rather than failing the query outright.
+    local_models.push_back(global.Clone());
+    eq7_weights.push_back(1.0);
+  }
   if (local_models.empty()) {
     outcome.skipped = true;
     outcome.wall_seconds = watch.ElapsedSeconds();
     return outcome;
   }
   outcome.selected_nodes = chosen;
+
+  if (injector && std::find(final_alive.begin(), final_alive.end(), true) !=
+                      final_alive.end()) {
+    // Survivor-renormalized Eq. 7 weights over the engaged jobs (exposed
+    // for diagnostics; the ensemble normalizes equivalently below).
+    std::vector<double> job_weights(jobs.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      job_weights[j] = jobs[j].rank_weight;
+    }
+    QENS_ASSIGN_OR_RETURN(outcome.survivor_weights,
+                          PartialWeights(job_weights, final_alive));
+  }
 
   // Eq. 7 weights: rankings when ranked selection produced them; otherwise
   // (Random/All/GT) weighted averaging degenerates to Eq. 6. A degenerate

@@ -36,8 +36,31 @@
 #include "qens/selection/game_theory.h"
 #include "qens/selection/stochastic.h"
 #include "qens/sim/edge_environment.h"
+#include "qens/sim/fault_injection.h"
 
 namespace qens::fl {
+
+/// Fault-tolerance policy for the federated loop. Strictly opt-in: with
+/// `enabled == false` the loop reproduces the fault-free protocol
+/// bit-for-bit (no injector is constructed and no extra RNG draws occur).
+struct FaultToleranceOptions {
+  bool enabled = false;
+  /// The seeded fault schedule applied to the simulated environment.
+  sim::FaultPlanOptions faults;
+  /// Per-round deadline in simulated seconds covering one participant's
+  /// model-down transfer + (slowed) local training + model-up transfer.
+  /// Participants that exceed it are excluded from the round. 0 disables.
+  double round_deadline_s = 0.0;
+  /// Total transmissions attempted per message (1 = no retries).
+  size_t max_send_attempts = 3;
+  /// Extra simulated wait added after each lost transmission before the
+  /// retry goes out.
+  double retry_backoff_s = 0.005;
+  /// Minimum fraction of the engaged participants that must return a model
+  /// for the round to commit; below it the round degrades gracefully to
+  /// the previous global model.
+  double min_quorum_frac = 0.5;
+};
 
 /// Federation-wide configuration.
 struct FederationOptions {
@@ -70,6 +93,8 @@ struct FederationOptions {
   /// would run on real hardware. Outcomes are bit-identical to the
   /// sequential path (per-node seeds; deterministic accounting order).
   bool parallel_local_training = false;
+  /// Fault injection + deadline/retry/quorum policy (opt-in).
+  FaultToleranceOptions fault_tolerance;
   uint64_t seed = 17;
 };
 
@@ -111,6 +136,21 @@ struct QueryOutcome {
   size_t rounds = 1;
   /// Selected nodes that were offline this query (volatile clients).
   std::vector<size_t> dropped_nodes;
+
+  /// \name Fault-tolerance accounting
+  /// Populated when FederationOptions::fault_tolerance is enabled
+  /// (round_survivors is recorded unconditionally).
+  /// @{
+  std::vector<size_t> round_survivors;  ///< Models received, per round.
+  std::vector<size_t> failed_nodes;     ///< Crashed / offline / all sends lost.
+  std::vector<size_t> deadline_missed_nodes;  ///< Excluded as stragglers.
+  /// Final-round Eq. 7 weights renormalized over the survivors (one entry
+  /// per engaged job; non-survivors hold 0; survivors sum to 1).
+  std::vector<double> survivor_weights;
+  size_t degraded_rounds = 0;  ///< Below-quorum rounds (kept previous model).
+  size_t messages_lost = 0;    ///< Transmissions lost in flight.
+  size_t send_retries = 0;     ///< Extra transmissions beyond the first.
+  /// @}
 };
 
 /// Owns the environment (train shards), the held-out test shards, and the
@@ -173,6 +213,16 @@ class Federation {
   /// Per-node participation counts accumulated by the stochastic policy.
   const std::vector<size_t>& StochasticParticipation();
 
+  /// The active fault injector, or nullptr when fault tolerance is off.
+  const sim::FaultInjector* fault_injector() const {
+    return fault_injector_.has_value() ? &*fault_injector_ : nullptr;
+  }
+
+  /// Global round counter the fault schedule is evaluated against (advances
+  /// once per executed round when fault tolerance is on, so crashes persist
+  /// across queries).
+  size_t fault_round() const { return fault_round_; }
+
  private:
   Federation(sim::EdgeEnvironment environment,
              std::vector<data::Dataset> test_shards, Leader leader,
@@ -203,6 +253,8 @@ class Federation {
   uint64_t random_stream_ = 0;   ///< Advances per Random-policy query.
   uint64_t dropout_stream_ = 0;  ///< Advances per query with dropout on.
   std::optional<selection::StochasticSelector> stochastic_;  ///< Lazy.
+  std::optional<sim::FaultInjector> fault_injector_;  ///< When enabled.
+  size_t fault_round_ = 0;  ///< Rounds executed under fault injection.
 };
 
 }  // namespace qens::fl

@@ -31,4 +31,22 @@ Result<SelectionDecision> Leader::Decide(
   return decision;
 }
 
+void Leader::RecordRoundResult(size_t node_id, RoundResult result) {
+  for (auto& profile : profiles_) {
+    if (profile.node_id != node_id) continue;
+    switch (result) {
+      case RoundResult::kCompleted:
+        profile.reliability.RecordCompleted();
+        break;
+      case RoundResult::kFailed:
+        profile.reliability.RecordFailure();
+        break;
+      case RoundResult::kMissedDeadline:
+        profile.reliability.RecordDeadlineMiss();
+        break;
+    }
+    return;
+  }
+}
+
 }  // namespace qens::fl

@@ -54,6 +54,14 @@ class Leader {
   /// Rank and select per the configured query-driven policy.
   Result<SelectionDecision> Decide(const query::RangeQuery& query) const;
 
+  /// How one engaged node ended a round, for the reliability history.
+  enum class RoundResult { kCompleted, kFailed, kMissedDeadline };
+
+  /// Record an engaged node's round outcome into its profile's observed
+  /// reliability history (feeds the ranking's flaky-node penalty). Unknown
+  /// node ids are ignored.
+  void RecordRoundResult(size_t node_id, RoundResult result);
+
  private:
   std::vector<selection::NodeProfile> profiles_;
   selection::RankingOptions ranking_options_;

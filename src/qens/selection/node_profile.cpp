@@ -2,6 +2,12 @@
 
 namespace qens::selection {
 
+double ReliabilityStats::SuccessRate() const {
+  if (rounds_engaged == 0) return 1.0;
+  return static_cast<double>(rounds_completed) /
+         static_cast<double>(rounds_engaged);
+}
+
 size_t NodeProfile::WireBytes() const {
   size_t bytes = sizeof(uint64_t) * 2;  // node id + cluster count.
   for (const auto& c : clusters) bytes += c.WireBytes();

@@ -18,12 +18,33 @@
 
 namespace qens::selection {
 
+/// Leader-side observed reliability of a node, accumulated across rounds
+/// by whoever coordinates training. NOT part of the shipped digest (no
+/// wire-format change): the leader learns it by watching who answers.
+struct ReliabilityStats {
+  size_t rounds_engaged = 0;    ///< Times the node was selected for a round.
+  size_t rounds_completed = 0;  ///< Returned a model within the deadline.
+  size_t failures = 0;          ///< Crashed / offline / all sends lost.
+  size_t deadline_misses = 0;   ///< Straggled past the round deadline.
+
+  /// Completed / engaged; 1.0 for a never-engaged (unobserved) node so
+  /// unknown nodes are not penalized.
+  double SuccessRate() const;
+
+  void RecordCompleted() { ++rounds_engaged; ++rounds_completed; }
+  void RecordFailure() { ++rounds_engaged; ++failures; }
+  void RecordDeadlineMiss() { ++rounds_engaged; ++deadline_misses; }
+};
+
 /// A node's published digest: id + cluster summaries.
 struct NodeProfile {
   size_t node_id = 0;
   std::string name;
   std::vector<clustering::ClusterSummary> clusters;
   size_t total_samples = 0;
+
+  /// Observed failure/straggle history (leader-side, never serialized).
+  ReliabilityStats reliability;
 
   size_t num_clusters() const { return clusters.size(); }
 

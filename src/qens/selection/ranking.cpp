@@ -1,6 +1,7 @@
 #include "qens/selection/ranking.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "qens/common/string_util.h"
 
@@ -19,6 +20,10 @@ Result<NodeRank> RankNode(const NodeProfile& profile,
                           const RankingOptions& options) {
   if (options.epsilon <= 0.0) {
     return Status::InvalidArgument("RankNode: epsilon must be > 0");
+  }
+  if (options.reliability_weight < 0.0) {
+    return Status::InvalidArgument(
+        "RankNode: reliability_weight must be >= 0");
   }
   if (profile.clusters.empty()) {
     return Status::InvalidArgument(
@@ -57,6 +62,14 @@ Result<NodeRank> RankNode(const NodeProfile& profile,
   rank.ranking = rank.potential *
                  static_cast<double>(rank.supporting_clusters) /
                  static_cast<double>(rank.total_clusters);
+
+  // Flaky-node penalty: scale by the observed success rate. With the
+  // default weight of 0 the factor is exactly 1 (pow(x, 0) == 1) and the
+  // paper's ranking is untouched.
+  rank.reliability = profile.reliability.SuccessRate();
+  if (options.reliability_weight > 0.0) {
+    rank.ranking *= std::pow(rank.reliability, options.reliability_weight);
+  }
   return rank;
 }
 

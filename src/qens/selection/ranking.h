@@ -26,6 +26,11 @@ struct RankingOptions {
   /// h_ik >= epsilon.
   double epsilon = 0.3;
   query::OverlapMode overlap_mode = query::OverlapMode::kFaithful;
+  /// Flaky-node penalty exponent (>= 0): the final ranking is scaled by
+  /// SuccessRate()^reliability_weight from the profile's observed
+  /// failure/straggle history. 0 (default) disables the penalty and
+  /// reproduces the paper's Eq. 4 exactly.
+  double reliability_weight = 0.0;
 };
 
 /// One cluster's score against a query.
@@ -42,6 +47,7 @@ struct NodeRank {
   double ranking = 0.0;          ///< r_i(q) (Eq. 4).
   size_t supporting_clusters = 0;  ///< K'.
   size_t total_clusters = 0;       ///< K.
+  double reliability = 1.0;        ///< Observed success rate (1 = clean).
   std::vector<ClusterScore> cluster_scores;  ///< One per cluster, in order.
 
   /// Ids of supporting clusters (the data-selectivity set).

@@ -1,0 +1,123 @@
+#include "qens/sim/fault_injection.h"
+
+#include "qens/common/rng.h"
+#include "qens/common/string_util.h"
+
+namespace qens::sim {
+namespace {
+
+// Fork streams for the independent fault dimensions. Each per-event draw
+// chains Fork(seed-stream) -> Fork(node) -> Fork(round) [-> Fork(extra)],
+// so every answer is a pure function of its coordinates.
+constexpr uint64_t kCrashStream = 0xc4a5;
+constexpr uint64_t kStragglerStream = 0x57a6;
+constexpr uint64_t kDropoutStream = 0xd409;
+constexpr uint64_t kLossStream = 0x1055;
+
+Status ValidateRate(double rate, const char* what) {
+  if (rate < 0.0 || rate > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("fault plan: %s must be in [0, 1], got %g", what, rate));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Create(size_t num_nodes,
+                                    const FaultPlanOptions& options) {
+  QENS_RETURN_NOT_OK(ValidateRate(options.crash_rate, "crash_rate"));
+  QENS_RETURN_NOT_OK(ValidateRate(options.dropout_rate, "dropout_rate"));
+  QENS_RETURN_NOT_OK(ValidateRate(options.straggler_rate, "straggler_rate"));
+  QENS_RETURN_NOT_OK(
+      ValidateRate(options.message_loss_rate, "message_loss_rate"));
+  if (options.straggler_slowdown_min < 1.0 ||
+      options.straggler_slowdown_max < options.straggler_slowdown_min) {
+    return Status::InvalidArgument(
+        "fault plan: slowdown range must satisfy 1 <= min <= max");
+  }
+  if (options.crash_rate > 0.0 && options.crash_horizon == 0) {
+    return Status::InvalidArgument(
+        "fault plan: crash_horizon must be > 0 when crash_rate > 0");
+  }
+
+  std::vector<NodeFaultProfile> profiles(num_nodes);
+  const Rng base(options.seed);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    NodeFaultProfile& p = profiles[i];
+    Rng crash_rng = base.Fork(kCrashStream).Fork(i);
+    if (crash_rng.Bernoulli(options.crash_rate)) {
+      p.crashes = true;
+      p.crash_round =
+          static_cast<size_t>(crash_rng.UniformInt(options.crash_horizon));
+    }
+    Rng straggler_rng = base.Fork(kStragglerStream).Fork(i);
+    if (straggler_rng.Bernoulli(options.straggler_rate)) {
+      p.straggler = true;
+      p.slowdown = straggler_rng.Uniform(options.straggler_slowdown_min,
+                                         options.straggler_slowdown_max);
+    }
+  }
+  return FaultPlan(std::move(profiles), options);
+}
+
+std::string FaultPlan::Describe() const {
+  std::string out = StrFormat("fault plan (seed %llu, %zu nodes):",
+                              static_cast<unsigned long long>(options_.seed),
+                              profiles_.size());
+  bool any = false;
+  for (size_t i = 0; i < profiles_.size(); ++i) {
+    const NodeFaultProfile& p = profiles_[i];
+    if (p.crashes) {
+      out += StrFormat(" node %zu: crash@r%zu;", i, p.crash_round);
+      any = true;
+    }
+    if (p.straggler) {
+      out += StrFormat(" node %zu: %.2fx straggler;", i, p.slowdown);
+      any = true;
+    }
+  }
+  if (!any) out += " no scheduled node faults;";
+  out += StrFormat(" dropout %.0f%%, message loss %.0f%%",
+                   options_.dropout_rate * 100.0,
+                   options_.message_loss_rate * 100.0);
+  return out;
+}
+
+bool FaultInjector::IsCrashed(size_t node, size_t round) const {
+  const NodeFaultProfile& p = plan_.node(node);
+  return p.crashes && round >= p.crash_round;
+}
+
+bool FaultInjector::IsDroppedOut(size_t node, size_t round) const {
+  const double rate = plan_.options().dropout_rate;
+  if (rate <= 0.0) return false;
+  Rng rng = Rng(plan_.options().seed)
+                .Fork(kDropoutStream)
+                .Fork(node)
+                .Fork(round);
+  return rng.Bernoulli(rate);
+}
+
+bool FaultInjector::IsAvailable(size_t node, size_t round) const {
+  return !IsCrashed(node, round) && !IsDroppedOut(node, round);
+}
+
+double FaultInjector::SlowdownFactor(size_t node, size_t round) const {
+  (void)round;  // Slowdowns are persistent; round kept for future transients.
+  return plan_.node(node).slowdown;
+}
+
+bool FaultInjector::LoseMessage(size_t from, size_t to, size_t round,
+                                size_t attempt) const {
+  const double rate = plan_.options().message_loss_rate;
+  if (rate <= 0.0) return false;
+  Rng rng = Rng(plan_.options().seed)
+                .Fork(kLossStream)
+                .Fork(from * 0x10001 + to)
+                .Fork(round)
+                .Fork(attempt);
+  return rng.Bernoulli(rate);
+}
+
+}  // namespace qens::sim

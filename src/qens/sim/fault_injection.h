@@ -1,0 +1,119 @@
+#ifndef QENS_SIM_FAULT_INJECTION_H_
+#define QENS_SIM_FAULT_INJECTION_H_
+
+/// \file fault_injection.h
+/// Seeded fault injection for the simulated edge environment.
+///
+/// Real edge deployments are unequal and unreliable: nodes crash, go
+/// offline for a round, straggle behind their nominal capacity, and links
+/// drop messages. The happy-path simulator hides all of that, so the
+/// federation loop (and every bench built on it) never exercises its
+/// failure handling. This module provides the missing substrate:
+///
+///   FaultPlan     — a per-node schedule (permanent crash round, straggler
+///                   slowdown factor) drawn once from a single seed;
+///   FaultInjector — a stateless oracle over a plan answering per-round
+///                   questions: is node i up in round t? how slow is it?
+///                   was this message transmission lost?
+///
+/// Every answer is a pure function of (seed, node, round[, link, attempt])
+/// via chained Rng::Fork, so two injectors built from the same options
+/// agree on the entire schedule regardless of query order — a failure
+/// scenario is reproducible from its seed alone.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qens/common/status.h"
+
+namespace qens::sim {
+
+/// Fault-schedule knobs; all rates are probabilities in [0, 1]. The
+/// defaults describe a fault-free environment.
+struct FaultPlanOptions {
+  uint64_t seed = 0;
+  /// Probability that a node permanently crashes at some round drawn
+  /// uniformly from [0, crash_horizon).
+  double crash_rate = 0.0;
+  /// Rounds over which crash times are spread.
+  size_t crash_horizon = 20;
+  /// Per-node per-round probability of a transient dropout (offline for
+  /// that round only).
+  double dropout_rate = 0.0;
+  /// Probability that a node is a persistent straggler.
+  double straggler_rate = 0.0;
+  /// Straggler training-time multiplier range (>= 1).
+  double straggler_slowdown_min = 2.0;
+  double straggler_slowdown_max = 8.0;
+  /// Per-transmission probability that a message is lost in flight.
+  double message_loss_rate = 0.0;
+};
+
+/// One node's precomputed fate under a plan.
+struct NodeFaultProfile {
+  bool crashes = false;
+  size_t crash_round = 0;  ///< Meaningful only when `crashes`.
+  bool straggler = false;
+  double slowdown = 1.0;   ///< >= 1; 1.0 for non-stragglers.
+};
+
+/// The per-node schedule drawn from one seed. Transient events (dropout,
+/// message loss) are not materialized here — they are pure functions the
+/// injector evaluates on demand.
+class FaultPlan {
+ public:
+  /// Validate options and draw the per-node profiles. Fails on rates
+  /// outside [0, 1], a slowdown range below 1, or an inverted range.
+  static Result<FaultPlan> Create(size_t num_nodes,
+                                  const FaultPlanOptions& options);
+
+  size_t num_nodes() const { return profiles_.size(); }
+  const FaultPlanOptions& options() const { return options_; }
+  const NodeFaultProfile& node(size_t i) const { return profiles_[i]; }
+  const std::vector<NodeFaultProfile>& profiles() const { return profiles_; }
+
+  /// Human-readable schedule summary ("node 3: crash@r5; node 7: 4.2x
+  /// straggler; ...") for logging and scenario reproduction.
+  std::string Describe() const;
+
+ private:
+  FaultPlan(std::vector<NodeFaultProfile> profiles, FaultPlanOptions options)
+      : profiles_(std::move(profiles)), options_(options) {}
+
+  std::vector<NodeFaultProfile> profiles_;
+  FaultPlanOptions options_;
+};
+
+/// Stateless oracle over a FaultPlan. All methods are const and
+/// deterministic: equal plans give equal answers in any call order.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Node crashed at or before `round` (crashes are permanent).
+  bool IsCrashed(size_t node, size_t round) const;
+
+  /// Node is transiently offline for exactly this round.
+  bool IsDroppedOut(size_t node, size_t round) const;
+
+  /// Up and reachable this round: neither crashed nor dropped out.
+  bool IsAvailable(size_t node, size_t round) const;
+
+  /// Training-time multiplier for this node in this round (>= 1).
+  double SlowdownFactor(size_t node, size_t round) const;
+
+  /// The `attempt`-th transmission of a message over (from -> to) in
+  /// `round` is lost in flight.
+  bool LoseMessage(size_t from, size_t to, size_t round,
+                   size_t attempt) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace qens::sim
+
+#endif  // QENS_SIM_FAULT_INJECTION_H_

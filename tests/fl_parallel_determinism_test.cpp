@@ -1,0 +1,167 @@
+// Regression tests pinning the parallel-training determinism contract:
+// `parallel_local_training` true vs false under the same seed must yield
+// identical selected-node sets, per-round survivor counts, and losses —
+// in the single-round protocol, across multiple FedAvg rounds, and with
+// the fault-injection layer active.
+
+#include <gtest/gtest.h>
+
+#include "qens/common/rng.h"
+#include "qens/fl/federation.h"
+
+namespace qens::fl {
+namespace {
+
+data::Dataset MakeNodeData(double offset, double slope, uint64_t seed,
+                           size_t n = 220) {
+  Rng rng(seed);
+  Matrix x(n, 1), y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = offset + rng.Uniform(0, 10);
+    y(i, 0) = slope * x(i, 0) + rng.Gaussian(0, 0.2);
+  }
+  return data::Dataset::Create(x, y).value();
+}
+
+FederationOptions FastOptions() {
+  FederationOptions options;
+  options.environment.kmeans.k = 3;
+  options.ranking.epsilon = 0.1;
+  options.query_driven.top_l = 4;
+  options.hyper = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
+  options.hyper.epochs = 15;
+  options.epochs_per_cluster = 6;
+  options.random_l = 2;
+  options.seed = 77;
+  return options;
+}
+
+Result<Federation> MakeFederation(const FederationOptions& options) {
+  std::vector<data::Dataset> nodes = {
+      MakeNodeData(0, 2.0, 1), MakeNodeData(0, 2.0, 2),
+      MakeNodeData(0, 2.0, 3), MakeNodeData(0, 2.0, 4)};
+  return Federation::Create(std::move(nodes), options);
+}
+
+query::RangeQuery QueryOver(double lo, double hi) {
+  query::RangeQuery q;
+  q.id = 3;
+  q.region = query::HyperRectangle::FromFlatBounds({lo, hi}).value();
+  return q;
+}
+
+void ExpectIdenticalOutcomes(const QueryOutcome& seq,
+                             const QueryOutcome& par) {
+  EXPECT_EQ(seq.skipped, par.skipped);
+  EXPECT_EQ(seq.selected_nodes, par.selected_nodes);
+  EXPECT_EQ(seq.round_survivors, par.round_survivors);
+  EXPECT_EQ(seq.failed_nodes, par.failed_nodes);
+  EXPECT_EQ(seq.deadline_missed_nodes, par.deadline_missed_nodes);
+  EXPECT_EQ(seq.degraded_rounds, par.degraded_rounds);
+  EXPECT_EQ(seq.messages_lost, par.messages_lost);
+  EXPECT_EQ(seq.samples_used, par.samples_used);
+  if (seq.skipped || par.skipped) return;
+  EXPECT_DOUBLE_EQ(seq.loss_model_avg, par.loss_model_avg);
+  EXPECT_DOUBLE_EQ(seq.loss_weighted, par.loss_weighted);
+  EXPECT_DOUBLE_EQ(seq.loss_fedavg, par.loss_fedavg);
+  EXPECT_DOUBLE_EQ(seq.sim_time_total, par.sim_time_total);
+  EXPECT_DOUBLE_EQ(seq.sim_time_parallel, par.sim_time_parallel);
+  ASSERT_EQ(seq.survivor_weights.size(), par.survivor_weights.size());
+  for (size_t i = 0; i < seq.survivor_weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq.survivor_weights[i], par.survivor_weights[i]);
+  }
+}
+
+TEST(ParallelDeterminismTest, MultiRoundMatchesSequential) {
+  FederationOptions seq_options = FastOptions();
+  FederationOptions par_options = FastOptions();
+  par_options.parallel_local_training = true;
+  auto seq = MakeFederation(seq_options);
+  auto par = MakeFederation(par_options);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  auto o_seq = seq->RunQueryMultiRound(
+      QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, 3);
+  auto o_par = par->RunQueryMultiRound(
+      QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, 3);
+  ASSERT_TRUE(o_seq.ok());
+  ASSERT_TRUE(o_par.ok());
+  ASSERT_FALSE(o_seq->skipped);
+  ExpectIdenticalOutcomes(*o_seq, *o_par);
+}
+
+TEST(ParallelDeterminismTest, HoldsAcrossConsecutiveQueries) {
+  FederationOptions seq_options = FastOptions();
+  FederationOptions par_options = FastOptions();
+  par_options.parallel_local_training = true;
+  auto seq = MakeFederation(seq_options);
+  auto par = MakeFederation(par_options);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto o_seq = seq->RunQueryDriven(QueryOver(0, 10));
+    auto o_par = par->RunQueryDriven(QueryOver(0, 10));
+    ASSERT_TRUE(o_seq.ok());
+    ASSERT_TRUE(o_par.ok());
+    ExpectIdenticalOutcomes(*o_seq, *o_par);
+  }
+}
+
+TEST(ParallelDeterminismTest, HoldsUnderFaultInjection) {
+  FederationOptions base = FastOptions();
+  base.fault_tolerance.enabled = true;
+  base.fault_tolerance.faults.seed = 19;
+  base.fault_tolerance.faults.dropout_rate = 0.3;
+  base.fault_tolerance.faults.straggler_rate = 0.5;
+  base.fault_tolerance.faults.message_loss_rate = 0.2;
+  base.fault_tolerance.min_quorum_frac = 0.25;
+  FederationOptions par_options = base;
+  par_options.parallel_local_training = true;
+  auto seq = MakeFederation(base);
+  auto par = MakeFederation(par_options);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  for (int i = 0; i < 4; ++i) {
+    auto o_seq = seq->RunQueryMultiRound(
+        QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, 2);
+    auto o_par = par->RunQueryMultiRound(
+        QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, 2);
+    ASSERT_TRUE(o_seq.ok());
+    ASSERT_TRUE(o_par.ok());
+    ExpectIdenticalOutcomes(*o_seq, *o_par);
+  }
+}
+
+TEST(ParallelDeterminismTest, HoldsUnderDeadlineCuts) {
+  FederationOptions base = FastOptions();
+  base.fault_tolerance.enabled = true;
+  base.fault_tolerance.faults.seed = 23;
+  base.fault_tolerance.faults.straggler_rate = 0.5;
+  base.fault_tolerance.faults.straggler_slowdown_min = 8.0;
+  base.fault_tolerance.faults.straggler_slowdown_max = 8.0;
+  // A deadline that cuts slowed nodes but admits normal ones: calibrate
+  // from one fault-free run.
+  FederationOptions calibrate = FastOptions();
+  calibrate.fault_tolerance.enabled = true;
+  auto cal_fed = MakeFederation(calibrate);
+  ASSERT_TRUE(cal_fed.ok());
+  auto cal = cal_fed->RunQueryDriven(QueryOver(0, 10));
+  ASSERT_TRUE(cal.ok());
+  ASSERT_FALSE(cal->skipped);
+  base.fault_tolerance.round_deadline_s = 2.0 * cal->sim_time_parallel;
+
+  FederationOptions par_options = base;
+  par_options.parallel_local_training = true;
+  auto seq = MakeFederation(base);
+  auto par = MakeFederation(par_options);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  auto o_seq = seq->RunQueryDriven(QueryOver(0, 10));
+  auto o_par = par->RunQueryDriven(QueryOver(0, 10));
+  ASSERT_TRUE(o_seq.ok());
+  ASSERT_TRUE(o_par.ok());
+  ExpectIdenticalOutcomes(*o_seq, *o_par);
+}
+
+}  // namespace
+}  // namespace qens::fl

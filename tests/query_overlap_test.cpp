@@ -274,6 +274,102 @@ TEST_P(OverlapPropertyTest, CaseClassificationIsExhaustiveAndConsistent) {
   }
 }
 
+/// Re-derives the case label from the raw inequalities, independently of
+/// the implementation's control flow, with the same tie-break precedence.
+OverlapCase ClassifyReference(const Interval& q, const Interval& k) {
+  if (q.lo > k.hi) return OverlapCase::kDisjointQueryRight;
+  if (q.hi < k.lo) return OverlapCase::kDisjointQueryLeft;
+  if (k.lo <= q.lo && q.hi <= k.hi) return OverlapCase::kQueryInsideCluster;
+  if (q.lo <= k.lo && k.hi <= q.hi) return OverlapCase::kClusterInsideQuery;
+  if (q.lo >= k.lo) return OverlapCase::kQueryMinInside;
+  return OverlapCase::kQueryMaxInside;
+}
+
+TEST_P(OverlapPropertyTest, CaseAnalysisIsAnExhaustivePartition) {
+  // Every valid (q, k) pair — including degenerate points and shared
+  // endpoints — lands in exactly one case, matching an independent
+  // classifier. Integer-grid coordinates force endpoint collisions that a
+  // continuous sweep would almost never hit.
+  const OverlapMode mode = GetParam();
+  Rng rng(777);
+  for (int i = 0; i < 8000; ++i) {
+    auto draw = [&]() -> double {
+      // Half the draws land on a small integer grid, the rest anywhere.
+      return rng.Bernoulli(0.5) ? static_cast<double>(rng.UniformInt(
+                                      int64_t{-5}, int64_t{5}))
+                                : rng.Uniform(-5, 5);
+    };
+    double a = draw(), b = draw(), c = draw(), d = draw();
+    Interval q(std::min(a, b), std::max(a, b));
+    Interval k(std::min(c, d), std::max(c, d));
+    const DimensionOverlap o = ComputeDimensionOverlap(q, k, mode);
+    EXPECT_EQ(o.kase, ClassifyReference(q, k))
+        << "q=[" << q.lo << "," << q.hi << "] k=[" << k.lo << "," << k.hi
+        << "]";
+    EXPECT_GE(o.value, 0.0);
+    EXPECT_LE(o.value, 1.0);
+  }
+}
+
+TEST_P(OverlapPropertyTest, DegenerateIntervalsAreWellDefined) {
+  // Zero-length query and/or cluster intervals exercise the Ratio
+  // `at_degenerate` guards: every answer must stay in [0, 1] and disjoint
+  // geometry must still score 0.
+  const OverlapMode mode = GetParam();
+  Rng rng(4242);
+  for (int i = 0; i < 4000; ++i) {
+    double qlo = rng.Uniform(-5, 5);
+    double qhi = rng.Bernoulli(0.5) ? qlo : qlo + rng.Uniform(0, 5);
+    double klo = rng.Uniform(-5, 5);
+    double khi = rng.Bernoulli(0.5) ? klo : klo + rng.Uniform(0, 5);
+    Interval q(qlo, qhi), k(klo, khi);
+    const DimensionOverlap o = ComputeDimensionOverlap(q, k, mode);
+    EXPECT_GE(o.value, 0.0);
+    EXPECT_LE(o.value, 1.0);
+    if (!q.Intersects(k)) {
+      EXPECT_DOUBLE_EQ(o.value, 0.0);
+    }
+    EXPECT_EQ(o.kase, ClassifyReference(q, k));
+  }
+}
+
+TEST_P(OverlapPropertyTest, PointOnPointGeometry) {
+  const OverlapMode mode = GetParam();
+  // Identical points: the only all-degenerate geometry, full overlap via
+  // the at_degenerate branch of case 1 in BOTH modes.
+  const DimensionOverlap same =
+      ComputeDimensionOverlap(Interval(5, 5), Interval(5, 5), mode);
+  EXPECT_EQ(same.kase, OverlapCase::kQueryInsideCluster);
+  EXPECT_DOUBLE_EQ(same.value, 1.0);
+  // Distinct points: strictly disjoint.
+  const DimensionOverlap diff =
+      ComputeDimensionOverlap(Interval(5, 5), Interval(7, 7), mode);
+  EXPECT_DOUBLE_EQ(diff.value, 0.0);
+  // A point query at a wide cluster's edge requests measure-zero data.
+  const DimensionOverlap edge =
+      ComputeDimensionOverlap(Interval(5, 5), Interval(1, 5), mode);
+  EXPECT_EQ(edge.kase, OverlapCase::kQueryInsideCluster);
+  EXPECT_DOUBLE_EQ(edge.value, 0.0);
+  // A point cluster inside a wide query is fully covered.
+  const DimensionOverlap contained =
+      ComputeDimensionOverlap(Interval(0, 10), Interval(5, 5), mode);
+  EXPECT_EQ(contained.kase, OverlapCase::kClusterInsideQuery);
+  EXPECT_DOUBLE_EQ(contained.value, 1.0);
+}
+
+TEST_P(OverlapPropertyTest, EveryOverlapValueIsAttainable) {
+  // h ranges over ALL of [0, 1]: for any target t, q = [0, t] inside
+  // k = [0, 1] scores exactly t in both modes (case 1 with |k| = 1).
+  const OverlapMode mode = GetParam();
+  for (int step = 0; step <= 100; ++step) {
+    const double t = static_cast<double>(step) / 100.0;
+    const DimensionOverlap o =
+        ComputeDimensionOverlap(Interval(0, t), Interval(0, 1), mode);
+    EXPECT_EQ(o.kase, OverlapCase::kQueryInsideCluster);
+    EXPECT_DOUBLE_EQ(o.value, t);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(BothModes, OverlapPropertyTest,
                          ::testing::Values(
                              OverlapMode::kFaithful,
