@@ -33,7 +33,8 @@ void EmitSample(const char* tag, const data::Dataset& d, size_t count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_fig12_participant_similarity", &argc, argv);
   bench::PrintHeader(
       "Figures 1 & 2 — similar vs dissimilar participants (scatter data + "
       "OLS fits)");
@@ -84,5 +85,19 @@ int main() {
   EmitSample("fig1_random", h7, 40);
   EmitSample("fig2_similar", warm, 40);
   EmitSample("fig2_dissimilar", cold, 40);
+
+  auto fit_record = [](const char* name, const stats::LinearFit& fit) {
+    bench::BenchRecord record;
+    record.name = name;
+    record.values["slope"] = fit.slope;
+    record.values["intercept"] = fit.intercept;
+    record.values["r_squared"] = fit.r_squared;
+    return record;
+  };
+  bjson.Add(fit_record("fig1_selected", fit_h0));
+  bjson.Add(fit_record("fig1_random", fit_h7));
+  bjson.Add(fit_record("fig2_similar", fit_warm));
+  bjson.Add(fit_record("fig2_dissimilar", fit_cold));
+  bjson.WriteOrDie();
   return 0;
 }

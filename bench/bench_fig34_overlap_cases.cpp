@@ -6,7 +6,10 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "qens/common/rng.h"
+#include "qens/common/stopwatch.h"
+#include "qens/common/string_util.h"
 #include "qens/query/overlap.h"
 
 using namespace qens;
@@ -86,7 +89,31 @@ BENCHMARK(BM_DimensionOverlap);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_fig34_overlap_cases", &argc, argv);
   PrintCaseTable();
+
+  // Direct O(d) scaling measurement mirrored into the JSON output (the
+  // google-benchmark registrations below report the same to stdout).
+  for (size_t dims : {1, 8, 64}) {
+    Rng rng(42);
+    const HyperRectangle q = RandomBox(&rng, dims);
+    const HyperRectangle k = RandomBox(&rng, dims);
+    constexpr size_t kIters = 20000;
+    Stopwatch watch;
+    for (size_t i = 0; i < kIters; ++i) {
+      auto rate = query::ComputeOverlapRate(q, k);
+      benchmark::DoNotOptimize(rate);
+    }
+    bench::BenchRecord record;
+    record.name = StrFormat("overlap_rate_d%zu", dims);
+    record.values["dims"] = static_cast<double>(dims);
+    record.values["iterations"] = static_cast<double>(kIters);
+    record.values["seconds_per_call"] =
+        watch.ElapsedSeconds() / static_cast<double>(kIters);
+    bjson.Add(std::move(record));
+  }
+  bjson.WriteOrDie();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -14,7 +14,8 @@
 
 using namespace qens;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_fig56_query_projection", &argc, argv);
   bench::PrintHeader(
       "Figures 5 & 6 — query projected onto node data spaces (K = 5)");
 
@@ -120,6 +121,24 @@ int main() {
                    : estimate.estimated_rows;
     std::printf("%-8zu %14.0f %12.0f %9.1f%%\n", s, estimate.estimated_rows,
                 actual, 100.0 * rel);
+
+    bench::BenchRecord record;
+    record.name = StrFormat("node_%zu", s);
+    record.values["whole_samples"] =
+        static_cast<double>(nodes[s].profile.total_samples);
+    record.values["needed_samples"] = static_cast<double>(node_needed[s]);
+    record.values["estimated_rows"] = estimate.estimated_rows;
+    record.values["actual_rows"] = actual;
+    bjson.Add(std::move(record));
   }
+
+  bench::BenchRecord totals;
+  totals.name = "totals";
+  totals.values["whole_samples"] = static_cast<double>(total_all);
+  totals.values["needed_samples"] = static_cast<double>(total_needed);
+  totals.values["needed_fraction"] =
+      static_cast<double>(total_needed) / static_cast<double>(total_all);
+  bjson.Add(std::move(totals));
+  bjson.WriteOrDie();
   return 0;
 }

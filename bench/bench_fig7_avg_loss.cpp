@@ -14,7 +14,7 @@ using namespace qens;
 namespace {
 
 void RunModel(ml::ModelKind kind, size_t queries, size_t epochs,
-              size_t epochs_per_cluster) {
+              size_t epochs_per_cluster, bench::BenchJson* bjson) {
   fl::ExperimentConfig config =
       bench::PaperConfig(data::Heterogeneity::kHeterogeneous);
   config.federation.hyper = ml::PaperHyperParams(kind);
@@ -32,6 +32,10 @@ void RunModel(ml::ModelKind kind, size_t queries, size_t epochs,
   for (const fl::Mechanism& mechanism : fl::Figure7Mechanisms()) {
     rows.push_back(bench::ValueOrDie(runner.RunMechanism(mechanism),
                                      mechanism.label.c_str()));
+    bench::BenchRecord record = bench::MechanismRecord(rows.back());
+    record.labels["model"] =
+        kind == ml::ModelKind::kLinearRegression ? "LR" : "NN";
+    bjson->Add(std::move(record));
   }
   std::printf("%s", fl::FormatMechanismTable(rows).c_str());
 
@@ -50,13 +54,15 @@ void RunModel(ml::ModelKind kind, size_t queries, size_t epochs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_fig7_avg_loss", &argc, argv);
   bench::PrintHeader(
       "Figure 7 — average loss of GT, Random, Averaging (ours), Weighted "
       "(ours)");
   // LR at the paper's full workload; NN on a reduced stream (the shape is
   // identical and the from-scratch NN keeps the bench runtime in seconds).
-  RunModel(ml::ModelKind::kLinearRegression, 200, 40, 15);
-  RunModel(ml::ModelKind::kNeuralNetwork, 30, 25, 8);
+  RunModel(ml::ModelKind::kLinearRegression, 200, 40, 15, &bjson);
+  RunModel(ml::ModelKind::kNeuralNetwork, 30, 25, 8, &bjson);
+  bjson.WriteOrDie();
   return 0;
 }

@@ -13,7 +13,8 @@
 
 using namespace qens;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_fig8_training_time", &argc, argv);
   bench::PrintHeader(
       "Figure 8 — model building time per query, w/ vs w/o the query-driven "
       "mechanism (20 sequential queries)");
@@ -61,5 +62,15 @@ int main() {
               wins, compared);
   std::printf("(times from the deterministic cost model: samples x epochs / "
               "capacity + transfer; wall-clock shape matches)\n");
+
+  bench::BenchRecord record;
+  record.name = "training_time";
+  record.values["queries_compared"] = static_cast<double>(compared);
+  record.values["query_driven_sim_time"] = ours_total;
+  record.values["full_data_sim_time"] = full_total;
+  record.values["speedup"] = ours_total > 0 ? full_total / ours_total : 0.0;
+  record.values["query_driven_wins"] = static_cast<double>(wins);
+  bjson.Add(std::move(record));
+  bjson.WriteOrDie();
   return 0;
 }

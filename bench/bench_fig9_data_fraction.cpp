@@ -13,7 +13,8 @@
 
 using namespace qens;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_fig9_data_fraction", &argc, argv);
   bench::PrintHeader(
       "Figure 9 — % of data needed per query, w/ vs w/o the query-driven "
       "mechanism (20 sequential queries)");
@@ -59,5 +60,13 @@ int main() {
   std::printf("shape check: below the full-data bar on %zu/%zu queries "
               "(paper: all)\n",
               below, compared);
+
+  bench::BenchRecord record;
+  record.name = "data_fraction";
+  record.values["queries_compared"] = static_cast<double>(compared);
+  record.values["avg_data_fraction"] = fraction.mean();
+  record.values["below_full_bar"] = static_cast<double>(below);
+  bjson.Add(std::move(record));
+  bjson.WriteOrDie();
   return 0;
 }

@@ -16,7 +16,8 @@
 
 using namespace qens;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_table1_homogeneous", &argc, argv);
   bench::PrintHeader(
       "Table I — pre-test expected loss, homogeneous participants (LR)\n"
       "paper: all-node 24.45 vs random 24.70 (near-tie)");
@@ -41,5 +42,15 @@ int main() {
       "\nshape check: (random - all)/all = %.3f (paper: 0.010; expect a "
       "near-tie, << 1)\n",
       rel);
+
+  bench::BenchRecord record;
+  record.name = "pretest";
+  record.labels["model"] = "LR";
+  record.labels["heterogeneity"] = "homogeneous";
+  record.values["all_node_loss"] = result.all_node_loss;
+  record.values["random_loss"] = result.random_loss;
+  record.values["relative_gap"] = rel;
+  bjson.Add(std::move(record));
+  bjson.WriteOrDie();
   return 0;
 }

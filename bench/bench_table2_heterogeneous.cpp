@@ -15,7 +15,8 @@
 
 using namespace qens;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_table2_heterogeneous", &argc, argv);
   bench::PrintHeader(
       "Table II — pre-test expected loss, heterogeneous participants (LR)\n"
       "paper: all-node 9.70 vs random 178.10 (random blows up)");
@@ -40,5 +41,15 @@ int main() {
       "\nshape check: random / all-node = %.2fx (paper: 18.4x; expect >> "
       "1)\n",
       ratio);
+
+  bench::BenchRecord record;
+  record.name = "pretest";
+  record.labels["model"] = "LR";
+  record.labels["heterogeneity"] = "heterogeneous";
+  record.values["all_node_loss"] = result.all_node_loss;
+  record.values["random_loss"] = result.random_loss;
+  record.values["loss_ratio"] = ratio;
+  bjson.Add(std::move(record));
+  bjson.WriteOrDie();
   return 0;
 }

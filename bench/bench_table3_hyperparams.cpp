@@ -20,7 +20,8 @@ void PrintRow(const char* field, const std::string& lr,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_table3_hyperparams", &argc, argv);
   bench::PrintHeader("Table III — model hyper-parameters (from the factory)");
 
   const ml::HyperParams lr = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
@@ -75,6 +76,15 @@ int main() {
         ml::ModelKindName(kind), report.epochs_run,
         report.final_train_loss(), report.final_val_loss(),
         watch.ElapsedSeconds());
+
+    bench::BenchRecord record;
+    record.name = ml::ModelKindName(kind);
+    record.values["epochs_run"] = static_cast<double>(report.epochs_run);
+    record.values["final_train_loss"] = report.final_train_loss();
+    record.values["final_val_loss"] = report.final_val_loss();
+    record.values["wall_seconds"] = watch.ElapsedSeconds();
+    bjson.Add(std::move(record));
   }
+  bjson.WriteOrDie();
   return 0;
 }

@@ -7,13 +7,18 @@
 /// 200 queries) so every table/figure bench runs the same deployment.
 
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "qens/common/stopwatch.h"
 #include "qens/data/air_quality_generator.h"
 #include "qens/data/normalizer.h"
 #include "qens/fl/experiment.h"
 #include "qens/ml/loss.h"
 #include "qens/ml/model_factory.h"
+#include "qens/obs/json.h"
 #include "qens/tensor/stats.h"
 
 namespace qens::bench {
@@ -135,6 +140,116 @@ inline PreTestResult RunPreTest(const data::AirQualityOptions& options,
     random_losses.Add(per_node.mean());
   }
   return PreTestResult{best_losses.mean(), random_losses.mean()};
+}
+
+/// One machine-readable result row of a bench run: a name plus flat maps of
+/// string labels and numeric values (wall/sim time, losses, selection
+/// counts — whatever the bench measures).
+struct BenchRecord {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  std::map<std::string, double> values;
+};
+
+/// Strip `--json <path>` / `--json=<path>` out of argv (so downstream flag
+/// parsers, e.g. google-benchmark, never see it) and return the path; empty
+/// when the flag is absent.
+inline std::string ExtractJsonPathArg(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    const std::string arg = argv[r];
+    if (arg == "--json" && r + 1 < *argc) {
+      path = argv[++r];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  return path;
+}
+
+/// Collects BenchRecords and, when the bench was invoked with
+/// `--json <path>`, writes them as one JSON document on Write():
+///   {"bench": ..., "schema_version": 1, "wall_seconds": ...,
+///    "records": [{"name", "labels", "values"}, ...]}
+/// Schema documented in docs/OBSERVABILITY.md and validated by
+/// tools/check_bench_json.py. With no --json flag every call is a no-op, so
+/// stdout output is untouched either way.
+class BenchJson {
+ public:
+  BenchJson(std::string bench_name, int* argc, char** argv)
+      : bench_(std::move(bench_name)),
+        path_(ExtractJsonPathArg(argc, argv)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(BenchRecord record) {
+    if (enabled()) records_.push_back(std::move(record));
+  }
+
+  Status Write() const {
+    if (!enabled()) return Status::OK();
+    obs::JsonValue root = obs::JsonValue::Object();
+    root.Set("bench", obs::JsonValue::String(bench_));
+    root.Set("schema_version", obs::JsonValue::Number(1));
+    root.Set("wall_seconds", obs::JsonValue::Number(watch_.ElapsedSeconds()));
+    obs::JsonValue records = obs::JsonValue::Array();
+    for (const BenchRecord& r : records_) {
+      obs::JsonValue rec = obs::JsonValue::Object();
+      rec.Set("name", obs::JsonValue::String(r.name));
+      obs::JsonValue labels = obs::JsonValue::Object();
+      for (const auto& [key, value] : r.labels) {
+        labels.Set(key, obs::JsonValue::String(value));
+      }
+      rec.Set("labels", std::move(labels));
+      obs::JsonValue values = obs::JsonValue::Object();
+      for (const auto& [key, value] : r.values) {
+        values.Set(key, obs::JsonValue::Number(value));
+      }
+      rec.Set("values", std::move(values));
+      records.Append(std::move(rec));
+    }
+    root.Set("records", std::move(records));
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      return Status::IOError("cannot open for write: " + path_);
+    }
+    const std::string text = root.Dump() + "\n";
+    const size_t written = std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    if (written != text.size()) {
+      return Status::IOError("short write: " + path_);
+    }
+    return Status::OK();
+  }
+
+  void WriteOrDie() const { CheckOk(Write(), "write bench json"); }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  Stopwatch watch_;
+  std::vector<BenchRecord> records_;
+};
+
+/// The MechanismStats fields every experiment bench reports, flattened into
+/// a BenchRecord so the per-bench wiring stays a one-liner.
+inline BenchRecord MechanismRecord(const fl::MechanismStats& stats) {
+  BenchRecord record;
+  record.name = stats.label;
+  record.values["queries_run"] = static_cast<double>(stats.queries_run);
+  record.values["queries_skipped"] =
+      static_cast<double>(stats.queries_skipped);
+  record.values["avg_loss"] = stats.loss.mean();
+  record.values["avg_sim_time"] = stats.sim_time.mean();
+  record.values["avg_wall_seconds"] = stats.wall_time.mean();
+  record.values["avg_data_fraction"] = stats.data_fraction.mean();
+  return record;
 }
 
 }  // namespace qens::bench

@@ -9,7 +9,10 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "qens/common/rng.h"
+#include "qens/common/stopwatch.h"
+#include "qens/common/string_util.h"
 #include "qens/selection/ranking.h"
 
 using namespace qens;
@@ -121,7 +124,7 @@ BENCHMARK(BM_RankNodes_DataVolume)
     ->RangeMultiplier(100)
     ->Range(1000, 10'000'000);
 
-void PrintCommunicationTable() {
+void PrintCommunicationTable(bench::BenchJson* bjson) {
   std::printf(
       "\n=== X1 — O(1) communication: profile bytes vs node data size "
       "(K = 5, d = 4) ===\n");
@@ -130,14 +133,58 @@ void PrintCommunicationTable() {
   for (size_t samples : {1000ul, 100'000ul, 10'000'000ul}) {
     const selection::NodeProfile p = RandomProfile(&rng, 0, 5, 4, samples);
     std::printf("%-16zu %16zu\n", samples, p.WireBytes());
+
+    bench::BenchRecord record;
+    record.name = StrFormat("profile_bytes_m%zu", samples);
+    record.values["node_samples"] = static_cast<double>(samples);
+    record.values["profile_bytes"] = static_cast<double>(p.WireBytes());
+    bjson->Add(std::move(record));
   }
   std::printf("(constant: the profile never grows with the data)\n\n");
+}
+
+/// Direct O(N) ranking timings mirrored into the JSON output (the
+/// google-benchmark sweeps below report the same curves to stdout).
+void EmitRankingRecords(bench::BenchJson* bjson) {
+  if (!bjson->enabled()) return;
+  selection::RankingOptions options;
+  for (size_t n : {16ul, 256ul, 4096ul}) {
+    Rng rng(1);
+    std::vector<selection::NodeProfile> profiles;
+    for (size_t i = 0; i < n; ++i) {
+      profiles.push_back(RandomProfile(&rng, i, 5, 4, 10'000));
+    }
+    const query::RangeQuery q = RandomQuery(&rng, 4);
+    size_t supporting_nodes = 0;
+    constexpr size_t kIters = 50;
+    Stopwatch watch;
+    for (size_t it = 0; it < kIters; ++it) {
+      auto ranks = selection::RankNodes(profiles, q, options);
+      benchmark::DoNotOptimize(ranks);
+      if (it == 0 && ranks.ok()) {
+        for (const auto& r : ranks.value()) {
+          if (r.supporting_clusters > 0) ++supporting_nodes;
+        }
+      }
+    }
+    bench::BenchRecord record;
+    record.name = StrFormat("rank_nodes_n%zu", n);
+    record.values["nodes"] = static_cast<double>(n);
+    record.values["supporting_nodes"] = static_cast<double>(supporting_nodes);
+    record.values["iterations"] = static_cast<double>(kIters);
+    record.values["seconds_per_query"] =
+        watch.ElapsedSeconds() / static_cast<double>(kIters);
+    bjson->Add(std::move(record));
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintCommunicationTable();
+  bench::BenchJson bjson("bench_x1_selection_scalability", &argc, argv);
+  PrintCommunicationTable(&bjson);
+  EmitRankingRecords(&bjson);
+  bjson.WriteOrDie();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -17,17 +17,26 @@ using namespace qens;
 
 namespace {
 
+bench::BenchJson* g_bjson = nullptr;
+
 fl::MechanismStats RunConfigured(fl::ExperimentConfig config,
-                                 const fl::Mechanism& mechanism) {
+                                 const fl::Mechanism& mechanism,
+                                 const char* section) {
   fl::ExperimentRunner runner = bench::ValueOrDie(
       fl::ExperimentRunner::Create(config), "build experiment");
-  return bench::ValueOrDie(runner.RunMechanism(mechanism),
-                           mechanism.label.c_str());
+  fl::MechanismStats stats = bench::ValueOrDie(
+      runner.RunMechanism(mechanism), mechanism.label.c_str());
+  bench::BenchRecord record = bench::MechanismRecord(stats);
+  record.labels["ablation"] = section;
+  g_bjson->Add(std::move(record));
+  return stats;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_x2_ablations", &argc, argv);
+  g_bjson = &bjson;
   bench::PrintHeader("X2 — ablations of the paper's design choices");
 
   fl::ExperimentConfig base =
@@ -44,7 +53,7 @@ int main() {
              {"Eq7-Weighted", fl::AggregationKind::kWeightedAveraging},
              {"FedAvg-params", fl::AggregationKind::kFedAvgParameters}}) {
       fl::Mechanism m{label, selection::PolicyKind::kQueryDriven, true, kind};
-      rows.push_back(RunConfigured(base, m));
+      rows.push_back(RunConfigured(base, m, "aggregation"));
     }
     std::printf("%s", fl::FormatMechanismTable(rows).c_str());
   }
@@ -61,7 +70,7 @@ int main() {
       config.federation.ranking.overlap_mode = mode;
       fl::Mechanism m{label, selection::PolicyKind::kQueryDriven, true,
                       fl::AggregationKind::kWeightedAveraging};
-      rows.push_back(RunConfigured(config, m));
+      rows.push_back(RunConfigured(config, m, "overlap_mode"));
     }
     std::printf("%s", fl::FormatMechanismTable(rows).c_str());
     std::printf("(expect similar loss: the mechanism is robust to the exact "
@@ -79,7 +88,7 @@ int main() {
       fl::Mechanism m{StrFormat("top-l=%zu", l),
                       selection::PolicyKind::kQueryDriven, true,
                       fl::AggregationKind::kWeightedAveraging};
-      rows.push_back(RunConfigured(config, m));
+      rows.push_back(RunConfigured(config, m, "selection_cut"));
     }
     for (double psi : {0.2, 0.5, 1.0}) {
       fl::ExperimentConfig config = base;
@@ -88,7 +97,7 @@ int main() {
       fl::Mechanism m{StrFormat("psi=%.1f", psi),
                       selection::PolicyKind::kQueryDriven, true,
                       fl::AggregationKind::kWeightedAveraging};
-      rows.push_back(RunConfigured(config, m));
+      rows.push_back(RunConfigured(config, m, "selection_cut"));
     }
     std::printf("%s", fl::FormatMechanismTable(rows).c_str());
     std::printf("(higher psi engages fewer nodes per query; queries with no "
@@ -106,7 +115,7 @@ int main() {
       fl::Mechanism m{StrFormat("K=%zu", k),
                       selection::PolicyKind::kQueryDriven, true,
                       fl::AggregationKind::kWeightedAveraging};
-      rows.push_back(RunConfigured(config, m));
+      rows.push_back(RunConfigured(config, m, "clusters_per_node"));
     }
     std::printf("%s", fl::FormatMechanismTable(rows).c_str());
 
@@ -134,11 +143,12 @@ int main() {
       fl::Mechanism m{StrFormat("eps=%.2f", epsilon),
                       selection::PolicyKind::kQueryDriven, true,
                       fl::AggregationKind::kWeightedAveraging};
-      rows.push_back(RunConfigured(config, m));
+      rows.push_back(RunConfigured(config, m, "epsilon"));
     }
     std::printf("%s", fl::FormatMechanismTable(rows).c_str());
     std::printf("(expect data use to shrink as epsilon grows; loss degrades "
                 "once supporting data gets too thin)\n");
   }
+  bjson.WriteOrDie();
   return 0;
 }

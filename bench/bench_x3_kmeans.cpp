@@ -5,8 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "qens/clustering/kmeans.h"
 #include "qens/common/rng.h"
+#include "qens/common/stopwatch.h"
+#include "qens/common/string_util.h"
 
 using namespace qens;
 
@@ -90,6 +93,42 @@ void BM_KMeans_FitSummaries(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeans_FitSummaries)->Unit(benchmark::kMillisecond);
 
+/// Direct Fit timings mirrored into the JSON output (the google-benchmark
+/// sweeps above report the same curves to stdout).
+void EmitFitRecords(bench::BenchJson* bjson) {
+  if (!bjson->enabled()) return;
+  for (size_t m : {256ul, 4096ul}) {
+    const Matrix data = RandomData(m, 4, 1);
+    clustering::KMeansOptions options;
+    options.k = 5;
+    options.max_iterations = 25;
+    const clustering::KMeans kmeans(options);
+    Stopwatch watch;
+    const clustering::KMeansResult result =
+        bench::ValueOrDie(kmeans.Fit(data), "kmeans fit");
+    const double seconds = watch.ElapsedSeconds();
+    bench::BenchRecord record;
+    record.name = StrFormat("kmeans_fit_m%zu", m);
+    record.values["samples"] = static_cast<double>(m);
+    record.values["dims"] = 4.0;
+    record.values["k"] = 5.0;
+    record.values["seconds"] = seconds;
+    record.values["iterations"] = static_cast<double>(result.iterations);
+    record.values["inertia"] = result.inertia;
+    record.values["empty_cluster_repairs"] =
+        static_cast<double>(result.empty_cluster_repairs);
+    bjson->Add(std::move(record));
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_x3_kmeans", &argc, argv);
+  EmitFitRecords(&bjson);
+  bjson.WriteOrDie();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,7 +23,8 @@ fl::ExperimentConfig BaseConfig() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_x4_extensions", &argc, argv);
   bench::PrintHeader("X4 — extensions beyond the paper's protocol");
 
   // (a) Baseline panorama.
@@ -40,6 +41,9 @@ int main() {
     for (const auto& m : mechanisms) {
       rows.push_back(
           bench::ValueOrDie(runner.RunMechanism(m), m.label.c_str()));
+      bench::BenchRecord record = bench::MechanismRecord(rows.back());
+      record.labels["section"] = "panorama";
+      bjson.Add(std::move(record));
     }
     std::printf("%s", fl::FormatMechanismTable(rows).c_str());
     std::printf("(query-agnostic baselines cannot adapt to the query region; "
@@ -68,6 +72,15 @@ int main() {
     }
     std::printf("%-8zu %12.2f %14.4f %14zu\n", rounds, loss.mean(),
                 time.mean(), run);
+
+    bench::BenchRecord record;
+    record.name = StrFormat("rounds_%zu", rounds);
+    record.labels["section"] = "multi_round";
+    record.values["rounds"] = static_cast<double>(rounds);
+    record.values["avg_loss"] = loss.mean();
+    record.values["avg_sim_time"] = time.mean();
+    record.values["queries_run"] = static_cast<double>(run);
+    bjson.Add(std::move(record));
   }
   std::printf("(time grows ~linearly with rounds; loss saturates quickly on "
               "this convex task)\n");
@@ -98,8 +111,19 @@ int main() {
     }
     std::printf("%-10.1f %12.2f %10zu/%-3zu %12.2f\n", rate, loss.mean(),
                 run, run + skipped, dropped.mean());
+
+    bench::BenchRecord record;
+    record.name = StrFormat("dropout_%.1f", rate);
+    record.labels["section"] = "volatile_clients";
+    record.values["dropout_rate"] = rate;
+    record.values["avg_loss"] = loss.mean();
+    record.values["queries_run"] = static_cast<double>(run);
+    record.values["queries_skipped"] = static_cast<double>(skipped);
+    record.values["avg_dropped_per_query"] = dropped.mean();
+    bjson.Add(std::move(record));
   }
   std::printf("(losses degrade gracefully; queries only fail when every "
               "selected node is offline)\n");
+  bjson.WriteOrDie();
   return 0;
 }

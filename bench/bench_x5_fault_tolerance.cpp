@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "qens/common/string_util.h"
 
 using namespace qens;
 
@@ -57,7 +58,8 @@ SweepRow RunSweep(fl::ExperimentConfig config, selection::PolicyKind policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson bjson("bench_x5_fault_tolerance", &argc, argv);
   bench::PrintHeader("X5 — fault injection & straggler simulation");
 
   // (a) Dropout sweep, QENS vs Random, quorum 50%.
@@ -84,6 +86,22 @@ int main() {
                   row.queries_run, kQueries, row.survivors[0].mean(),
                   row.survivors[1].mean(), row.survivors[2].mean(),
                   row.degraded);
+
+      bench::BenchRecord record;
+      record.name = StrFormat("dropout_%.1f_%s", rate,
+                              qens ? "qens" : "random");
+      record.labels["section"] = "dropout_sweep";
+      record.labels["policy"] = qens ? "QENS" : "Random";
+      record.values["dropout_rate"] = rate;
+      record.values["avg_loss"] = row.loss.mean();
+      record.values["queries_run"] = static_cast<double>(row.queries_run);
+      record.values["degraded_rounds"] = static_cast<double>(row.degraded);
+      record.values["messages_lost"] = static_cast<double>(row.messages_lost);
+      for (size_t r = 0; r < kRounds; ++r) {
+        record.values[StrFormat("avg_survivors_r%zu", r)] =
+            row.survivors[r].mean();
+      }
+      bjson.Add(std::move(record));
     }
   }
   std::printf("(every query completes: below-quorum rounds keep the previous "
@@ -149,6 +167,19 @@ int main() {
     std::printf("failed engagements     %zu\n", failed);
     std::printf("deadline cuts          %zu\n", deadline_cut);
     std::printf("messages lost/retried  %zu/%zu\n", lost, retries);
+
+    bench::BenchRecord record;
+    record.name = "fault_cocktail";
+    record.labels["section"] = "cocktail";
+    record.values["queries_run"] = static_cast<double>(run);
+    record.values["avg_loss"] = loss.mean();
+    record.values["avg_survivors"] = survivors.mean();
+    record.values["degraded_rounds"] = static_cast<double>(degraded);
+    record.values["failed_engagements"] = static_cast<double>(failed);
+    record.values["deadline_cuts"] = static_cast<double>(deadline_cut);
+    record.values["messages_lost"] = static_cast<double>(lost);
+    record.values["send_retries"] = static_cast<double>(retries);
+    bjson.Add(std::move(record));
   }
 
   // (c) Reliability-aware ranking under crashes.
@@ -180,8 +211,18 @@ int main() {
     std::printf("%-18s %10.2f %5zu/%-2zu %18zu\n",
                 weight > 0 ? "penalized (w=2)" : "paper-exact (w=0)",
                 loss.mean(), run, kQueries, failed);
+
+    bench::BenchRecord record;
+    record.name = StrFormat("reliability_w%.0f", weight);
+    record.labels["section"] = "reliability_ranking";
+    record.values["reliability_weight"] = weight;
+    record.values["avg_loss"] = loss.mean();
+    record.values["queries_run"] = static_cast<double>(run);
+    record.values["failed_engagements"] = static_cast<double>(failed);
+    bjson.Add(std::move(record));
   }
   std::printf("(with the penalty the leader learns to route around crashed "
               "nodes, cutting wasted engagements)\n");
+  bjson.WriteOrDie();
   return 0;
 }

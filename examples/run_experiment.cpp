@@ -13,6 +13,9 @@
 
 #include "qens/common/config.h"
 #include "qens/fl/experiment.h"
+#include "qens/obs/export.h"
+#include "qens/obs/metrics.h"
+#include "qens/obs/round_record.h"
 
 using namespace qens;
 
@@ -67,7 +70,21 @@ round_deadline_s = 0.0
 max_send_attempts = 3
 retry_backoff_s = 0.005
 min_quorum_frac = 0.5
+
+[metrics]
+enabled = false
+round_jsonl =        ; per-round records, one JSON object per line
+round_csv =          ; per-round records as CSV
+summary_json =       ; final counter/gauge/histogram snapshot
 )";
+
+/// Export destinations parsed from the [metrics] section.
+struct MetricsOutputs {
+  bool enabled = false;
+  std::string round_jsonl;
+  std::string round_csv;
+  std::string summary_json;
+};
 
 template <typename T>
 T Die(Result<T> result, const char* what) {
@@ -168,6 +185,29 @@ Result<fl::ExperimentConfig> BuildConfig(const Config& ini) {
   return config;
 }
 
+Result<MetricsOutputs> BuildMetricsOutputs(const Config& ini) {
+  MetricsOutputs outputs;
+  QENS_ASSIGN_OR_RETURN(outputs.enabled,
+                        ini.GetBool("metrics.enabled", false));
+  outputs.round_jsonl = ini.GetString("metrics.round_jsonl", "");
+  outputs.round_csv = ini.GetString("metrics.round_csv", "");
+  outputs.summary_json = ini.GetString("metrics.summary_json", "");
+  // Export destinations imply collection.
+  if (!outputs.round_jsonl.empty() || !outputs.round_csv.empty() ||
+      !outputs.summary_json.empty()) {
+    outputs.enabled = true;
+  }
+  return outputs;
+}
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,6 +224,8 @@ int main(int argc, char** argv) {
   Config ini = Die(Config::Load(argv[1]), "load config");
   fl::ExperimentConfig config = Die(BuildConfig(ini), "build config");
   const int64_t rounds = Die(ini.GetInt("federation.rounds", 1), "rounds");
+  const MetricsOutputs metrics = Die(BuildMetricsOutputs(ini), "metrics");
+  if (metrics.enabled) obs::MetricsRegistry::Enable();
 
   std::printf("loaded %s (%zu keys)\n", argv[1], ini.size());
   std::printf(
@@ -202,6 +244,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", injector->plan().Describe().c_str());
   }
 
+  std::vector<obs::RoundRecord> round_records;
   if (rounds <= 1) {
     std::vector<fl::MechanismStats> rows;
     for (const fl::Mechanism& mechanism : fl::Figure7Mechanisms()) {
@@ -209,6 +252,7 @@ int main(int argc, char** argv) {
       rows.push_back(Die(runner.RunMechanism(mechanism), "run"));
     }
     std::printf("\n%s", fl::FormatMechanismTable(rows).c_str());
+    round_records = runner.collected_round_records();
   } else {
     // Multi-round variant: the paper's mechanism only.
     stats::RunningStats loss, time;
@@ -221,6 +265,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "query failed: %s\n",
                      outcome.status().ToString().c_str());
         return 1;
+      }
+      for (auto& record : outcome->round_records) {
+        round_records.push_back(std::move(record));
       }
       if (outcome->skipped) {
         ++skipped;
@@ -235,6 +282,28 @@ int main(int argc, char** argv) {
         "(%zu run, %zu skipped)\n",
         static_cast<long long>(rounds), loss.mean(), time.mean(), run,
         skipped);
+  }
+
+  if (!metrics.round_jsonl.empty()) {
+    Check(obs::WriteRoundRecordsJsonl(round_records, metrics.round_jsonl),
+          "write round jsonl");
+    std::printf("wrote %zu round records to %s\n", round_records.size(),
+                metrics.round_jsonl.c_str());
+  }
+  if (!metrics.round_csv.empty()) {
+    Check(obs::WriteRoundRecordsCsv(round_records, metrics.round_csv),
+          "write round csv");
+    std::printf("wrote %zu round records to %s\n", round_records.size(),
+                metrics.round_csv.c_str());
+  }
+  if (!metrics.summary_json.empty()) {
+    if (const auto* registry = obs::MetricsRegistry::Get()) {
+      Check(obs::WriteMetricsSnapshotJson(registry->Snapshot(),
+                                          metrics.summary_json),
+            "write metrics summary");
+      std::printf("wrote metrics summary to %s\n",
+                  metrics.summary_json.c_str());
+    }
   }
   return 0;
 }

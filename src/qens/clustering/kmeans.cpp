@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "qens/common/string_util.h"
+#include "qens/obs/metrics.h"
+#include "qens/obs/trace.h"
 #include "qens/tensor/vector_ops.h"
 
 namespace qens::clustering {
@@ -97,6 +99,7 @@ void KMeans::Initialize(const Matrix& data, Rng* rng,
 }
 
 Result<KMeansResult> KMeans::Fit(const Matrix& data) const {
+  obs::TraceSpan span("kmeans.fit");
   QENS_RETURN_NOT_OK(Validate(data));
   const size_t m = data.rows();
   const size_t d = data.cols();
@@ -129,23 +132,38 @@ Result<KMeansResult> KMeans::Fit(const Matrix& data) const {
       double* dst = new_centroids.RowPtr(c);
       for (size_t i = 0; i < d; ++i) dst[i] += src[i];
     }
+    // Repair distances must be snapshotted before any re-seed mutates
+    // `assignment`: scanning against the mutated array re-measures a row
+    // just donated to one empty cluster against that cluster's stale old
+    // centroid, so a second empty cluster in the same iteration can pick
+    // the same row again and the two centroids collapse into duplicates.
+    std::vector<double> repair_dist2;
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Empty-cluster repair: re-seed at the point farthest from its
         // assigned centroid (the classic farthest-point heuristic).
+        if (repair_dist2.empty()) {
+          repair_dist2.resize(m);
+          for (size_t r = 0; r < m; ++r) {
+            repair_dist2[r] = RowCentroidDist2(data, r, result.centroids,
+                                               result.assignment[r]);
+          }
+        }
         size_t worst_row = 0;
         double worst = -1.0;
         for (size_t r = 0; r < m; ++r) {
-          const double dd =
-              RowCentroidDist2(data, r, result.centroids, result.assignment[r]);
-          if (dd > worst) {
-            worst = dd;
+          if (repair_dist2[r] > worst) {
+            worst = repair_dist2[r];
             worst_row = r;
           }
         }
         std::copy(data.RowPtr(worst_row), data.RowPtr(worst_row) + d,
                   new_centroids.RowPtr(c));
         result.assignment[worst_row] = c;
+        // A donated row is consumed for this iteration; it must never seed
+        // a second empty cluster.
+        repair_dist2[worst_row] = -std::numeric_limits<double>::infinity();
+        ++result.empty_cluster_repairs;
       } else {
         double* dst = new_centroids.RowPtr(c);
         const double inv = 1.0 / static_cast<double>(counts[c]);
@@ -174,6 +192,9 @@ Result<KMeansResult> KMeans::Fit(const Matrix& data) const {
   QENS_ASSIGN_OR_RETURN(
       result.inertia,
       ComputeInertia(data, result.centroids, result.assignment));
+  obs::Count("kmeans.fits");
+  obs::Count("kmeans.iterations", result.iterations);
+  obs::Count("kmeans.empty_cluster_repairs", result.empty_cluster_repairs);
   return result;
 }
 

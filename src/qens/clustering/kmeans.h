@@ -38,6 +38,7 @@ struct KMeansResult {
   double inertia = 0.0;             ///< Eq. (1) objective at convergence.
   size_t iterations = 0;            ///< Lloyd iterations executed.
   bool converged = false;           ///< True when tolerance reached.
+  size_t empty_cluster_repairs = 0; ///< Farthest-point re-seeds performed.
 
   /// Population of each cluster.
   std::vector<size_t> ClusterSizes(size_t k) const;

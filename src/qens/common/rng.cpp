@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "qens/common/logging.h"
+
 namespace qens {
 
 uint64_t Rng::Next() {
@@ -83,16 +85,29 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 size_t Rng::WeightedIndex(const std::vector<double>& weights) {
   assert(!weights.empty());
+  // Negative or NaN weights are clamped to zero rather than asserted:
+  // `assert` compiles out in Release, where a negative weight would skew the
+  // prefix-sum walk (and NaN would poison `total`) silently. Valid inputs
+  // take exactly the same draws as before.
+  bool clamped = false;
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
-    total += w;
+    if (w > 0.0) {
+      total += w;
+    } else if (w < 0.0 || std::isnan(w)) {
+      clamped = true;
+    }
+  }
+  if (clamped) {
+    QENS_LOG(Warning) << "Rng::WeightedIndex: negative or NaN weights "
+                         "clamped to 0";
   }
   if (total <= 0.0) return static_cast<size_t>(UniformInt(weights.size()));
   double target = Uniform() * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
-    acc += weights[i];
+    const double w = weights[i];
+    if (w > 0.0) acc += w;
     if (target < acc) return i;
   }
   return weights.size() - 1;  // Numerical edge: target ~= total.

@@ -58,6 +58,9 @@ Result<MechanismStats> ExperimentRunner::RunMechanism(
         QueryOutcome outcome,
         federation_.RunQuery(q, mechanism.policy,
                              mechanism.data_selectivity));
+    for (auto& record : outcome.round_records) {
+      collected_round_records_.push_back(std::move(record));
+    }
     if (outcome.skipped) {
       ++stats.queries_skipped;
       continue;
@@ -82,6 +85,9 @@ Result<std::vector<QueryRecord>> ExperimentRunner::RunPerQuery(
         QueryOutcome outcome,
         federation_.RunQuery(queries_[i], mechanism.policy,
                              mechanism.data_selectivity));
+    for (auto& record : outcome.round_records) {
+      collected_round_records_.push_back(std::move(record));
+    }
     QueryRecord rec;
     rec.query_id = queries_[i].id;
     rec.skipped = outcome.skipped;

@@ -88,6 +88,14 @@ class ExperimentRunner {
   Result<std::vector<QueryRecord>> RunPerQuery(const Mechanism& mechanism,
                                                size_t limit = 0);
 
+  /// Per-round records accumulated across Run* calls. Empty unless the
+  /// obs metrics registry was enabled while the queries ran (the
+  /// federation only populates QueryOutcome::round_records then).
+  const std::vector<obs::RoundRecord>& collected_round_records() const {
+    return collected_round_records_;
+  }
+  void ClearCollectedRoundRecords() { collected_round_records_.clear(); }
+
  private:
   ExperimentRunner(Federation federation,
                    std::vector<query::RangeQuery> queries,
@@ -99,6 +107,7 @@ class ExperimentRunner {
   Federation federation_;
   std::vector<query::RangeQuery> queries_;
   ExperimentConfig config_;
+  std::vector<obs::RoundRecord> collected_round_records_;
 };
 
 /// Render a Fig. 7-style table ("mechanism | avg loss | avg time | avg

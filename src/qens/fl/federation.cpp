@@ -9,6 +9,9 @@
 #include "qens/data/splitter.h"
 #include "qens/ml/loss.h"
 #include "qens/ml/model_io.h"
+#include "qens/obs/metrics.h"
+#include "qens/obs/trace.h"
+#include "qens/selection/policies.h"
 
 namespace qens::fl {
 
@@ -256,6 +259,9 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
   if (rounds == 0) {
     return Status::InvalidArgument("RunQueryMultiRound: rounds must be > 0");
   }
+  obs::TraceSpan query_span("federation.query");
+  const bool obs_on = obs::MetricsRegistry::Enabled();
+  obs::Count("federation.queries");
   Stopwatch watch;
   QueryOutcome outcome;
   outcome.query = query;
@@ -271,6 +277,7 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
   // Ground truth: pooled held-out rows inside the query region.
   Result<data::Dataset> test = QueryRegionTestData(query);
   if (!test.ok()) {
+    obs::Count("federation.queries.skipped");
     outcome.skipped = true;
     outcome.wall_seconds = watch.ElapsedSeconds();
     return outcome;
@@ -297,6 +304,7 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
     chosen = std::move(alive);
   }
   if (chosen.empty()) {
+    obs::Count("federation.queries.skipped");
     outcome.skipped = true;
     outcome.wall_seconds = watch.ElapsedSeconds();
     return outcome;
@@ -355,6 +363,7 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
   if (jobs.empty()) {
     // No selected node can contribute a model (e.g. nothing supports the
     // query under selectivity): the query is unanswerable, faults or not.
+    obs::Count("federation.queries.skipped");
     outcome.skipped = true;
     outcome.wall_seconds = watch.ElapsedSeconds();
     return outcome;
@@ -387,11 +396,38 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
   std::vector<double> fedavg_weights;  // Samples trained, per local model.
   std::vector<bool> final_alive(jobs.size(), false);
   for (size_t round = 0; round < rounds; ++round) {
+    obs::TraceSpan round_span("federation.round");
+    obs::Count("federation.rounds");
     local_models.clear();
     eq7_weights.clear();
     fedavg_weights.clear();
     std::fill(final_alive.begin(), final_alive.end(), false);
     double round_parallel = 0.0;
+    double round_train = 0.0;
+    double round_comm = 0.0;
+
+    obs::RoundRecord record;
+    if (obs_on) {
+      record.query_id = query.id;
+      record.round = round;
+      record.policy = selection::PolicyKindName(policy);
+      record.aggregation = round + 1 < rounds ? "fedavg" : "ensemble";
+      record.engaged = jobs.size();
+      record.nodes.reserve(jobs.size());
+    }
+    auto record_node = [&](size_t node_id, obs::NodeFate node_fate,
+                           double train_s, double comm_s, size_t samples,
+                           bool straggler) {
+      if (!obs_on) return;
+      obs::NodeRoundStat stat;
+      stat.node_id = node_id;
+      stat.fate = node_fate;
+      stat.train_seconds = train_s;
+      stat.comm_seconds = comm_s;
+      stat.samples_used = samples;
+      stat.straggler = straggler;
+      record.nodes.push_back(stat);
+    };
 
     // Evaluate this round's fate for every job before any training runs.
     const size_t fault_round = injector ? fault_round_++ : 0;
@@ -462,6 +498,8 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
         // Crashed or offline: contributes nothing, costs nothing.
         record_once(&outcome.failed_nodes, node_id);
         leader_.RecordRoundResult(node_id, Leader::RoundResult::kFailed);
+        obs::Count("federation.nodes.unavailable");
+        record_node(node_id, obs::NodeFate::kUnavailable, 0.0, 0.0, 0, false);
         continue;
       }
       if (results[j].has_value()) {
@@ -480,14 +518,26 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
         if (lost) {
           down_seconds += ft.retry_backoff_s;
           ++outcome.messages_lost;
+          obs::Count("federation.messages.lost");
         }
       }
       outcome.send_retries += fate.down_attempts - 1;
       outcome.sim_time_comm += down_seconds;
+      round_comm += down_seconds;
       if (!fate.down_delivered) {
-        // The global model never reached the node: no training happened.
+        // The global model never reached the node: no training happened,
+        // but the leader still spent the failed transmissions + backoff on
+        // this participant, so that wait is on the round's critical path
+        // (capped at the deadline like any other wait).
         record_once(&outcome.failed_nodes, node_id);
         leader_.RecordRoundResult(node_id, Leader::RoundResult::kFailed);
+        round_parallel = std::max(
+            round_parallel, ft.round_deadline_s > 0.0
+                                ? std::min(down_seconds, ft.round_deadline_s)
+                                : down_seconds);
+        obs::Count("federation.nodes.send_failed");
+        record_node(node_id, obs::NodeFate::kSendFailed, 0.0, down_seconds, 0,
+                    false);
         continue;
       }
 
@@ -495,6 +545,7 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       if (round == 0) outcome.samples_used += result.samples_used;
       const double train_seconds = result.sim_train_seconds * fate.slowdown;
       outcome.sim_time_total += train_seconds;
+      round_train += train_seconds;
       double node_seconds = down_seconds + train_seconds;
 
       // Deadline gate 1: a straggler whose download + training already
@@ -506,6 +557,9 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
         leader_.RecordRoundResult(node_id,
                                   Leader::RoundResult::kMissedDeadline);
         round_parallel = std::max(round_parallel, ft.round_deadline_s);
+        obs::Count("federation.nodes.missed_deadline");
+        record_node(node_id, obs::NodeFate::kMissedDeadline, train_seconds,
+                    down_seconds, result.samples_used, fate.slowdown > 1.0);
         continue;
       }
 
@@ -533,10 +587,12 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
         if (lost) {
           up_seconds += ft.retry_backoff_s;
           ++outcome.messages_lost;
+          obs::Count("federation.messages.lost");
         }
       }
       outcome.send_retries += up_attempts - 1;
       outcome.sim_time_comm += up_seconds;
+      round_comm += up_seconds;
       node_seconds += up_seconds;
 
       if (!up_delivered) {
@@ -546,6 +602,10 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
             round_parallel, ft.round_deadline_s > 0.0
                                 ? std::min(node_seconds, ft.round_deadline_s)
                                 : node_seconds);
+        obs::Count("federation.nodes.send_failed");
+        record_node(node_id, obs::NodeFate::kSendFailed, train_seconds,
+                    down_seconds + up_seconds, result.samples_used,
+                    fate.slowdown > 1.0);
         continue;
       }
       // Deadline gate 2: the upload itself can push a participant past
@@ -556,6 +616,10 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
         leader_.RecordRoundResult(node_id,
                                   Leader::RoundResult::kMissedDeadline);
         round_parallel = std::max(round_parallel, ft.round_deadline_s);
+        obs::Count("federation.nodes.missed_deadline");
+        record_node(node_id, obs::NodeFate::kMissedDeadline, train_seconds,
+                    down_seconds + up_seconds, result.samples_used,
+                    fate.slowdown > 1.0);
         continue;
       }
 
@@ -567,6 +631,10 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       } else {
         round_parallel = std::max(round_parallel, train_seconds);
       }
+      obs::Count("federation.nodes.completed");
+      record_node(node_id, obs::NodeFate::kCompleted, train_seconds,
+                  down_seconds + up_seconds, result.samples_used,
+                  fate.slowdown > 1.0);
       final_alive[j] = true;
       local_models.push_back(result.model);
       eq7_weights.push_back(rank_weight);
@@ -577,11 +645,24 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
     outcome.sim_time_parallel += round_parallel;
     outcome.round_survivors.push_back(local_models.size());
 
+    if (obs_on) {
+      record.survivors = local_models.size();
+      record.quorum_met =
+          !injector ||
+          MeetsQuorum(local_models.size(), jobs.size(), ft.min_quorum_frac);
+      record.parallel_seconds = round_parallel;
+      record.total_train_seconds = round_train;
+      record.comm_seconds = round_comm;
+      obs::Observe("federation.round.parallel_seconds", round_parallel);
+      outcome.round_records.push_back(std::move(record));
+    }
+
     if (injector &&
         !MeetsQuorum(local_models.size(), jobs.size(), ft.min_quorum_frac)) {
       // Below quorum: discard the partial update; the previous global
       // model carries into the next round (or becomes the final answer).
       ++outcome.degraded_rounds;
+      obs::Count("federation.rounds.degraded");
       local_models.clear();
       eq7_weights.clear();
       fedavg_weights.clear();
@@ -662,6 +743,12 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
   outcome.loss_model_avg = DenormalizeMse(outcome.loss_model_avg);
   outcome.loss_weighted = DenormalizeMse(outcome.loss_weighted);
   outcome.loss_fedavg = DenormalizeMse(outcome.loss_fedavg);
+
+  if (!outcome.round_records.empty()) {
+    // The final record carries the evaluated answer quality (Eq. 7 loss).
+    outcome.round_records.back().has_loss = true;
+    outcome.round_records.back().loss = outcome.loss_weighted;
+  }
 
   outcome.wall_seconds = watch.ElapsedSeconds();
   return outcome;

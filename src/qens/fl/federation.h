@@ -31,6 +31,7 @@
 #include "qens/fl/leader.h"
 #include "qens/fl/participant.h"
 #include "qens/ml/metrics.h"
+#include "qens/obs/round_record.h"
 #include "qens/query/range_query.h"
 #include "qens/selection/data_centric.h"
 #include "qens/selection/game_theory.h"
@@ -151,6 +152,11 @@ struct QueryOutcome {
   size_t messages_lost = 0;    ///< Transmissions lost in flight.
   size_t send_retries = 0;     ///< Extra transmissions beyond the first.
   /// @}
+
+  /// Per-round telemetry (schema in docs/OBSERVABILITY.md). Populated only
+  /// while obs metrics are enabled; always empty otherwise, so the default
+  /// path allocates nothing.
+  std::vector<obs::RoundRecord> round_records;
 };
 
 /// Owns the environment (train shards), the held-out test shards, and the

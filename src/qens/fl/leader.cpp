@@ -1,5 +1,8 @@
 #include "qens/fl/leader.h"
 
+#include "qens/obs/metrics.h"
+#include "qens/obs/trace.h"
+
 namespace qens::fl {
 
 std::vector<double> SelectionDecision::SelectedRankings() const {
@@ -18,16 +21,21 @@ std::vector<size_t> SelectionDecision::SelectedNodeIds() const {
 
 Result<std::vector<selection::NodeRank>> Leader::Rank(
     const query::RangeQuery& query) const {
+  obs::TraceSpan span("leader.rank");
+  obs::Count("leader.rankings");
   return selection::RankNodes(profiles_, query, ranking_options_);
 }
 
 Result<SelectionDecision> Leader::Decide(
     const query::RangeQuery& query) const {
+  obs::TraceSpan span("leader.decide");
   SelectionDecision decision;
   QENS_ASSIGN_OR_RETURN(decision.all_ranks, Rank(query));
   QENS_ASSIGN_OR_RETURN(
       decision.selected,
       selection::SelectQueryDriven(decision.all_ranks, selection_options_));
+  obs::Count("leader.decisions");
+  obs::Count("leader.nodes_selected", decision.selected.size());
   return decision;
 }
 

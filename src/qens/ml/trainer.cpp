@@ -6,6 +6,8 @@
 
 #include "qens/common/rng.h"
 #include "qens/common/string_util.h"
+#include "qens/obs/metrics.h"
+#include "qens/obs/trace.h"
 
 namespace qens::ml {
 
@@ -54,6 +56,7 @@ Result<double> Trainer::TrainBatch(SequentialModel* model, const Matrix& x,
 
 Result<TrainReport> Trainer::Fit(SequentialModel* model, const Matrix& x,
                                  const Matrix& y) {
+  obs::TraceSpan span("trainer.fit");
   if (x.rows() == 0) return Status::InvalidArgument("Fit: empty dataset");
   if (x.rows() != y.rows()) {
     return Status::InvalidArgument(StrFormat(
@@ -151,6 +154,10 @@ Result<TrainReport> Trainer::Fit(SequentialModel* model, const Matrix& x,
   // Restore the base learning rate so successive Fit calls (per-cluster
   // incremental training) all start from the configured rate.
   optimizer_->set_learning_rate(base_lr);
+  obs::Count("trainer.fits");
+  obs::Count("trainer.epochs", report.epochs_run);
+  obs::Count("trainer.samples_seen", report.samples_seen);
+  if (report.early_stopped) obs::Count("trainer.early_stops");
   return report;
 }
 

@@ -1,0 +1,123 @@
+#include "qens/obs/metrics.h"
+
+#include <memory>
+
+namespace qens::obs {
+namespace {
+
+/// Owns the enabled registry. A plain pointer (not a static local) so the
+/// disabled state is "no allocation anywhere", which the tests assert.
+std::unique_ptr<MetricsRegistry>& GlobalSlot() {
+  static std::unique_ptr<MetricsRegistry> slot;
+  return slot;
+}
+
+std::mutex& GlobalSlotMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+void MetricsRegistry::Enable() {
+  std::lock_guard<std::mutex> lock(GlobalSlotMutex());
+  if (!GlobalSlot()) {
+    GlobalSlot() = std::unique_ptr<MetricsRegistry>(new MetricsRegistry());
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void MetricsRegistry::Disable() {
+  std::lock_guard<std::mutex> lock(GlobalSlotMutex());
+  enabled_.store(false, std::memory_order_release);
+  GlobalSlot().reset();
+}
+
+MetricsRegistry* MetricsRegistry::Get() {
+  if (!Enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(GlobalSlotMutex());
+  return GlobalSlot().get();
+}
+
+const std::vector<double>& MetricsRegistry::BucketBounds() {
+  // Exponential decades: 1e-6 .. 1e3 (plus the implicit overflow bucket).
+  static const std::vector<double> bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                             1e-1, 1.0,  1e1,  1e2,  1e3};
+  return bounds;
+}
+
+void MetricsRegistry::IncrCounter(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  const std::vector<double>& bounds = BucketBounds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it->second.counts.assign(bounds.size() + 1, 0);
+  }
+  Histogram& h = it->second;
+  size_t bucket = bounds.size();  // Overflow unless a bound admits it.
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++h.counts[bucket];
+  ++h.total;
+  h.sum += value;
+  if (h.total == 1) {
+    h.min = h.max = value;
+  } else {
+    if (value < h.min) h.min = value;
+    if (value > h.max) h.max = value;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : counters_) snapshot.counters[name] = value;
+  for (const auto& [name, value] : gauges_) snapshot.gauges[name] = value;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = BucketBounds();
+    hs.counts = h.counts;
+    hs.total = h.total;
+    hs.sum = h.sum;
+    hs.min = h.min;
+    hs.max = h.max;
+    snapshot.histograms[name] = std::move(hs);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace qens::obs

@@ -1,0 +1,266 @@
+#include "qens/obs/round_record.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "qens/common/string_util.h"
+#include "qens/obs/json.h"
+
+namespace qens::obs {
+
+const char* NodeFateName(NodeFate fate) {
+  switch (fate) {
+    case NodeFate::kCompleted:
+      return "completed";
+    case NodeFate::kUnavailable:
+      return "unavailable";
+    case NodeFate::kSendFailed:
+      return "send_failed";
+    case NodeFate::kMissedDeadline:
+      return "missed_deadline";
+  }
+  return "completed";
+}
+
+Result<NodeFate> ParseNodeFate(const std::string& name) {
+  if (name == "completed") return NodeFate::kCompleted;
+  if (name == "unavailable") return NodeFate::kUnavailable;
+  if (name == "send_failed") return NodeFate::kSendFailed;
+  if (name == "missed_deadline") return NodeFate::kMissedDeadline;
+  return Status::InvalidArgument("unknown node fate: " + name);
+}
+
+namespace {
+
+JsonValue NodeStatToJson(const NodeRoundStat& stat) {
+  JsonValue node = JsonValue::Object();
+  node.Set("node_id", JsonValue::Number(static_cast<double>(stat.node_id)));
+  node.Set("fate", JsonValue::String(NodeFateName(stat.fate)));
+  node.Set("train_seconds", JsonValue::Number(stat.train_seconds));
+  node.Set("comm_seconds", JsonValue::Number(stat.comm_seconds));
+  node.Set("samples_used",
+           JsonValue::Number(static_cast<double>(stat.samples_used)));
+  node.Set("straggler", JsonValue::Bool(stat.straggler));
+  return node;
+}
+
+Result<NodeRoundStat> NodeStatFromJson(const JsonValue& node) {
+  NodeRoundStat stat;
+  QENS_ASSIGN_OR_RETURN(double node_id, node.GetNumber("node_id"));
+  stat.node_id = static_cast<size_t>(node_id);
+  QENS_ASSIGN_OR_RETURN(std::string fate, node.GetString("fate"));
+  QENS_ASSIGN_OR_RETURN(stat.fate, ParseNodeFate(fate));
+  QENS_ASSIGN_OR_RETURN(stat.train_seconds, node.GetNumber("train_seconds"));
+  QENS_ASSIGN_OR_RETURN(stat.comm_seconds, node.GetNumber("comm_seconds"));
+  QENS_ASSIGN_OR_RETURN(double samples, node.GetNumber("samples_used"));
+  stat.samples_used = static_cast<size_t>(samples);
+  QENS_ASSIGN_OR_RETURN(stat.straggler, node.GetBool("straggler"));
+  return stat;
+}
+
+Status WriteTextFile(const std::string& content, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << content;
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RoundRecordToJson(const RoundRecord& record) {
+  JsonValue root = JsonValue::Object();
+  root.Set("query_id", JsonValue::Number(static_cast<double>(record.query_id)));
+  root.Set("round", JsonValue::Number(static_cast<double>(record.round)));
+  root.Set("policy", JsonValue::String(record.policy));
+  root.Set("aggregation", JsonValue::String(record.aggregation));
+  root.Set("engaged", JsonValue::Number(static_cast<double>(record.engaged)));
+  root.Set("survivors",
+           JsonValue::Number(static_cast<double>(record.survivors)));
+  root.Set("quorum_met", JsonValue::Bool(record.quorum_met));
+  root.Set("parallel_seconds", JsonValue::Number(record.parallel_seconds));
+  root.Set("total_train_seconds",
+           JsonValue::Number(record.total_train_seconds));
+  root.Set("comm_seconds", JsonValue::Number(record.comm_seconds));
+  if (record.has_loss) root.Set("loss", JsonValue::Number(record.loss));
+  JsonValue nodes = JsonValue::Array();
+  for (const NodeRoundStat& stat : record.nodes) {
+    nodes.Append(NodeStatToJson(stat));
+  }
+  root.Set("nodes", std::move(nodes));
+  return root.Dump();
+}
+
+std::string RoundRecordsToJsonl(const std::vector<RoundRecord>& records) {
+  std::string out;
+  for (const RoundRecord& record : records) {
+    out += RoundRecordToJson(record);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteRoundRecordsJsonl(const std::vector<RoundRecord>& records,
+                              const std::string& path) {
+  return WriteTextFile(RoundRecordsToJsonl(records), path);
+}
+
+Result<RoundRecord> ParseRoundRecordJson(const std::string& line) {
+  QENS_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(line));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("round record: not a JSON object");
+  }
+  RoundRecord record;
+  QENS_ASSIGN_OR_RETURN(double query_id, root.GetNumber("query_id"));
+  record.query_id = static_cast<uint64_t>(query_id);
+  QENS_ASSIGN_OR_RETURN(double round, root.GetNumber("round"));
+  record.round = static_cast<size_t>(round);
+  QENS_ASSIGN_OR_RETURN(record.policy, root.GetString("policy"));
+  QENS_ASSIGN_OR_RETURN(record.aggregation, root.GetString("aggregation"));
+  QENS_ASSIGN_OR_RETURN(double engaged, root.GetNumber("engaged"));
+  record.engaged = static_cast<size_t>(engaged);
+  QENS_ASSIGN_OR_RETURN(double survivors, root.GetNumber("survivors"));
+  record.survivors = static_cast<size_t>(survivors);
+  QENS_ASSIGN_OR_RETURN(record.quorum_met, root.GetBool("quorum_met"));
+  QENS_ASSIGN_OR_RETURN(record.parallel_seconds,
+                        root.GetNumber("parallel_seconds"));
+  QENS_ASSIGN_OR_RETURN(record.total_train_seconds,
+                        root.GetNumber("total_train_seconds"));
+  QENS_ASSIGN_OR_RETURN(record.comm_seconds, root.GetNumber("comm_seconds"));
+  if (const JsonValue* loss = root.Find("loss")) {
+    if (!loss->is_number()) {
+      return Status::InvalidArgument("round record: loss is not a number");
+    }
+    record.has_loss = true;
+    record.loss = loss->AsNumber();
+  }
+  const JsonValue* nodes = root.Find("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    return Status::InvalidArgument("round record: missing nodes array");
+  }
+  for (const JsonValue& node : nodes->AsArray()) {
+    QENS_ASSIGN_OR_RETURN(NodeRoundStat stat, NodeStatFromJson(node));
+    record.nodes.push_back(std::move(stat));
+  }
+  return record;
+}
+
+Result<std::vector<RoundRecord>> ParseRoundRecordsJsonl(
+    const std::string& text) {
+  std::vector<RoundRecord> records;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    QENS_ASSIGN_OR_RETURN(RoundRecord record, ParseRoundRecordJson(line));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+namespace {
+
+constexpr char kCsvHeader[] =
+    "query_id,round,policy,aggregation,engaged,survivors,quorum_met,"
+    "parallel_seconds,total_train_seconds,comm_seconds,has_loss,loss,nodes";
+
+std::string NodesCell(const std::vector<NodeRoundStat>& nodes) {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out.push_back(';');
+    out += StrFormat("%zu:%s:%s:%s:%zu:%d", nodes[i].node_id,
+                     NodeFateName(nodes[i].fate),
+                     JsonNumber(nodes[i].train_seconds).c_str(),
+                     JsonNumber(nodes[i].comm_seconds).c_str(),
+                     nodes[i].samples_used, nodes[i].straggler ? 1 : 0);
+  }
+  return out;
+}
+
+Result<std::vector<NodeRoundStat>> ParseNodesCell(const std::string& cell) {
+  std::vector<NodeRoundStat> nodes;
+  if (cell.empty()) return nodes;
+  for (const std::string& segment : Split(cell, ';')) {
+    const std::vector<std::string> fields = Split(segment, ':');
+    if (fields.size() != 6) {
+      return Status::InvalidArgument("round csv: bad node segment " + segment);
+    }
+    NodeRoundStat stat;
+    stat.node_id = static_cast<size_t>(std::strtoull(fields[0].c_str(),
+                                                     nullptr, 10));
+    QENS_ASSIGN_OR_RETURN(stat.fate, ParseNodeFate(fields[1]));
+    stat.train_seconds = std::strtod(fields[2].c_str(), nullptr);
+    stat.comm_seconds = std::strtod(fields[3].c_str(), nullptr);
+    stat.samples_used = static_cast<size_t>(std::strtoull(fields[4].c_str(),
+                                                          nullptr, 10));
+    stat.straggler = fields[5] == "1";
+    nodes.push_back(stat);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+std::string RoundRecordsToCsv(const std::vector<RoundRecord>& records) {
+  std::string out = kCsvHeader;
+  out.push_back('\n');
+  for (const RoundRecord& r : records) {
+    out += StrFormat("%llu,%zu,%s,%s,%zu,%zu,%d,%s,%s,%s,%d,%s,%s\n",
+                     static_cast<unsigned long long>(r.query_id), r.round,
+                     r.policy.c_str(), r.aggregation.c_str(), r.engaged,
+                     r.survivors, r.quorum_met ? 1 : 0,
+                     JsonNumber(r.parallel_seconds).c_str(),
+                     JsonNumber(r.total_train_seconds).c_str(),
+                     JsonNumber(r.comm_seconds).c_str(), r.has_loss ? 1 : 0,
+                     JsonNumber(r.loss).c_str(),
+                     NodesCell(r.nodes).c_str());
+  }
+  return out;
+}
+
+Status WriteRoundRecordsCsv(const std::vector<RoundRecord>& records,
+                            const std::string& path) {
+  return WriteTextFile(RoundRecordsToCsv(records), path);
+}
+
+Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text) {
+  std::vector<RoundRecord> records;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    if (first) {
+      first = false;
+      if (Trim(line) != kCsvHeader) {
+        return Status::InvalidArgument("round csv: unexpected header " + line);
+      }
+      continue;
+    }
+    const std::vector<std::string> cells = Split(line, ',');
+    if (cells.size() != 13) {
+      return Status::InvalidArgument(
+          StrFormat("round csv: expected 13 cells, got %zu", cells.size()));
+    }
+    RoundRecord r;
+    r.query_id = std::strtoull(cells[0].c_str(), nullptr, 10);
+    r.round = static_cast<size_t>(std::strtoull(cells[1].c_str(), nullptr, 10));
+    r.policy = cells[2];
+    r.aggregation = cells[3];
+    r.engaged = static_cast<size_t>(std::strtoull(cells[4].c_str(), nullptr, 10));
+    r.survivors =
+        static_cast<size_t>(std::strtoull(cells[5].c_str(), nullptr, 10));
+    r.quorum_met = cells[6] == "1";
+    r.parallel_seconds = std::strtod(cells[7].c_str(), nullptr);
+    r.total_train_seconds = std::strtod(cells[8].c_str(), nullptr);
+    r.comm_seconds = std::strtod(cells[9].c_str(), nullptr);
+    r.has_loss = cells[10] == "1";
+    r.loss = std::strtod(cells[11].c_str(), nullptr);
+    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[12]));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace qens::obs

@@ -1,0 +1,101 @@
+#ifndef QENS_OBS_ROUND_RECORD_H_
+#define QENS_OBS_ROUND_RECORD_H_
+
+/// \file round_record.h
+/// Per-round telemetry emitted by the federation loop.
+///
+/// One RoundRecord describes one leader -> participants -> leader exchange:
+/// which nodes were engaged, what happened to each (completed / crashed or
+/// offline / send failed / cut by the deadline), per-node simulated train
+/// and transfer seconds and samples trained, the round's critical-path
+/// time, and the quorum outcome. The federation fills these only while the
+/// metrics layer is enabled (see obs::MetricsRegistry), so the fault-free
+/// hot path stays untouched when observability is off.
+///
+/// The schema (field names, fate strings, CSV columns) is documented in
+/// docs/OBSERVABILITY.md; the exporters here and their parsers are the
+/// reference implementation and are round-trip tested.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qens/common/status.h"
+
+namespace qens::obs {
+
+/// What happened to one engaged node during one round.
+enum class NodeFate {
+  kCompleted = 0,       ///< Model delivered in time and aggregated.
+  kUnavailable,         ///< Crashed or transiently offline this round.
+  kSendFailed,          ///< Every model-down or model-up transmission lost.
+  kMissedDeadline,      ///< Excluded as a straggler at the round deadline.
+};
+
+/// Stable wire name ("completed", "unavailable", "send_failed",
+/// "missed_deadline").
+const char* NodeFateName(NodeFate fate);
+
+/// Inverse of NodeFateName; InvalidArgument on an unknown name.
+Result<NodeFate> ParseNodeFate(const std::string& name);
+
+/// One engaged node's accounting for one round.
+struct NodeRoundStat {
+  size_t node_id = 0;
+  NodeFate fate = NodeFate::kCompleted;
+  /// Simulated local-training seconds, slowdown-adjusted. Recorded in full
+  /// even when the node is later cut by the deadline (the node still did
+  /// the work); the leader-side wait is capped in RoundRecord::
+  /// parallel_seconds instead.
+  double train_seconds = 0.0;
+  /// Simulated model-down + model-up transfer seconds, retries included.
+  double comm_seconds = 0.0;
+  size_t samples_used = 0;  ///< Distinct rows trained on.
+  bool straggler = false;   ///< Slowdown factor > 1 this round.
+};
+
+/// One federation round.
+struct RoundRecord {
+  uint64_t query_id = 0;
+  size_t round = 0;         ///< 0-based within the query.
+  std::string policy;       ///< Selection policy name ("query_driven", ...).
+  std::string aggregation;  ///< "fedavg" between rounds, "ensemble" final.
+  size_t engaged = 0;       ///< Jobs entering the round.
+  size_t survivors = 0;     ///< Models aggregated.
+  bool quorum_met = true;   ///< False for below-quorum (degraded) rounds.
+  /// Leader-side critical path: max over engaged nodes of the capped
+  /// per-node wait (never exceeds the round deadline when one is set).
+  double parallel_seconds = 0.0;
+  double total_train_seconds = 0.0;  ///< Sum of per-node train seconds.
+  double comm_seconds = 0.0;         ///< Sum of per-node transfer seconds.
+  /// Final-round evaluation loss (Eq. 7 / weighted). Only the last record
+  /// of a query carries one; intermediate rounds have has_loss == false.
+  bool has_loss = false;
+  double loss = 0.0;
+  std::vector<NodeRoundStat> nodes;  ///< One entry per engaged node.
+};
+
+/// \name JSONL export: one compact JSON object per line
+/// @{
+std::string RoundRecordToJson(const RoundRecord& record);
+std::string RoundRecordsToJsonl(const std::vector<RoundRecord>& records);
+Status WriteRoundRecordsJsonl(const std::vector<RoundRecord>& records,
+                              const std::string& path);
+Result<RoundRecord> ParseRoundRecordJson(const std::string& line);
+Result<std::vector<RoundRecord>> ParseRoundRecordsJsonl(
+    const std::string& text);
+/// @}
+
+/// \name CSV export: header + one row per round
+/// Per-node stats are flattened into one cell of
+/// `id:fate:train_s:comm_s:samples:straggler` segments joined by ';'.
+/// @{
+std::string RoundRecordsToCsv(const std::vector<RoundRecord>& records);
+Status WriteRoundRecordsCsv(const std::vector<RoundRecord>& records,
+                            const std::string& path);
+Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text);
+/// @}
+
+}  // namespace qens::obs
+
+#endif  // QENS_OBS_ROUND_RECORD_H_

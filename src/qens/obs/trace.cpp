@@ -1,0 +1,15 @@
+#include "qens/obs/trace.h"
+
+namespace qens::obs {
+
+double TraceSpan::Stop() {
+  if (!active_) return 0.0;
+  active_ = false;
+  const double seconds = watch_.ElapsedSeconds();
+  const std::string name(name_);
+  Observe("span." + name + ".seconds", seconds);
+  Count("span." + name + ".calls");
+  return seconds;
+}
+
+}  // namespace qens::obs

@@ -1,0 +1,53 @@
+#ifndef QENS_OBS_TRACE_H_
+#define QENS_OBS_TRACE_H_
+
+/// \file trace.h
+/// Scoped wall-clock trace spans on top of Stopwatch.
+///
+/// A TraceSpan measures the wall time of the enclosing scope and records it
+/// into the metrics registry as the histogram `span.<name>.seconds` plus
+/// the counter `span.<name>.calls`. When metrics are disabled the span is
+/// inert: it never starts the clock and records nothing.
+///
+///   void Leader::Rank(...) {
+///     obs::TraceSpan span("leader.rank");
+///     ...
+///   }
+
+#include <string>
+
+#include "qens/common/stopwatch.h"
+#include "qens/obs/metrics.h"
+
+namespace qens::obs {
+
+/// RAII span: starts on construction (when metrics are enabled), records on
+/// destruction or the first Stop() call. `name` is not copied and must
+/// outlive the span (span names are string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name)
+      : name_(name), active_(MetricsRegistry::Enabled()) {
+    if (active_) watch_.Restart();
+  }
+
+  ~TraceSpan() { Stop(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// End the span now and record it; further Stop() calls are no-ops.
+  /// Returns the measured seconds (0 when metrics are disabled).
+  double Stop();
+
+  bool active() const { return active_; }
+
+ private:
+  std::string_view name_;
+  Stopwatch watch_;
+  bool active_;
+};
+
+}  // namespace qens::obs
+
+#endif  // QENS_OBS_TRACE_H_

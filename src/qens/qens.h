@@ -6,7 +6,7 @@
 ///
 /// For finer-grained builds include the per-module headers directly; the
 /// layering is
-///   common -> tensor -> {ml, clustering, query, data} -> selection
+///   common -> obs -> tensor -> {ml, clustering, query, data} -> selection
 ///          -> {sim, fl}
 /// and nothing includes upward.
 
@@ -17,6 +17,13 @@
 #include "qens/common/status.h"       // Status / Result<T> error handling.
 #include "qens/common/stopwatch.h"    // Wall-clock timing.
 #include "qens/common/string_util.h"  // Split/trim/parse/format.
+
+// Observability (opt-in; zero-cost while disabled).
+#include "qens/obs/export.h"        // Metrics snapshot JSON/CSV exporters.
+#include "qens/obs/json.h"          // Minimal JSON read/write.
+#include "qens/obs/metrics.h"       // Counters, gauges, histograms.
+#include "qens/obs/round_record.h"  // Per-round federation telemetry.
+#include "qens/obs/trace.h"         // Scoped wall-clock spans.
 
 // Numerics.
 #include "qens/tensor/matrix.h"       // Dense row-major Matrix.

@@ -2,6 +2,7 @@
 
 #include "qens/common/rng.h"
 #include "qens/common/string_util.h"
+#include "qens/obs/metrics.h"
 
 namespace qens::sim {
 namespace {
@@ -86,7 +87,9 @@ std::string FaultPlan::Describe() const {
 
 bool FaultInjector::IsCrashed(size_t node, size_t round) const {
   const NodeFaultProfile& p = plan_.node(node);
-  return p.crashes && round >= p.crash_round;
+  const bool crashed = p.crashes && round >= p.crash_round;
+  if (crashed) obs::Count("faults.crash_hits");
+  return crashed;
 }
 
 bool FaultInjector::IsDroppedOut(size_t node, size_t round) const {
@@ -96,7 +99,9 @@ bool FaultInjector::IsDroppedOut(size_t node, size_t round) const {
                 .Fork(kDropoutStream)
                 .Fork(node)
                 .Fork(round);
-  return rng.Bernoulli(rate);
+  const bool dropped = rng.Bernoulli(rate);
+  if (dropped) obs::Count("faults.dropouts");
+  return dropped;
 }
 
 bool FaultInjector::IsAvailable(size_t node, size_t round) const {
@@ -117,7 +122,9 @@ bool FaultInjector::LoseMessage(size_t from, size_t to, size_t round,
                 .Fork(from * 0x10001 + to)
                 .Fork(round)
                 .Fork(attempt);
-  return rng.Bernoulli(rate);
+  const bool lost = rng.Bernoulli(rate);
+  if (lost) obs::Count("faults.messages_lost");
+  return lost;
 }
 
 }  // namespace qens::sim

@@ -256,6 +256,58 @@ INSTANTIATE_TEST_SUITE_P(
                       KmeansParam{5, 4, 100}, KmeansParam{8, 2, 64},
                       KmeansParam{3, 8, 40}, KmeansParam{10, 3, 200}));
 
+// Regression: two clusters going empty in the SAME Lloyd iteration. The
+// repair scan used to recompute row->assigned-centroid distances after each
+// re-seed mutated `assignment`, measuring the just-donated row against the
+// repaired cluster's stale old centroid — so the second empty cluster
+// picked the same donor row and both centroids collapsed into duplicates.
+//
+// Setup: rows {0, 0, 0, 10, -6}, k = 3, random-points init with a seed
+// whose three picks are all zero rows (verified by the repair count). The
+// first assignment step sends every row to cluster 0, leaving clusters 1
+// and 2 empty simultaneously. One iteration is enough to expose the bug:
+// the fixed repair donates row 3 (d^2 = 100) to cluster 1 and row 4
+// (d^2 = 36) to cluster 2; the old code donated row 3 twice.
+TEST(KMeansTest, SimultaneousEmptyClustersGetDistinctSeeds) {
+  Matrix data{{0.0}, {0.0}, {0.0}, {10.0}, {-6.0}};
+  KMeansOptions options;
+  options.k = 3;
+  options.init = KMeansInit::kRandomPoints;
+  options.max_iterations = 1;
+  options.seed = 26;  // Initial centroids = the three zero rows.
+  auto result = KMeans(options).Fit(data);
+  ASSERT_TRUE(result.ok());
+
+  // Precondition of the scenario: both empty clusters were repaired in the
+  // single iteration that ran.
+  ASSERT_EQ(result->empty_cluster_repairs, 2u);
+
+  // Each empty cluster must get its own donor row: every cluster ends
+  // non-empty and the centroids are pairwise distinct. The old code left
+  // cluster 2 a duplicate of cluster 1 (both at 10.0) and thus empty.
+  const std::vector<size_t> sizes = result->ClusterSizes(3);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_GT(sizes[c], 0u) << "cluster " << c << " ended empty";
+  }
+  for (size_t a = 0; a < 3; ++a) {
+    for (size_t b = a + 1; b < 3; ++b) {
+      EXPECT_NE(result->centroids(a, 0), result->centroids(b, 0))
+          << "clusters " << a << " and " << b << " collapsed";
+    }
+  }
+  // The exact repaired state: outliers 10 and -6 seed the two clusters,
+  // the zero rows keep cluster 0 (centroid 4/5 after the donated rows
+  // leave the mean's numerator but not its count).
+  EXPECT_NEAR(result->inertia, 3 * 0.8 * 0.8, 1e-12);
+
+  // And with the iteration cap lifted the same setup reaches the exact
+  // solution (one centroid per distinct value).
+  options.max_iterations = 50;
+  auto converged = KMeans(options).Fit(data);
+  ASSERT_TRUE(converged.ok());
+  EXPECT_NEAR(converged->inertia, 0.0, 1e-12);
+}
+
 TEST(ComputeInertiaTest, Errors) {
   Matrix data{{1.0}, {2.0}};
   Matrix centroids{{1.5}};

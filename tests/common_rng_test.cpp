@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 namespace qens {
@@ -172,6 +173,55 @@ TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform) {
   std::vector<int> counts(4, 0);
   for (int i = 0; i < 40000; ++i) ++counts[rng.WeightedIndex(w)];
   for (int c : counts) EXPECT_GT(c, 8000);
+}
+
+TEST(RngTest, WeightedIndexClampsNegativeWeights) {
+  // A negative weight must behave exactly like a zero weight: never picked,
+  // and not skewing the other entries' probabilities.
+  Rng rng(37);
+  const std::vector<double> w{-5.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, WeightedIndexClampsNaNWeights) {
+  // NaN must not poison the total (NaN total would make every comparison
+  // false and always return the last index).
+  Rng rng(39);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> w{nan, 2.0, nan, 2.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, WeightedIndexAllNegativeOrNaNFallsBackToUniform) {
+  Rng rng(41);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> w{-1.0, nan, -0.5, nan};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.WeightedIndex(w)];
+  for (int c : counts) EXPECT_GT(c, 8000);
+}
+
+TEST(RngTest, WeightedIndexValidWeightsDrawIdenticalToClampedRun) {
+  // Clamping must not change the draw sequence for valid inputs: a stream
+  // fed {1, 2} and one fed {1, 2} after clamped calls stay in lockstep
+  // because invalid entries consume no RNG state beyond the one draw.
+  Rng a(43);
+  Rng b(43);
+  const std::vector<double> valid{1.0, 2.0, 4.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.WeightedIndex(valid), b.WeightedIndex(valid));
+  }
 }
 
 TEST(RngTest, ForkIsDeterministicAndDecorrelated) {

@@ -8,6 +8,7 @@
 
 #include "qens/common/rng.h"
 #include "qens/fl/federation.h"
+#include "qens/obs/metrics.h"
 
 namespace qens::fl {
 namespace {
@@ -69,6 +70,30 @@ void ExpectIdenticalOutcomes(const QueryOutcome& seq,
   ASSERT_EQ(seq.survivor_weights.size(), par.survivor_weights.size());
   for (size_t i = 0; i < seq.survivor_weights.size(); ++i) {
     EXPECT_DOUBLE_EQ(seq.survivor_weights[i], par.survivor_weights[i]);
+  }
+}
+
+void ExpectIdenticalRoundRecords(const QueryOutcome& seq,
+                                 const QueryOutcome& par) {
+  ASSERT_EQ(seq.round_records.size(), par.round_records.size());
+  for (size_t r = 0; r < seq.round_records.size(); ++r) {
+    const obs::RoundRecord& a = seq.round_records[r];
+    const obs::RoundRecord& b = par.round_records[r];
+    EXPECT_EQ(a.engaged, b.engaged);
+    EXPECT_EQ(a.survivors, b.survivors);
+    EXPECT_EQ(a.quorum_met, b.quorum_met);
+    EXPECT_DOUBLE_EQ(a.parallel_seconds, b.parallel_seconds);
+    EXPECT_DOUBLE_EQ(a.total_train_seconds, b.total_train_seconds);
+    EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (size_t i = 0; i < a.nodes.size(); ++i) {
+      EXPECT_EQ(a.nodes[i].node_id, b.nodes[i].node_id);
+      EXPECT_EQ(a.nodes[i].fate, b.nodes[i].fate);
+      EXPECT_DOUBLE_EQ(a.nodes[i].train_seconds, b.nodes[i].train_seconds);
+      EXPECT_DOUBLE_EQ(a.nodes[i].comm_seconds, b.nodes[i].comm_seconds);
+      EXPECT_EQ(a.nodes[i].samples_used, b.nodes[i].samples_used);
+      EXPECT_EQ(a.nodes[i].straggler, b.nodes[i].straggler);
+    }
   }
 }
 
@@ -161,6 +186,61 @@ TEST(ParallelDeterminismTest, HoldsUnderDeadlineCuts) {
   ASSERT_TRUE(o_seq.ok());
   ASSERT_TRUE(o_par.ok());
   ExpectIdenticalOutcomes(*o_seq, *o_par);
+}
+
+// Satellite of the observability work: per-round records must report the
+// SAME timing on the sequential and parallel paths — both share one
+// deterministic accounting loop over the job results — and the leader's
+// critical path must respect the round deadline even when stragglers and
+// lost model-down transfers are excluded mid-round.
+TEST(ParallelDeterminismTest, RoundRecordTimingMatchesSequential) {
+  obs::MetricsRegistry::Enable();
+  FederationOptions base = FastOptions();
+  base.fault_tolerance.enabled = true;
+  base.fault_tolerance.faults.seed = 29;
+  base.fault_tolerance.faults.straggler_rate = 0.5;
+  base.fault_tolerance.faults.straggler_slowdown_min = 8.0;
+  base.fault_tolerance.faults.straggler_slowdown_max = 8.0;
+  base.fault_tolerance.faults.message_loss_rate = 0.2;
+  base.fault_tolerance.min_quorum_frac = 0.25;
+
+  FederationOptions calibrate = FastOptions();
+  calibrate.fault_tolerance.enabled = true;
+  auto cal_fed = MakeFederation(calibrate);
+  ASSERT_TRUE(cal_fed.ok());
+  auto cal = cal_fed->RunQueryDriven(QueryOver(0, 10));
+  ASSERT_TRUE(cal.ok());
+  ASSERT_FALSE(cal->skipped);
+  const double deadline = 2.0 * cal->sim_time_parallel;
+  base.fault_tolerance.round_deadline_s = deadline;
+
+  FederationOptions par_options = base;
+  par_options.parallel_local_training = true;
+  auto seq = MakeFederation(base);
+  auto par = MakeFederation(par_options);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  const size_t rounds = 3;
+  for (int i = 0; i < 3; ++i) {
+    auto o_seq = seq->RunQueryMultiRound(
+        QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, rounds);
+    auto o_par = par->RunQueryMultiRound(
+        QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, rounds);
+    ASSERT_TRUE(o_seq.ok());
+    ASSERT_TRUE(o_par.ok());
+    ExpectIdenticalOutcomes(*o_seq, *o_par);
+    ExpectIdenticalRoundRecords(*o_seq, *o_par);
+    if (o_seq->skipped) continue;
+    // Deadline-excluded work must never stretch the leader's wait: every
+    // round's critical path is capped at the deadline, so a query's
+    // parallel time is bounded by rounds x deadline.
+    ASSERT_EQ(o_seq->round_records.size(), rounds);
+    for (const auto& record : o_seq->round_records) {
+      EXPECT_LE(record.parallel_seconds, deadline + 1e-12);
+    }
+    EXPECT_LE(o_seq->sim_time_parallel, rounds * deadline + 1e-12);
+  }
+  obs::MetricsRegistry::Disable();
 }
 
 }  // namespace

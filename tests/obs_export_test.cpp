@@ -1,0 +1,200 @@
+// Round-trip tests for the observability exporters: RoundRecord JSONL and
+// CSV, and MetricsSnapshot JSON and CSV. Export -> parse must reproduce
+// every field exactly (doubles included: the writers emit full precision).
+
+#include <gtest/gtest.h>
+
+#include "qens/obs/export.h"
+#include "qens/obs/metrics.h"
+#include "qens/obs/round_record.h"
+
+namespace qens::obs {
+namespace {
+
+std::vector<RoundRecord> SampleRecords() {
+  RoundRecord first;
+  first.query_id = 42;
+  first.round = 0;
+  first.policy = "query_driven";
+  first.aggregation = "fedavg";
+  first.engaged = 3;
+  first.survivors = 2;
+  first.quorum_met = true;
+  first.parallel_seconds = 0.125;
+  first.total_train_seconds = 0.3;
+  first.comm_seconds = 0.0421875;
+  first.nodes = {
+      {0, NodeFate::kCompleted, 0.15, 0.02, 120, false},
+      {3, NodeFate::kCompleted, 0.15, 0.0221875, 96, true},
+      {5, NodeFate::kUnavailable, 0.0, 0.0, 0, false},
+  };
+
+  RoundRecord second;
+  second.query_id = 42;
+  second.round = 1;
+  second.policy = "query_driven";
+  second.aggregation = "ensemble";
+  second.engaged = 3;
+  second.survivors = 1;
+  second.quorum_met = false;
+  second.parallel_seconds = 0.5;
+  second.total_train_seconds = 0.6;
+  second.comm_seconds = 0.01;
+  second.has_loss = true;
+  second.loss = 123.456789012345;
+  second.nodes = {
+      {0, NodeFate::kMissedDeadline, 0.45, 0.01, 120, true},
+      {3, NodeFate::kSendFailed, 0.15, 0.0, 96, false},
+      {5, NodeFate::kCompleted, 0.0, 0.0, 88, false},
+  };
+  return {first, second};
+}
+
+void ExpectRecordsEqual(const RoundRecord& a, const RoundRecord& b) {
+  EXPECT_EQ(a.query_id, b.query_id);
+  EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.aggregation, b.aggregation);
+  EXPECT_EQ(a.engaged, b.engaged);
+  EXPECT_EQ(a.survivors, b.survivors);
+  EXPECT_EQ(a.quorum_met, b.quorum_met);
+  EXPECT_DOUBLE_EQ(a.parallel_seconds, b.parallel_seconds);
+  EXPECT_DOUBLE_EQ(a.total_train_seconds, b.total_train_seconds);
+  EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+  EXPECT_EQ(a.has_loss, b.has_loss);
+  if (a.has_loss && b.has_loss) EXPECT_DOUBLE_EQ(a.loss, b.loss);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].node_id, b.nodes[i].node_id);
+    EXPECT_EQ(a.nodes[i].fate, b.nodes[i].fate);
+    EXPECT_DOUBLE_EQ(a.nodes[i].train_seconds, b.nodes[i].train_seconds);
+    EXPECT_DOUBLE_EQ(a.nodes[i].comm_seconds, b.nodes[i].comm_seconds);
+    EXPECT_EQ(a.nodes[i].samples_used, b.nodes[i].samples_used);
+    EXPECT_EQ(a.nodes[i].straggler, b.nodes[i].straggler);
+  }
+}
+
+TEST(NodeFateTest, NamesRoundTrip) {
+  for (NodeFate fate :
+       {NodeFate::kCompleted, NodeFate::kUnavailable, NodeFate::kSendFailed,
+        NodeFate::kMissedDeadline}) {
+    auto parsed = ParseNodeFate(NodeFateName(fate));
+    ASSERT_TRUE(parsed.ok()) << NodeFateName(fate);
+    EXPECT_EQ(*parsed, fate);
+  }
+  EXPECT_FALSE(ParseNodeFate("exploded").ok());
+}
+
+TEST(RoundRecordJsonlTest, RoundTripsExactly) {
+  const std::vector<RoundRecord> records = SampleRecords();
+  const std::string jsonl = RoundRecordsToJsonl(records);
+  auto parsed = ParseRoundRecordsJsonl(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(records[i], (*parsed)[i]);
+  }
+}
+
+TEST(RoundRecordJsonlTest, OneObjectPerLine) {
+  const std::string jsonl = RoundRecordsToJsonl(SampleRecords());
+  size_t lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(RoundRecordJsonlTest, EmptyAndMalformedInput) {
+  auto empty = ParseRoundRecordsJsonl("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_FALSE(ParseRoundRecordJson("not json").ok());
+  EXPECT_FALSE(ParseRoundRecordJson("[1,2,3]").ok());
+}
+
+TEST(RoundRecordCsvTest, RoundTripsExactly) {
+  const std::vector<RoundRecord> records = SampleRecords();
+  const std::string csv = RoundRecordsToCsv(records);
+  auto parsed = ParseRoundRecordsCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(records[i], (*parsed)[i]);
+  }
+}
+
+TEST(RoundRecordCsvTest, NoEngagedNodesStillRoundTrips) {
+  RoundRecord record;
+  record.query_id = 7;
+  record.policy = "random";
+  record.aggregation = "ensemble";
+  const std::string csv = RoundRecordsToCsv({record});
+  auto parsed = ParseRoundRecordsCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  ExpectRecordsEqual(record, (*parsed)[0]);
+}
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsRegistry::Enable();
+  MetricsRegistry* registry = MetricsRegistry::Get();
+  registry->Reset();
+  registry->IncrCounter("federation.rounds", 12);
+  registry->IncrCounter("kmeans.fits", 4);
+  registry->SetGauge("test.gauge", -1.5);
+  registry->Observe("span.kmeans.fit.seconds", 0.002);
+  registry->Observe("span.kmeans.fit.seconds", 0.25);
+  registry->Observe("span.kmeans.fit.seconds", 4000.0);  // Overflow bucket.
+  MetricsSnapshot snapshot = registry->Snapshot();
+  MetricsRegistry::Disable();
+  return snapshot;
+}
+
+void ExpectSnapshotsEqual(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+  EXPECT_EQ(a.counters, b.counters);
+  ASSERT_EQ(a.gauges.size(), b.gauges.size());
+  for (const auto& [name, value] : a.gauges) {
+    ASSERT_TRUE(b.gauges.count(name)) << name;
+    EXPECT_DOUBLE_EQ(value, b.gauges.at(name));
+  }
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (const auto& [name, h] : a.histograms) {
+    ASSERT_TRUE(b.histograms.count(name)) << name;
+    const HistogramSnapshot& other = b.histograms.at(name);
+    EXPECT_EQ(h.counts, other.counts);
+    EXPECT_EQ(h.total, other.total);
+    EXPECT_DOUBLE_EQ(h.sum, other.sum);
+    EXPECT_DOUBLE_EQ(h.min, other.min);
+    EXPECT_DOUBLE_EQ(h.max, other.max);
+    ASSERT_EQ(h.bounds.size(), other.bounds.size());
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      EXPECT_DOUBLE_EQ(h.bounds[i], other.bounds[i]);
+    }
+  }
+}
+
+TEST(MetricsSnapshotJsonTest, RoundTripsExactly) {
+  const MetricsSnapshot snapshot = SampleSnapshot();
+  const std::string json = MetricsSnapshotToJson(snapshot);
+  auto parsed = ParseMetricsSnapshotJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSnapshotsEqual(snapshot, *parsed);
+}
+
+TEST(MetricsSnapshotJsonTest, EmptySnapshotRoundTrips) {
+  const MetricsSnapshot empty;
+  auto parsed = ParseMetricsSnapshotJson(MetricsSnapshotToJson(empty));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSnapshotsEqual(empty, *parsed);
+  EXPECT_FALSE(ParseMetricsSnapshotJson("{{{").ok());
+}
+
+TEST(MetricsSnapshotCsvTest, RoundTripsExactly) {
+  const MetricsSnapshot snapshot = SampleSnapshot();
+  const std::string csv = MetricsSnapshotToCsv(snapshot);
+  auto parsed = ParseMetricsSnapshotCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSnapshotsEqual(snapshot, *parsed);
+}
+
+}  // namespace
+}  // namespace qens::obs

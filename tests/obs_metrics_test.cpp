@@ -1,0 +1,151 @@
+// Tests for the opt-in metrics registry: enable/disable lifecycle,
+// counters/gauges/histograms, the no-op-when-disabled helpers, and trace
+// spans. The registry is process-global, so every test that enables it
+// disables it again on exit.
+
+#include "qens/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "qens/obs/trace.h"
+
+namespace qens::obs {
+namespace {
+
+/// Enables the registry for one test body and always disables it after.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { MetricsRegistry::Disable(); }
+};
+
+TEST_F(MetricsTest, DisabledByDefault) {
+  EXPECT_FALSE(MetricsRegistry::Enabled());
+  EXPECT_EQ(MetricsRegistry::Get(), nullptr);
+}
+
+TEST_F(MetricsTest, EnableCreatesDisableDestroys) {
+  MetricsRegistry::Enable();
+  EXPECT_TRUE(MetricsRegistry::Enabled());
+  ASSERT_NE(MetricsRegistry::Get(), nullptr);
+  MetricsRegistry::Disable();
+  EXPECT_FALSE(MetricsRegistry::Enabled());
+  EXPECT_EQ(MetricsRegistry::Get(), nullptr);
+  // Idempotent both ways.
+  MetricsRegistry::Disable();
+  MetricsRegistry::Enable();
+  MetricsRegistry::Enable();
+  EXPECT_TRUE(MetricsRegistry::Enabled());
+}
+
+TEST_F(MetricsTest, CountersAccumulate) {
+  MetricsRegistry::Enable();
+  Count("test.counter");
+  Count("test.counter", 4);
+  Count("test.other");
+  const MetricsSnapshot snap = MetricsRegistry::Get()->Snapshot();
+  EXPECT_EQ(snap.counters.at("test.counter"), 5u);
+  EXPECT_EQ(snap.counters.at("test.other"), 1u);
+}
+
+TEST_F(MetricsTest, GaugeIsLastWriteWins) {
+  MetricsRegistry::Enable();
+  Gauge("test.gauge", 1.5);
+  Gauge("test.gauge", -2.25);
+  const MetricsSnapshot snap = MetricsRegistry::Get()->Snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.gauge"), -2.25);
+}
+
+TEST_F(MetricsTest, HistogramTracksSumMinMaxAndBuckets) {
+  MetricsRegistry::Enable();
+  Observe("test.hist", 0.5);
+  Observe("test.hist", 2.0);
+  Observe("test.hist", 0.001);
+  const MetricsSnapshot snap = MetricsRegistry::Get()->Snapshot();
+  const HistogramSnapshot& h = snap.histograms.at("test.hist");
+  EXPECT_EQ(h.total, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 2.501);
+  EXPECT_DOUBLE_EQ(h.min, 0.001);
+  EXPECT_DOUBLE_EQ(h.max, 2.0);
+  ASSERT_EQ(h.counts.size(), h.bounds.size() + 1);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : h.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, 3u);
+  // Bounds are sorted strictly ascending (bucket edges well-formed).
+  for (size_t i = 1; i < h.bounds.size(); ++i) {
+    EXPECT_LT(h.bounds[i - 1], h.bounds[i]);
+  }
+}
+
+TEST_F(MetricsTest, HelpersAreNoOpsWhileDisabled) {
+  Count("ignored.counter");
+  Gauge("ignored.gauge", 3.0);
+  Observe("ignored.hist", 1.0);
+  EXPECT_EQ(MetricsRegistry::Get(), nullptr);
+  // Nothing leaks into a registry enabled afterwards.
+  MetricsRegistry::Enable();
+  const MetricsSnapshot snap = MetricsRegistry::Get()->Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(MetricsTest, ResetClearsButStaysEnabled) {
+  MetricsRegistry::Enable();
+  Count("test.counter");
+  Observe("test.hist", 1.0);
+  MetricsRegistry::Get()->Reset();
+  EXPECT_TRUE(MetricsRegistry::Enabled());
+  const MetricsSnapshot snap = MetricsRegistry::Get()->Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(MetricsTest, ConcurrentCountsAreLossless) {
+  MetricsRegistry::Enable();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) Count("test.concurrent");
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = MetricsRegistry::Get()->Snapshot();
+  EXPECT_EQ(snap.counters.at("test.concurrent"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, TraceSpanRecordsHistogramAndCallCounter) {
+  MetricsRegistry::Enable();
+  {
+    TraceSpan span("test.span");
+    EXPECT_TRUE(span.active());
+  }
+  {
+    TraceSpan span("test.span");
+    span.Stop();
+    span.Stop();  // Second Stop must not double-record.
+  }
+  const MetricsSnapshot snap = MetricsRegistry::Get()->Snapshot();
+  EXPECT_EQ(snap.counters.at("span.test.span.calls"), 2u);
+  const HistogramSnapshot& h = snap.histograms.at("span.test.span.seconds");
+  EXPECT_EQ(h.total, 2u);
+  EXPECT_GE(h.min, 0.0);
+}
+
+TEST_F(MetricsTest, TraceSpanInertWhileDisabled) {
+  TraceSpan span("test.disabled.span");
+  EXPECT_FALSE(span.active());
+  EXPECT_DOUBLE_EQ(span.Stop(), 0.0);
+  MetricsRegistry::Enable();
+  const MetricsSnapshot snap = MetricsRegistry::Get()->Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+}  // namespace
+}  // namespace qens::obs

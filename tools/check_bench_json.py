@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate a bench --json output file against the BenchJson schema.
+
+Schema (schema_version 1, see docs/OBSERVABILITY.md):
+
+    {"bench": "<binary name>",
+     "schema_version": 1,
+     "wall_seconds": <non-negative number>,
+     "records": [{"name": "<non-empty str>",
+                  "labels": {str: str, ...},
+                  "values": {str: finite number, ...}}, ...]}
+
+Usage: check_bench_json.py <file.json> [<file.json> ...]
+Exits 0 when every file validates, 1 otherwise. Stdlib only.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: FAIL: {message}")
+    return False
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be a JSON object")
+
+    for key in ("bench", "schema_version", "wall_seconds", "records"):
+        if key not in doc:
+            return fail(path, f"missing required key '{key}'")
+
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        return fail(path, "'bench' must be a non-empty string")
+    if doc["schema_version"] != 1:
+        return fail(path, f"unsupported schema_version {doc['schema_version']!r}")
+    wall = doc["wall_seconds"]
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+        return fail(path, "'wall_seconds' must be a number")
+    if not math.isfinite(wall) or wall < 0:
+        return fail(path, f"'wall_seconds' must be finite and >= 0, got {wall}")
+    if not isinstance(doc["records"], list):
+        return fail(path, "'records' must be an array")
+    if not doc["records"]:
+        return fail(path, "'records' must not be empty")
+
+    for i, record in enumerate(doc["records"]):
+        where = f"records[{i}]"
+        if not isinstance(record, dict):
+            return fail(path, f"{where} must be an object")
+        for key in ("name", "labels", "values"):
+            if key not in record:
+                return fail(path, f"{where} missing required key '{key}'")
+        if not isinstance(record["name"], str) or not record["name"]:
+            return fail(path, f"{where}.name must be a non-empty string")
+        if not isinstance(record["labels"], dict):
+            return fail(path, f"{where}.labels must be an object")
+        for k, v in record["labels"].items():
+            if not isinstance(v, str):
+                return fail(path, f"{where}.labels[{k!r}] must be a string")
+        if not isinstance(record["values"], dict):
+            return fail(path, f"{where}.values must be an object")
+        if not record["values"]:
+            return fail(path, f"{where}.values must not be empty")
+        for k, v in record["values"].items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                return fail(path, f"{where}.values[{k!r}] must be a number")
+            if not math.isfinite(v):
+                return fail(path, f"{where}.values[{k!r}] must be finite, got {v}")
+
+    print(f"{path}: OK ({doc['bench']}, {len(doc['records'])} records)")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    ok = all([check_file(p) for p in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
