@@ -70,6 +70,22 @@ round_deadline_s = 0.0
 max_send_attempts = 3
 retry_backoff_s = 0.005
 min_quorum_frac = 0.5
+corruption_rate = 0.0        ; fraction of nodes that are Byzantine
+corruption_kinds =           ; csv of nan|inf|scale|sign_flip|label_flip
+corruption_gamma = 10.0      ; multiplier for scale attacks
+corruption_active_rate = 1.0 ; per-round attack probability per attacker
+
+[byzantine]
+enabled = false
+max_update_norm = 0.0        ; absolute L2 bound on updates (0 = off)
+norm_mad_k = 0.0             ; reject norms > k MADs above median (0 = off)
+holdout_loss_factor = 0.0    ; reject holdout loss > factor x median (0 = off)
+holdout_max_rows = 256
+quarantine_rounds = 0        ; rounds a rejected node sits out
+aggregator = fedavg-parameters ; fedavg-parameters | coordinate-median |
+                               ; trimmed-mean | norm-clipped-fedavg
+trim_beta = 0.1
+clip_norm = 1.0
 
 [metrics]
 enabled = false
@@ -182,6 +198,41 @@ Result<fl::ExperimentConfig> BuildConfig(const Config& ini) {
                         ini.GetDouble("faults.retry_backoff_s", 0.005));
   QENS_ASSIGN_OR_RETURN(ft.min_quorum_frac,
                         ini.GetDouble("faults.min_quorum_frac", 0.5));
+  QENS_ASSIGN_OR_RETURN(ft.faults.corruption_rate,
+                        ini.GetDouble("faults.corruption_rate", 0.0));
+  QENS_ASSIGN_OR_RETURN(
+      ft.faults.corruption_kinds,
+      sim::ParseCorruptionKinds(ini.GetString("faults.corruption_kinds", "")));
+  QENS_ASSIGN_OR_RETURN(ft.faults.corruption_gamma,
+                        ini.GetDouble("faults.corruption_gamma", 10.0));
+  QENS_ASSIGN_OR_RETURN(
+      ft.faults.corruption_active_rate,
+      ini.GetDouble("faults.corruption_active_rate", 1.0));
+
+  fl::ByzantineOptions& byz = config.federation.byzantine;
+  QENS_ASSIGN_OR_RETURN(byz.enabled, ini.GetBool("byzantine.enabled", false));
+  QENS_ASSIGN_OR_RETURN(
+      byz.validator.max_update_norm,
+      ini.GetDouble("byzantine.max_update_norm", 0.0));
+  QENS_ASSIGN_OR_RETURN(byz.validator.norm_mad_k,
+                        ini.GetDouble("byzantine.norm_mad_k", 0.0));
+  QENS_ASSIGN_OR_RETURN(
+      byz.validator.holdout_loss_factor,
+      ini.GetDouble("byzantine.holdout_loss_factor", 0.0));
+  QENS_ASSIGN_OR_RETURN(int64_t holdout_rows,
+                        ini.GetInt("byzantine.holdout_max_rows", 256));
+  byz.validator.holdout_max_rows = static_cast<size_t>(holdout_rows);
+  QENS_ASSIGN_OR_RETURN(int64_t quarantine,
+                        ini.GetInt("byzantine.quarantine_rounds", 0));
+  byz.quarantine_rounds = static_cast<size_t>(quarantine);
+  QENS_ASSIGN_OR_RETURN(
+      byz.aggregator,
+      fl::ParseAggregationKind(
+          ini.GetString("byzantine.aggregator", "fedavg-parameters")));
+  QENS_ASSIGN_OR_RETURN(byz.trim_beta,
+                        ini.GetDouble("byzantine.trim_beta", 0.1));
+  QENS_ASSIGN_OR_RETURN(byz.clip_norm,
+                        ini.GetDouble("byzantine.clip_norm", 1.0));
   return config;
 }
 

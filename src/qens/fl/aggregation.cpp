@@ -2,11 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "qens/common/string_util.h"
 #include "qens/tensor/vector_ops.h"
 
 namespace qens::fl {
+namespace {
+
+/// NaN-free L2 distance-preserving checks used by the Byzantine guards.
+bool AllFinite(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+Status CheckFiniteParameters(const std::vector<ml::SequentialModel>& models,
+                             const char* what) {
+  for (size_t i = 0; i < models.size(); ++i) {
+    if (!AllFinite(models[i].GetParameters())) {
+      return Status::InvalidArgument(
+          StrFormat("%s: model %zu has non-finite parameters", what, i));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckSameArchitecture(const std::vector<ml::SequentialModel>& models,
+                             const char* what) {
+  for (size_t i = 1; i < models.size(); ++i) {
+    if (!models[i].SameArchitecture(models[0])) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: model %zu architecture differs from model 0", what, i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 const char* AggregationKindName(AggregationKind kind) {
   switch (kind) {
@@ -16,6 +50,12 @@ const char* AggregationKindName(AggregationKind kind) {
       return "weighted-averaging";
     case AggregationKind::kFedAvgParameters:
       return "fedavg-parameters";
+    case AggregationKind::kCoordinateMedian:
+      return "coordinate-median";
+    case AggregationKind::kTrimmedMean:
+      return "trimmed-mean";
+    case AggregationKind::kNormClippedFedAvg:
+      return "norm-clipped-fedavg";
   }
   return "unknown";
 }
@@ -30,6 +70,15 @@ Result<AggregationKind> ParseAggregationKind(const std::string& name) {
   }
   if (n == "fedavg-parameters" || n == "fedavg") {
     return AggregationKind::kFedAvgParameters;
+  }
+  if (n == "coordinate-median" || n == "median") {
+    return AggregationKind::kCoordinateMedian;
+  }
+  if (n == "trimmed-mean" || n == "trimmed") {
+    return AggregationKind::kTrimmedMean;
+  }
+  if (n == "norm-clipped-fedavg" || n == "clipped") {
+    return AggregationKind::kNormClippedFedAvg;
   }
   return Status::InvalidArgument("unknown aggregation: '" + name + "'");
 }
@@ -57,6 +106,10 @@ Result<Matrix> AggregatePredictionsWeighted(
   Matrix acc;
   for (size_t i = 0; i < models.size(); ++i) {
     QENS_ASSIGN_OR_RETURN(Matrix pred, models[i].Predict(x));
+    if (!AllFinite(pred.data())) {
+      return Status::InvalidArgument(StrFormat(
+          "aggregate: model %zu produced non-finite predictions", i));
+    }
     if (i == 0) {
       pred.Scale(lambda[i]);
       acc = std::move(pred);
@@ -76,12 +129,8 @@ Result<ml::SequentialModel> FedAvgParameters(
         StrFormat("fedavg: %zu weights for %zu models", weights.size(),
                   models.size()));
   }
-  for (size_t i = 1; i < models.size(); ++i) {
-    if (!models[i].SameArchitecture(models[0])) {
-      return Status::InvalidArgument(
-          StrFormat("fedavg: model %zu architecture differs from model 0", i));
-    }
-  }
+  QENS_RETURN_NOT_OK(CheckSameArchitecture(models, "fedavg"));
+  QENS_RETURN_NOT_OK(CheckFiniteParameters(models, "fedavg"));
   QENS_ASSIGN_OR_RETURN(std::vector<double> lambda,
                         vec::NormalizeWeights(weights));
 
@@ -94,6 +143,193 @@ Result<ml::SequentialModel> FedAvgParameters(
   ml::SequentialModel out = models[0].Clone();
   QENS_RETURN_NOT_OK(out.SetParameters(params));
   return out;
+}
+
+namespace {
+
+/// Shared entry checks for the robust parameter aggregators.
+Status CheckRobustInput(const std::vector<ml::SequentialModel>& models,
+                        const char* what) {
+  if (models.empty()) {
+    return Status::InvalidArgument(StrFormat("%s: no models", what));
+  }
+  QENS_RETURN_NOT_OK(CheckSameArchitecture(models, what));
+  return CheckFiniteParameters(models, what);
+}
+
+/// Median of `column` (sorted in place). Even counts average the two
+/// middle values.
+double MedianInPlace(std::vector<double>* column) {
+  std::sort(column->begin(), column->end());
+  const size_t n = column->size();
+  return n % 2 == 1 ? (*column)[n / 2]
+                    : 0.5 * ((*column)[n / 2 - 1] + (*column)[n / 2]);
+}
+
+/// Mean of `column` (sorted in place) after dropping `trim` values from
+/// each end. Caller guarantees 2 * trim < column->size().
+double TrimmedMeanInPlace(std::vector<double>* column, size_t trim) {
+  std::sort(column->begin(), column->end());
+  double sum = 0.0;
+  for (size_t i = trim; i < column->size() - trim; ++i) sum += (*column)[i];
+  return sum / static_cast<double>(column->size() - 2 * trim);
+}
+
+Result<size_t> TrimCount(size_t n, double trim_beta, const char* what) {
+  if (!(trim_beta >= 0.0) || trim_beta >= 0.5) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: trim_beta must be in [0, 0.5), got %g", what, trim_beta));
+  }
+  const size_t trim = static_cast<size_t>(trim_beta * static_cast<double>(n));
+  if (2 * trim >= n) {
+    return Status::InvalidArgument(
+        StrFormat("%s: trimming %zu from each end leaves no values (n=%zu)",
+                  what, trim, n));
+  }
+  return trim;
+}
+
+/// Coordinate-wise reduce over the models' flat parameter vectors.
+template <typename Reduce>
+Result<ml::SequentialModel> ReduceParameters(
+    const std::vector<ml::SequentialModel>& models, Reduce reduce) {
+  std::vector<std::vector<double>> params;
+  params.reserve(models.size());
+  for (const auto& m : models) params.push_back(m.GetParameters());
+  std::vector<double> merged(params[0].size());
+  std::vector<double> column(models.size());
+  for (size_t p = 0; p < merged.size(); ++p) {
+    for (size_t i = 0; i < models.size(); ++i) column[i] = params[i][p];
+    merged[p] = reduce(&column);
+  }
+  ml::SequentialModel out = models[0].Clone();
+  QENS_RETURN_NOT_OK(out.SetParameters(merged));
+  return out;
+}
+
+/// Per-cell reduce over the models' predictions on `x`.
+template <typename Reduce>
+Result<Matrix> ReducePredictions(const std::vector<ml::SequentialModel>& models,
+                                 const Matrix& x, const char* what,
+                                 Reduce reduce) {
+  if (models.empty()) {
+    return Status::InvalidArgument(StrFormat("%s: no models", what));
+  }
+  std::vector<Matrix> preds;
+  preds.reserve(models.size());
+  for (size_t i = 0; i < models.size(); ++i) {
+    QENS_ASSIGN_OR_RETURN(Matrix pred, models[i].Predict(x));
+    if (!AllFinite(pred.data())) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: model %zu produced non-finite predictions", what, i));
+    }
+    if (i > 0 && (pred.rows() != preds[0].rows() ||
+                  pred.cols() != preds[0].cols())) {
+      return Status::InvalidArgument(
+          StrFormat("%s: model %zu prediction shape differs", what, i));
+    }
+    preds.push_back(std::move(pred));
+  }
+  Matrix out(preds[0].rows(), preds[0].cols());
+  std::vector<double> column(models.size());
+  for (size_t c = 0; c < out.size(); ++c) {
+    for (size_t i = 0; i < models.size(); ++i) column[i] = preds[i].data()[c];
+    out.data()[c] = reduce(&column);
+  }
+  return out;
+}
+
+/// Clone the survivor subset (no weights involved).
+Result<std::vector<ml::SequentialModel>> FilterAlive(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<bool>& alive, const char* what) {
+  if (models.size() != alive.size()) {
+    return Status::InvalidArgument(StrFormat("%s: %zu models, %zu flags",
+                                             what, models.size(),
+                                             alive.size()));
+  }
+  std::vector<ml::SequentialModel> survivors;
+  for (size_t i = 0; i < models.size(); ++i) {
+    if (alive[i]) survivors.push_back(models[i].Clone());
+  }
+  if (survivors.empty()) {
+    return Status::FailedPrecondition(StrFormat("%s: no survivors", what));
+  }
+  return survivors;
+}
+
+}  // namespace
+
+Result<ml::SequentialModel> CoordinateMedianParameters(
+    const std::vector<ml::SequentialModel>& models) {
+  QENS_RETURN_NOT_OK(CheckRobustInput(models, "coordinate-median"));
+  return ReduceParameters(models, MedianInPlace);
+}
+
+Result<ml::SequentialModel> TrimmedMeanParameters(
+    const std::vector<ml::SequentialModel>& models, double trim_beta) {
+  QENS_RETURN_NOT_OK(CheckRobustInput(models, "trimmed-mean"));
+  QENS_ASSIGN_OR_RETURN(size_t trim,
+                        TrimCount(models.size(), trim_beta, "trimmed-mean"));
+  return ReduceParameters(models, [trim](std::vector<double>* column) {
+    return TrimmedMeanInPlace(column, trim);
+  });
+}
+
+Result<ml::SequentialModel> FedAvgNormClipped(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights, const ml::SequentialModel& reference,
+    double clip_norm) {
+  QENS_RETURN_NOT_OK(CheckRobustInput(models, "clipped-fedavg"));
+  if (weights.size() != models.size()) {
+    return Status::InvalidArgument(
+        StrFormat("clipped-fedavg: %zu weights for %zu models",
+                  weights.size(), models.size()));
+  }
+  if (!models[0].SameArchitecture(reference)) {
+    return Status::InvalidArgument(
+        "clipped-fedavg: reference architecture differs from the models");
+  }
+  if (!(clip_norm > 0.0) || !std::isfinite(clip_norm)) {
+    return Status::InvalidArgument(StrFormat(
+        "clipped-fedavg: clip_norm must be finite and > 0, got %g",
+        clip_norm));
+  }
+  const std::vector<double> ref = reference.GetParameters();
+  if (!AllFinite(ref)) {
+    return Status::InvalidArgument(
+        "clipped-fedavg: reference has non-finite parameters");
+  }
+  QENS_ASSIGN_OR_RETURN(std::vector<double> lambda,
+                        vec::NormalizeWeights(weights));
+  std::vector<double> merged = ref;
+  for (size_t i = 0; i < models.size(); ++i) {
+    std::vector<double> delta = vec::Sub(models[i].GetParameters(), ref);
+    const double norm = vec::Norm2(delta);
+    const double scale =
+        norm > clip_norm ? lambda[i] * clip_norm / norm : lambda[i];
+    vec::AxpyInPlace(&merged, scale, delta);
+  }
+  ml::SequentialModel out = models[0].Clone();
+  QENS_RETURN_NOT_OK(out.SetParameters(merged));
+  return out;
+}
+
+Result<Matrix> AggregatePredictionsMedian(
+    const std::vector<ml::SequentialModel>& models, const Matrix& x) {
+  return ReducePredictions(models, x, "median-predictions", MedianInPlace);
+}
+
+Result<Matrix> AggregatePredictionsTrimmed(
+    const std::vector<ml::SequentialModel>& models, const Matrix& x,
+    double trim_beta) {
+  QENS_ASSIGN_OR_RETURN(
+      size_t trim,
+      TrimCount(models.size(), trim_beta, "trimmed-predictions"));
+  return ReducePredictions(models, x, "trimmed-predictions",
+                           [trim](std::vector<double>* column) {
+                             return TrimmedMeanInPlace(column, trim);
+                           });
 }
 
 Result<std::vector<double>> PartialWeights(const std::vector<double>& weights,
@@ -117,11 +353,16 @@ Result<std::vector<double>> PartialWeights(const std::vector<double>& weights,
   if (survivors == 0) {
     return Status::FailedPrecondition("partial weights: no survivors");
   }
+  // Equal-weight fallback also when the surviving mass is denormal: a
+  // sub-normal sum (e.g. weights {1e-320, 0, 0}) survives the > 0 test but
+  // dividing by it overflows into huge or infinite lambdas.
+  const bool usable_mass =
+      survivor_mass >= std::numeric_limits<double>::min();
   std::vector<double> out(weights.size(), 0.0);
   for (size_t i = 0; i < weights.size(); ++i) {
     if (!alive[i]) continue;
-    out[i] = survivor_mass > 0.0 ? weights[i] / survivor_mass
-                                 : 1.0 / static_cast<double>(survivors);
+    out[i] = usable_mass ? weights[i] / survivor_mass
+                         : 1.0 / static_cast<double>(survivors);
   }
   return out;
 }
@@ -181,6 +422,49 @@ Result<ml::SequentialModel> FedAvgParametersPartial(
   return FedAvgParameters(view.models, view.weights);
 }
 
+Result<ml::SequentialModel> CoordinateMedianParametersPartial(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<bool>& alive) {
+  QENS_ASSIGN_OR_RETURN(std::vector<ml::SequentialModel> survivors,
+                        FilterAlive(models, alive, "partial median"));
+  return CoordinateMedianParameters(survivors);
+}
+
+Result<ml::SequentialModel> TrimmedMeanParametersPartial(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<bool>& alive, double trim_beta) {
+  QENS_ASSIGN_OR_RETURN(std::vector<ml::SequentialModel> survivors,
+                        FilterAlive(models, alive, "partial trimmed-mean"));
+  return TrimmedMeanParameters(survivors, trim_beta);
+}
+
+Result<ml::SequentialModel> FedAvgNormClippedPartial(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights, const std::vector<bool>& alive,
+    const ml::SequentialModel& reference, double clip_norm) {
+  QENS_ASSIGN_OR_RETURN(SurvivorView view,
+                        CompactSurvivors(models, weights, alive));
+  return FedAvgNormClipped(view.models, view.weights, reference, clip_norm);
+}
+
+Result<Matrix> AggregatePredictionsMedianPartial(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<bool>& alive, const Matrix& x) {
+  QENS_ASSIGN_OR_RETURN(
+      std::vector<ml::SequentialModel> survivors,
+      FilterAlive(models, alive, "partial median-predictions"));
+  return AggregatePredictionsMedian(survivors, x);
+}
+
+Result<Matrix> AggregatePredictionsTrimmedPartial(
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<bool>& alive, const Matrix& x, double trim_beta) {
+  QENS_ASSIGN_OR_RETURN(
+      std::vector<ml::SequentialModel> survivors,
+      FilterAlive(models, alive, "partial trimmed-predictions"));
+  return AggregatePredictionsTrimmed(survivors, x, trim_beta);
+}
+
 Result<EnsembleModel> EnsembleModel::Create(
     std::vector<ml::SequentialModel> models, std::vector<double> weights) {
   if (models.empty()) return Status::InvalidArgument("ensemble: no models");
@@ -197,8 +481,9 @@ Result<EnsembleModel> EnsembleModel::Create(
   return EnsembleModel(std::move(models), std::move(weights));
 }
 
-Result<Matrix> EnsembleModel::Predict(const Matrix& x,
-                                      AggregationKind kind) const {
+Result<Matrix> EnsembleModel::Predict(
+    const Matrix& x, AggregationKind kind,
+    const RobustAggregationOptions& robust) const {
   switch (kind) {
     case AggregationKind::kModelAveraging:
       return AggregatePredictions(models_, x);
@@ -207,6 +492,28 @@ Result<Matrix> EnsembleModel::Predict(const Matrix& x,
     case AggregationKind::kFedAvgParameters: {
       QENS_ASSIGN_OR_RETURN(ml::SequentialModel merged,
                             FedAvgParameters(models_, weights_));
+      return merged.Predict(x);
+    }
+    case AggregationKind::kCoordinateMedian: {
+      QENS_ASSIGN_OR_RETURN(ml::SequentialModel merged,
+                            CoordinateMedianParameters(models_));
+      return merged.Predict(x);
+    }
+    case AggregationKind::kTrimmedMean: {
+      QENS_ASSIGN_OR_RETURN(
+          ml::SequentialModel merged,
+          TrimmedMeanParameters(models_, robust.trim_beta));
+      return merged.Predict(x);
+    }
+    case AggregationKind::kNormClippedFedAvg: {
+      if (robust.reference == nullptr) {
+        return Status::InvalidArgument(
+            "ensemble: norm-clipped-fedavg needs robust.reference");
+      }
+      QENS_ASSIGN_OR_RETURN(
+          ml::SequentialModel merged,
+          FedAvgNormClipped(models_, weights_, *robust.reference,
+                            robust.clip_norm));
       return merged.Predict(x);
     }
   }

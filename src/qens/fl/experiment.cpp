@@ -28,6 +28,12 @@ double LossOf(const QueryOutcome& outcome, AggregationKind kind) {
       return outcome.loss_weighted;
     case AggregationKind::kFedAvgParameters:
       return outcome.loss_fedavg;
+    case AggregationKind::kCoordinateMedian:
+    case AggregationKind::kTrimmedMean:
+    case AggregationKind::kNormClippedFedAvg:
+      // The robust kinds are evaluated through the byzantine layer.
+      return outcome.has_loss_robust ? outcome.loss_robust
+                                     : outcome.loss_fedavg;
   }
   return outcome.loss_model_avg;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <limits>
 
 #include "qens/common/rng.h"
 #include "qens/common/stopwatch.h"
@@ -14,6 +15,64 @@
 #include "qens/selection/policies.h"
 
 namespace qens::fl {
+namespace {
+
+/// Apply a model-space corruption to a returned model, in place. Label
+/// poisoning is handled participant-side; kNone and kLabelFlipPoisoning
+/// leave the model untouched.
+void ApplyModelCorruption(ml::SequentialModel* model,
+                          sim::CorruptionKind kind, double gamma,
+                          const ml::SequentialModel& reference) {
+  if (kind == sim::CorruptionKind::kNone ||
+      kind == sim::CorruptionKind::kLabelFlipPoisoning) {
+    return;
+  }
+  std::vector<double> params = model->GetParameters();
+  switch (kind) {
+    case sim::CorruptionKind::kNanUpdate:
+      for (double& p : params) p = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case sim::CorruptionKind::kInfUpdate:
+      for (double& p : params) p = std::numeric_limits<double>::infinity();
+      break;
+    case sim::CorruptionKind::kSignFlip:
+      for (double& p : params) p = -p;
+      break;
+    case sim::CorruptionKind::kScaledUpdate: {
+      const std::vector<double> ref = reference.GetParameters();
+      for (size_t i = 0; i < params.size(); ++i) {
+        params[i] = ref[i] + gamma * (params[i] - ref[i]);
+      }
+      break;
+    }
+    case sim::CorruptionKind::kNone:
+    case sim::CorruptionKind::kLabelFlipPoisoning:
+      break;
+  }
+  (void)model->SetParameters(params);  // Same size: cannot fail.
+}
+
+/// Inter-round merge under the configured robust aggregator.
+Result<ml::SequentialModel> MergeRobust(
+    const ByzantineOptions& byz,
+    const std::vector<ml::SequentialModel>& models,
+    const std::vector<double>& weights,
+    const ml::SequentialModel& reference) {
+  switch (byz.aggregator) {
+    case AggregationKind::kFedAvgParameters:
+      return FedAvgParameters(models, weights);
+    case AggregationKind::kCoordinateMedian:
+      return CoordinateMedianParameters(models);
+    case AggregationKind::kTrimmedMean:
+      return TrimmedMeanParameters(models, byz.trim_beta);
+    case AggregationKind::kNormClippedFedAvg:
+      return FedAvgNormClipped(models, weights, reference, byz.clip_norm);
+    default:
+      return Status::Internal("MergeRobust: non-parameter-space aggregator");
+  }
+}
+
+}  // namespace
 
 double QueryOutcome::DataFractionOfSelected() const {
   return samples_selected > 0 ? static_cast<double>(samples_used) /
@@ -120,6 +179,34 @@ Result<Federation> Federation::Create(std::vector<data::Dataset> node_data,
         sim::FaultPlan plan,
         sim::FaultPlan::Create(num_nodes, options.fault_tolerance.faults));
     federation.fault_injector_.emplace(std::move(plan));
+  }
+  if (options.byzantine.enabled) {
+    const ByzantineOptions& byz = options.byzantine;
+    switch (byz.aggregator) {
+      case AggregationKind::kFedAvgParameters:
+      case AggregationKind::kCoordinateMedian:
+      case AggregationKind::kTrimmedMean:
+      case AggregationKind::kNormClippedFedAvg:
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("federation: byzantine aggregator must be "
+                      "parameter-space, got %s",
+                      AggregationKindName(byz.aggregator)));
+    }
+    if (!(byz.trim_beta >= 0.0) || byz.trim_beta >= 0.5) {
+      return Status::InvalidArgument(
+          "federation: byzantine trim_beta must be in [0, 0.5)");
+    }
+    if (byz.aggregator == AggregationKind::kNormClippedFedAvg &&
+        byz.clip_norm <= 0.0) {
+      return Status::InvalidArgument(
+          "federation: byzantine clip_norm must be > 0");
+    }
+    QENS_ASSIGN_OR_RETURN(UpdateValidator validator,
+                          UpdateValidator::Create(byz.validator));
+    federation.validator_.emplace(std::move(validator));
+    federation.quarantine_until_.assign(num_nodes, 0);
   }
   return federation;
 }
@@ -376,13 +463,19 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       fault_injector_.has_value() ? &*fault_injector_ : nullptr;
   const size_t leader_id = environment_.leader_index();
 
+  // Byzantine layer (opt-in): validator + quarantine + robust aggregation.
+  const ByzantineOptions& byz = options_.byzantine;
+  const bool byz_on = byz.enabled;
+
   // Per-job fate this round, precomputed from the injector's pure schedule
   // so training can still fan out in parallel.
   struct JobFate {
+    bool quarantined = false;   ///< Sat out: still serving a quarantine.
     bool unavailable = false;   ///< Crashed or transiently offline.
     size_t down_attempts = 1;   ///< model-down transmissions performed.
     bool down_delivered = true;
     double slowdown = 1.0;
+    sim::CorruptionKind corruption = sim::CorruptionKind::kNone;
   };
 
   auto record_once = [](std::vector<size_t>* list, size_t node_id) {
@@ -394,6 +487,7 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
   std::vector<ml::SequentialModel> local_models;
   std::vector<double> eq7_weights;
   std::vector<double> fedavg_weights;  // Samples trained, per local model.
+  std::vector<size_t> survivor_jobs;   // Job index behind each local model.
   std::vector<bool> final_alive(jobs.size(), false);
   for (size_t round = 0; round < rounds; ++round) {
     obs::TraceSpan round_span("federation.round");
@@ -401,6 +495,7 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
     local_models.clear();
     eq7_weights.clear();
     fedavg_weights.clear();
+    survivor_jobs.clear();
     std::fill(final_alive.begin(), final_alive.end(), false);
     double round_parallel = 0.0;
     double round_train = 0.0;
@@ -431,15 +526,25 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
 
     // Evaluate this round's fate for every job before any training runs.
     const size_t fault_round = injector ? fault_round_++ : 0;
+    const size_t byz_round = byz_on ? byz_round_++ : 0;
     std::vector<JobFate> fates(jobs.size());
+    if (byz_on && byz.quarantine_rounds > 0) {
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        if (quarantine_until_[jobs[j].node_id] > byz_round) {
+          fates[j].quarantined = true;
+        }
+      }
+    }
     if (injector) {
       for (size_t j = 0; j < jobs.size(); ++j) {
         JobFate& fate = fates[j];
+        if (fate.quarantined) continue;
         if (!injector->IsAvailable(jobs[j].node_id, fault_round)) {
           fate.unavailable = true;
           continue;
         }
         fate.slowdown = injector->SlowdownFactor(jobs[j].node_id, fault_round);
+        fate.corruption = injector->CorruptionFor(jobs[j].node_id, fault_round);
         fate.down_delivered = false;
         fate.down_attempts = 0;
         for (size_t attempt = 0; attempt < ft.max_send_attempts; ++attempt) {
@@ -453,19 +558,25 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       }
     }
     auto job_trains = [&](size_t j) {
-      return !fates[j].unavailable && fates[j].down_delivered;
+      return !fates[j].quarantined && !fates[j].unavailable &&
+             fates[j].down_delivered;
     };
 
     // Run every training job (concurrently when configured), then account
     // the results in job order so outcomes stay deterministic.
-    auto run_job = [&](const TrainJob& job) -> Result<LocalTrainResult> {
+    auto run_job = [&](const TrainJob& job, sim::CorruptionKind corruption)
+        -> Result<LocalTrainResult> {
       const sim::EdgeNode& node = environment_.node(job.node_id);
+      LocalTrainOptions job_options = local_options;
+      if (corruption == sim::CorruptionKind::kLabelFlipPoisoning) {
+        job_options.poison_labels = true;
+      }
       if (job.selective) {
         return TrainOnSupportingClusters(node, global, job.supporting,
-                                         local_options,
+                                         job_options,
                                          environment_.cost_model());
       }
-      return TrainOnFullData(node, global, local_options,
+      return TrainOnFullData(node, global, job_options,
                              environment_.cost_model());
     };
     std::vector<std::optional<Result<LocalTrainResult>>> results(jobs.size());
@@ -474,15 +585,18 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       for (size_t j = 0; j < jobs.size(); ++j) {
         if (!job_trains(j)) continue;
         const TrainJob& job = jobs[j];
-        futures[j] = std::async(std::launch::async,
-                                [&run_job, &job] { return run_job(job); });
+        const sim::CorruptionKind corruption = fates[j].corruption;
+        futures[j] = std::async(std::launch::async, [&run_job, &job,
+                                                     corruption] {
+          return run_job(job, corruption);
+        });
       }
       for (size_t j = 0; j < jobs.size(); ++j) {
         if (futures[j].valid()) results[j] = futures[j].get();
       }
     } else {
       for (size_t j = 0; j < jobs.size(); ++j) {
-        if (job_trains(j)) results[j] = run_job(jobs[j]);
+        if (job_trains(j)) results[j] = run_job(jobs[j], fates[j].corruption);
       }
     }
 
@@ -494,6 +608,16 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       const double rank_weight = job.rank_weight;
       const JobFate& fate = fates[j];
 
+      if (fate.quarantined) {
+        // Serving a quarantine: skipped without a reliability penalty (the
+        // node was never asked to train this round).
+        record_once(&outcome.quarantined_nodes, node_id);
+        ++outcome.quarantined_skips;
+        obs::Count("federation.nodes.quarantined");
+        record_node(node_id, obs::NodeFate::kQuarantined, 0.0, 0.0, 0, false);
+        if (obs_on) ++record.quarantined;
+        continue;
+      }
       if (fate.unavailable) {
         // Crashed or offline: contributes nothing, costs nothing.
         record_once(&outcome.failed_nodes, node_id);
@@ -541,7 +665,14 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
         continue;
       }
 
-      const LocalTrainResult& result = results[j]->value();
+      LocalTrainResult& result = results[j]->value();
+      if (injector && fate.corruption != sim::CorruptionKind::kNone) {
+        // Byzantine node: the model that goes on the wire is the corrupted
+        // one (upload bytes and all downstream screening see it).
+        ApplyModelCorruption(&result.model, fate.corruption,
+                             injector->plan().options().corruption_gamma,
+                             global);
+      }
       if (round == 0) outcome.samples_used += result.samples_used;
       const double train_seconds = result.sim_train_seconds * fate.slowdown;
       outcome.sim_time_total += train_seconds;
@@ -624,7 +755,12 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       }
 
       if (injector) {
-        leader_.RecordRoundResult(node_id, Leader::RoundResult::kCompleted);
+        // Under the byzantine layer the completion credit waits until the
+        // validator has ruled on this update (a rejection books the round
+        // as kRejected instead).
+        if (!byz_on) {
+          leader_.RecordRoundResult(node_id, Leader::RoundResult::kCompleted);
+        }
         // Under faults the round's critical path includes transfers,
         // retries, and the straggler slowdown.
         round_parallel = std::max(round_parallel, node_seconds);
@@ -640,7 +776,76 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       eq7_weights.push_back(rank_weight);
       fedavg_weights.push_back(
           std::max(1.0, static_cast<double>(result.samples_used)));
+      survivor_jobs.push_back(j);
     }
+    // Byzantine screening: every delivered update faces the validator
+    // before it can influence any aggregate. Rejected updates are dropped
+    // from the survivor set, booked against the node's reliability, and
+    // (optionally) start a quarantine.
+    if (byz_on && !local_models.empty()) {
+      const Matrix* holdout_x = nullptr;
+      const Matrix* holdout_y = nullptr;
+      if (validator_->wants_holdout()) {
+        holdout_x = &test->features();
+        holdout_y = &test->targets();
+      }
+      QENS_ASSIGN_OR_RETURN(
+          ValidationReport screening,
+          validator_->Validate(local_models, global, holdout_x, holdout_y));
+      if (screening.rejected() > 0) {
+        outcome.rejected_non_finite += screening.rejected_non_finite;
+        outcome.rejected_abs_norm += screening.rejected_abs_norm;
+        outcome.rejected_norm_outlier += screening.rejected_norm_outlier;
+        outcome.rejected_holdout += screening.rejected_holdout;
+        std::vector<ml::SequentialModel> kept_models;
+        std::vector<double> kept_eq7;
+        std::vector<double> kept_fedavg;
+        std::vector<size_t> kept_jobs;
+        for (size_t i = 0; i < local_models.size(); ++i) {
+          const size_t j = survivor_jobs[i];
+          const size_t node_id = jobs[j].node_id;
+          if (screening.verdicts[i].accepted) {
+            leader_.RecordRoundResult(node_id,
+                                      Leader::RoundResult::kCompleted);
+            kept_models.push_back(std::move(local_models[i]));
+            kept_eq7.push_back(eq7_weights[i]);
+            kept_fedavg.push_back(fedavg_weights[i]);
+            kept_jobs.push_back(j);
+            continue;
+          }
+          final_alive[j] = false;
+          record_once(&outcome.rejected_nodes, node_id);
+          ++outcome.rejected_updates;
+          leader_.RecordRoundResult(node_id, Leader::RoundResult::kRejected);
+          if (byz.quarantine_rounds > 0) {
+            quarantine_until_[node_id] =
+                byz_round + 1 + byz.quarantine_rounds;
+          }
+          obs::Count("federation.nodes.rejected");
+          if (obs_on) {
+            ++record.rejected;
+            for (obs::NodeRoundStat& stat : record.nodes) {
+              if (stat.node_id == node_id &&
+                  stat.fate == obs::NodeFate::kCompleted) {
+                stat.fate = obs::NodeFate::kRejected;
+                break;
+              }
+            }
+          }
+        }
+        local_models = std::move(kept_models);
+        eq7_weights = std::move(kept_eq7);
+        fedavg_weights = std::move(kept_fedavg);
+        survivor_jobs = std::move(kept_jobs);
+      } else {
+        // Every delivered update passed: book the deferred completions.
+        for (size_t i = 0; i < local_models.size(); ++i) {
+          leader_.RecordRoundResult(jobs[survivor_jobs[i]].node_id,
+                                    Leader::RoundResult::kCompleted);
+        }
+      }
+    }
+
     // Rounds run in parallel across nodes but sequentially in time.
     outcome.sim_time_parallel += round_parallel;
     outcome.round_survivors.push_back(local_models.size());
@@ -648,7 +853,7 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
     if (obs_on) {
       record.survivors = local_models.size();
       record.quorum_met =
-          !injector ||
+          (!injector && !byz_on) ||
           MeetsQuorum(local_models.size(), jobs.size(), ft.min_quorum_frac);
       record.parallel_seconds = round_parallel;
       record.total_train_seconds = round_train;
@@ -657,7 +862,7 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       outcome.round_records.push_back(std::move(record));
     }
 
-    if (injector &&
+    if ((injector || byz_on) &&
         !MeetsQuorum(local_models.size(), jobs.size(), ft.min_quorum_frac)) {
       // Below quorum: discard the partial update; the previous global
       // model carries into the next round (or becomes the final answer).
@@ -666,21 +871,29 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       local_models.clear();
       eq7_weights.clear();
       fedavg_weights.clear();
+      survivor_jobs.clear();
       std::fill(final_alive.begin(), final_alive.end(), false);
       continue;
     }
     if (local_models.empty()) {
-      if (!injector) break;
+      if (!injector && !byz_on) break;
       continue;  // A later round may still gather survivors.
     }
     if (round + 1 < rounds) {
-      // FedAvg the locals into the next round's global model.
-      QENS_ASSIGN_OR_RETURN(global,
-                            FedAvgParameters(local_models, fedavg_weights));
+      // Merge the locals into the next round's global model: FedAvg on the
+      // paper path, the configured robust aggregator under the byzantine
+      // layer.
+      if (byz_on) {
+        QENS_ASSIGN_OR_RETURN(
+            global, MergeRobust(byz, local_models, fedavg_weights, global));
+      } else {
+        QENS_ASSIGN_OR_RETURN(global,
+                              FedAvgParameters(local_models, fedavg_weights));
+      }
     }
   }
 
-  if (injector && local_models.empty()) {
+  if ((injector || byz_on) && local_models.empty()) {
     // Graceful degradation: answer with the last committed global model
     // rather than failing the query outright.
     local_models.push_back(global.Clone());
@@ -739,10 +952,28 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
       outcome.loss_fedavg,
       ml::ComputeLoss(ml::LossKind::kMse, pred_fedavg, y_test));
 
+  if (byz_on) {
+    // Robust final answer under the configured aggregator, against the
+    // last committed global model as the clipping reference.
+    RobustAggregationOptions robust;
+    robust.trim_beta = byz.trim_beta;
+    robust.clip_norm = byz.clip_norm;
+    robust.reference = &global;
+    QENS_ASSIGN_OR_RETURN(Matrix pred_robust,
+                          ensemble.Predict(x_test, byz.aggregator, robust));
+    QENS_ASSIGN_OR_RETURN(
+        outcome.loss_robust,
+        ml::ComputeLoss(ml::LossKind::kMse, pred_robust, y_test));
+    outcome.has_loss_robust = true;
+  }
+
   // Report losses in raw target units, comparable to the paper's numbers.
   outcome.loss_model_avg = DenormalizeMse(outcome.loss_model_avg);
   outcome.loss_weighted = DenormalizeMse(outcome.loss_weighted);
   outcome.loss_fedavg = DenormalizeMse(outcome.loss_fedavg);
+  if (outcome.has_loss_robust) {
+    outcome.loss_robust = DenormalizeMse(outcome.loss_robust);
+  }
 
   if (!outcome.round_records.empty()) {
     // The final record carries the evaluated answer quality (Eq. 7 loss).

@@ -30,6 +30,7 @@
 #include "qens/fl/aggregation.h"
 #include "qens/fl/leader.h"
 #include "qens/fl/participant.h"
+#include "qens/fl/update_validator.h"
 #include "qens/ml/metrics.h"
 #include "qens/obs/round_record.h"
 #include "qens/query/range_query.h"
@@ -61,6 +62,26 @@ struct FaultToleranceOptions {
   /// for the round to commit; below it the round degrades gracefully to
   /// the previous global model.
   double min_quorum_frac = 0.5;
+};
+
+/// Byzantine-robustness policy (opt-in). Strictly additive: with
+/// `enabled == false` no validator is built, no quarantine state is kept,
+/// and the round flow is byte-identical to the pre-robustness protocol.
+struct ByzantineOptions {
+  bool enabled = false;
+  /// Leader-side screening of returned updates (finite / norm / holdout).
+  UpdateValidatorOptions validator;
+  /// Rounds a node sits out after a rejected update (0 = reject only,
+  /// never quarantine). Repeat offenders are re-quarantined on return.
+  size_t quarantine_rounds = 0;
+  /// Aggregator for the inter-round merge and the robust final answer.
+  /// Must be parameter-space: kFedAvgParameters, kCoordinateMedian,
+  /// kTrimmedMean, or kNormClippedFedAvg.
+  AggregationKind aggregator = AggregationKind::kFedAvgParameters;
+  /// kTrimmedMean trim fraction, in [0, 0.5).
+  double trim_beta = 0.1;
+  /// kNormClippedFedAvg L2 bound on (w_i - w_round), > 0.
+  double clip_norm = 1.0;
 };
 
 /// Federation-wide configuration.
@@ -96,6 +117,8 @@ struct FederationOptions {
   bool parallel_local_training = false;
   /// Fault injection + deadline/retry/quorum policy (opt-in).
   FaultToleranceOptions fault_tolerance;
+  /// Update validation, quarantine, and robust aggregation (opt-in).
+  ByzantineOptions byzantine;
   uint64_t seed = 17;
 };
 
@@ -151,6 +174,22 @@ struct QueryOutcome {
   size_t degraded_rounds = 0;  ///< Below-quorum rounds (kept previous model).
   size_t messages_lost = 0;    ///< Transmissions lost in flight.
   size_t send_retries = 0;     ///< Extra transmissions beyond the first.
+  /// @}
+
+  /// \name Byzantine accounting
+  /// Populated when FederationOptions::byzantine is enabled.
+  /// @{
+  std::vector<size_t> rejected_nodes;     ///< Had >= 1 update rejected.
+  std::vector<size_t> quarantined_nodes;  ///< Skipped >= 1 round quarantined.
+  size_t rejected_updates = 0;    ///< Updates dropped by the validator.
+  size_t quarantined_skips = 0;   ///< (node, round) pairs skipped.
+  size_t rejected_non_finite = 0;
+  size_t rejected_abs_norm = 0;
+  size_t rejected_norm_outlier = 0;
+  size_t rejected_holdout = 0;
+  /// Final answer under ByzantineOptions::aggregator (raw target units).
+  bool has_loss_robust = false;
+  double loss_robust = 0.0;
   /// @}
 
   /// Per-round telemetry (schema in docs/OBSERVABILITY.md). Populated only
@@ -261,6 +300,11 @@ class Federation {
   std::optional<selection::StochasticSelector> stochastic_;  ///< Lazy.
   std::optional<sim::FaultInjector> fault_injector_;  ///< When enabled.
   size_t fault_round_ = 0;  ///< Rounds executed under fault injection.
+  std::optional<UpdateValidator> validator_;  ///< When byzantine.enabled.
+  /// Per node: first byzantine round index the node may rejoin (quarantine
+  /// expiry). Sized num_nodes when byzantine.enabled, else empty.
+  std::vector<size_t> quarantine_until_;
+  size_t byz_round_ = 0;  ///< Rounds executed under the byzantine layer.
 };
 
 }  // namespace qens::fl

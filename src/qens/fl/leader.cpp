@@ -52,6 +52,9 @@ void Leader::RecordRoundResult(size_t node_id, RoundResult result) {
       case RoundResult::kMissedDeadline:
         profile.reliability.RecordDeadlineMiss();
         break;
+      case RoundResult::kRejected:
+        profile.reliability.RecordRejected();
+        break;
     }
     return;
   }

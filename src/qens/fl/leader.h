@@ -55,7 +55,7 @@ class Leader {
   Result<SelectionDecision> Decide(const query::RangeQuery& query) const;
 
   /// How one engaged node ended a round, for the reliability history.
-  enum class RoundResult { kCompleted, kFailed, kMissedDeadline };
+  enum class RoundResult { kCompleted, kFailed, kMissedDeadline, kRejected };
 
   /// Record an engaged node's round outcome into its profile's observed
   /// reliability history (feeds the ranking's flaky-node penalty). Unknown

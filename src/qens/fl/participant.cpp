@@ -1,5 +1,7 @@
 #include "qens/fl/participant.h"
 
+#include <algorithm>
+
 #include "qens/common/stopwatch.h"
 #include "qens/common/string_util.h"
 
@@ -16,6 +18,21 @@ Result<std::unique_ptr<ml::Trainer>> LocalTrainer(
   hp.epochs = epochs;
   hp.validation_split = 0.0;
   return ml::BuildTrainer(hp, seed);
+}
+
+/// Mirror targets within their observed range: y' = lo + hi - y. Keeps the
+/// poisoned labels in-distribution while inverting every trend the honest
+/// fit would learn.
+Matrix MirrorTargets(const Matrix& y) {
+  double lo = y.data().empty() ? 0.0 : y.data()[0];
+  double hi = lo;
+  for (double v : y.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  Matrix flipped = y;
+  for (double& v : flipped.data()) v = lo + hi - v;
+  return flipped;
 }
 
 }  // namespace
@@ -47,10 +64,12 @@ Result<LocalTrainResult> TrainOnSupportingClusters(
   for (size_t cluster_id : supporting_clusters) {
     QENS_ASSIGN_OR_RETURN(data::Dataset cluster_data,
                           node.ClusterData(cluster_id));
+    const Matrix targets = options.poison_labels
+                               ? MirrorTargets(cluster_data.targets())
+                               : cluster_data.targets();
     QENS_ASSIGN_OR_RETURN(
         ml::TrainReport report,
-        trainer->Fit(&result.model, cluster_data.features(),
-                     cluster_data.targets()));
+        trainer->Fit(&result.model, cluster_data.features(), targets));
     result.samples_used += cluster_data.NumSamples();
     result.samples_seen += report.samples_seen;
     result.cluster_final_loss.push_back(report.final_train_loss());
@@ -76,9 +95,12 @@ Result<LocalTrainResult> TrainOnFullData(const sim::EdgeNode& node,
       LocalTrainer(options.hyper, options.hyper.epochs,
                    options.seed + node.id()));
   const data::Dataset& local = node.local_data();
+  const Matrix targets = options.poison_labels
+                             ? MirrorTargets(local.targets())
+                             : local.targets();
   QENS_ASSIGN_OR_RETURN(
       ml::TrainReport report,
-      trainer->Fit(&result.model, local.features(), local.targets()));
+      trainer->Fit(&result.model, local.features(), targets));
   result.samples_used = local.NumSamples();
   result.samples_seen = report.samples_seen;
   result.cluster_final_loss.push_back(report.final_train_loss());

@@ -27,6 +27,11 @@ struct LocalTrainOptions {
   /// whole dataset (no selectivity), `hyper.epochs` is used instead.
   size_t epochs_per_cluster = 20;
   uint64_t seed = 7;
+  /// Byzantine label-flip poisoning (sim::CorruptionKind::kLabelFlipPoisoning):
+  /// train honestly but on targets mirrored within their observed range
+  /// (y' = lo + hi - y). The returned parameters are finite and
+  /// plausible-looking, which is what makes this attack hard to screen.
+  bool poison_labels = false;
 };
 
 /// What the participant sends back (plus local accounting).

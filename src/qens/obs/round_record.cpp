@@ -19,6 +19,10 @@ const char* NodeFateName(NodeFate fate) {
       return "send_failed";
     case NodeFate::kMissedDeadline:
       return "missed_deadline";
+    case NodeFate::kRejected:
+      return "rejected";
+    case NodeFate::kQuarantined:
+      return "quarantined";
   }
   return "completed";
 }
@@ -28,6 +32,8 @@ Result<NodeFate> ParseNodeFate(const std::string& name) {
   if (name == "unavailable") return NodeFate::kUnavailable;
   if (name == "send_failed") return NodeFate::kSendFailed;
   if (name == "missed_deadline") return NodeFate::kMissedDeadline;
+  if (name == "rejected") return NodeFate::kRejected;
+  if (name == "quarantined") return NodeFate::kQuarantined;
   return Status::InvalidArgument("unknown node fate: " + name);
 }
 
@@ -79,6 +85,16 @@ std::string RoundRecordToJson(const RoundRecord& record) {
   root.Set("survivors",
            JsonValue::Number(static_cast<double>(record.survivors)));
   root.Set("quorum_met", JsonValue::Bool(record.quorum_met));
+  // Byzantine counters are emitted only when nonzero so fault-free JSONL
+  // stays byte-compatible with pre-robustness consumers.
+  if (record.rejected > 0) {
+    root.Set("rejected",
+             JsonValue::Number(static_cast<double>(record.rejected)));
+  }
+  if (record.quarantined > 0) {
+    root.Set("quarantined",
+             JsonValue::Number(static_cast<double>(record.quarantined)));
+  }
   root.Set("parallel_seconds", JsonValue::Number(record.parallel_seconds));
   root.Set("total_train_seconds",
            JsonValue::Number(record.total_train_seconds));
@@ -123,6 +139,19 @@ Result<RoundRecord> ParseRoundRecordJson(const std::string& line) {
   QENS_ASSIGN_OR_RETURN(double survivors, root.GetNumber("survivors"));
   record.survivors = static_cast<size_t>(survivors);
   QENS_ASSIGN_OR_RETURN(record.quorum_met, root.GetBool("quorum_met"));
+  if (const JsonValue* rejected = root.Find("rejected")) {
+    if (!rejected->is_number()) {
+      return Status::InvalidArgument("round record: rejected is not a number");
+    }
+    record.rejected = static_cast<size_t>(rejected->AsNumber());
+  }
+  if (const JsonValue* quarantined = root.Find("quarantined")) {
+    if (!quarantined->is_number()) {
+      return Status::InvalidArgument(
+          "round record: quarantined is not a number");
+    }
+    record.quarantined = static_cast<size_t>(quarantined->AsNumber());
+  }
   QENS_ASSIGN_OR_RETURN(record.parallel_seconds,
                         root.GetNumber("parallel_seconds"));
   QENS_ASSIGN_OR_RETURN(record.total_train_seconds,
@@ -162,8 +191,9 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsJsonl(
 namespace {
 
 constexpr char kCsvHeader[] =
-    "query_id,round,policy,aggregation,engaged,survivors,quorum_met,"
-    "parallel_seconds,total_train_seconds,comm_seconds,has_loss,loss,nodes";
+    "query_id,round,policy,aggregation,engaged,survivors,rejected,"
+    "quarantined,quorum_met,parallel_seconds,total_train_seconds,"
+    "comm_seconds,has_loss,loss,nodes";
 
 std::string NodesCell(const std::vector<NodeRoundStat>& nodes) {
   std::string out;
@@ -206,10 +236,11 @@ std::string RoundRecordsToCsv(const std::vector<RoundRecord>& records) {
   std::string out = kCsvHeader;
   out.push_back('\n');
   for (const RoundRecord& r : records) {
-    out += StrFormat("%llu,%zu,%s,%s,%zu,%zu,%d,%s,%s,%s,%d,%s,%s\n",
+    out += StrFormat("%llu,%zu,%s,%s,%zu,%zu,%zu,%zu,%d,%s,%s,%s,%d,%s,%s\n",
                      static_cast<unsigned long long>(r.query_id), r.round,
                      r.policy.c_str(), r.aggregation.c_str(), r.engaged,
-                     r.survivors, r.quorum_met ? 1 : 0,
+                     r.survivors, r.rejected, r.quarantined,
+                     r.quorum_met ? 1 : 0,
                      JsonNumber(r.parallel_seconds).c_str(),
                      JsonNumber(r.total_train_seconds).c_str(),
                      JsonNumber(r.comm_seconds).c_str(), r.has_loss ? 1 : 0,
@@ -239,9 +270,9 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text) {
       continue;
     }
     const std::vector<std::string> cells = Split(line, ',');
-    if (cells.size() != 13) {
+    if (cells.size() != 15) {
       return Status::InvalidArgument(
-          StrFormat("round csv: expected 13 cells, got %zu", cells.size()));
+          StrFormat("round csv: expected 15 cells, got %zu", cells.size()));
     }
     RoundRecord r;
     r.query_id = std::strtoull(cells[0].c_str(), nullptr, 10);
@@ -251,13 +282,17 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text) {
     r.engaged = static_cast<size_t>(std::strtoull(cells[4].c_str(), nullptr, 10));
     r.survivors =
         static_cast<size_t>(std::strtoull(cells[5].c_str(), nullptr, 10));
-    r.quorum_met = cells[6] == "1";
-    r.parallel_seconds = std::strtod(cells[7].c_str(), nullptr);
-    r.total_train_seconds = std::strtod(cells[8].c_str(), nullptr);
-    r.comm_seconds = std::strtod(cells[9].c_str(), nullptr);
-    r.has_loss = cells[10] == "1";
-    r.loss = std::strtod(cells[11].c_str(), nullptr);
-    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[12]));
+    r.rejected =
+        static_cast<size_t>(std::strtoull(cells[6].c_str(), nullptr, 10));
+    r.quarantined =
+        static_cast<size_t>(std::strtoull(cells[7].c_str(), nullptr, 10));
+    r.quorum_met = cells[8] == "1";
+    r.parallel_seconds = std::strtod(cells[9].c_str(), nullptr);
+    r.total_train_seconds = std::strtod(cells[10].c_str(), nullptr);
+    r.comm_seconds = std::strtod(cells[11].c_str(), nullptr);
+    r.has_loss = cells[12] == "1";
+    r.loss = std::strtod(cells[13].c_str(), nullptr);
+    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[14]));
     records.push_back(std::move(r));
   }
   return records;

@@ -30,10 +30,12 @@ enum class NodeFate {
   kUnavailable,         ///< Crashed or transiently offline this round.
   kSendFailed,          ///< Every model-down or model-up transmission lost.
   kMissedDeadline,      ///< Excluded as a straggler at the round deadline.
+  kRejected,            ///< Update delivered but rejected by the validator.
+  kQuarantined,         ///< Skipped this round: still serving a quarantine.
 };
 
 /// Stable wire name ("completed", "unavailable", "send_failed",
-/// "missed_deadline").
+/// "missed_deadline", "rejected", "quarantined").
 const char* NodeFateName(NodeFate fate);
 
 /// Inverse of NodeFateName; InvalidArgument on an unknown name.
@@ -62,6 +64,8 @@ struct RoundRecord {
   std::string aggregation;  ///< "fedavg" between rounds, "ensemble" final.
   size_t engaged = 0;       ///< Jobs entering the round.
   size_t survivors = 0;     ///< Models aggregated.
+  size_t rejected = 0;      ///< Updates rejected by the validator.
+  size_t quarantined = 0;   ///< Engaged nodes skipped while quarantined.
   bool quorum_met = true;   ///< False for below-quorum (degraded) rounds.
   /// Leader-side critical path: max over engaged nodes of the capped
   /// per-node wait (never exceeds the round deadline when one is set).

@@ -26,14 +26,17 @@ struct ReliabilityStats {
   size_t rounds_completed = 0;  ///< Returned a model within the deadline.
   size_t failures = 0;          ///< Crashed / offline / all sends lost.
   size_t deadline_misses = 0;   ///< Straggled past the round deadline.
+  size_t rejections = 0;        ///< Update rejected by the leader's validator.
 
   /// Completed / engaged; 1.0 for a never-engaged (unobserved) node so
-  /// unknown nodes are not penalized.
+  /// unknown nodes are not penalized. Rejections count as engaged but not
+  /// completed, so repeat offenders sink in the reliability ranking.
   double SuccessRate() const;
 
   void RecordCompleted() { ++rounds_engaged; ++rounds_completed; }
   void RecordFailure() { ++rounds_engaged; ++failures; }
   void RecordDeadlineMiss() { ++rounds_engaged; ++deadline_misses; }
+  void RecordRejected() { ++rounds_engaged; ++rejections; }
 };
 
 /// A node's published digest: id + cluster summaries.

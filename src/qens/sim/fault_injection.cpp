@@ -1,5 +1,7 @@
 #include "qens/sim/fault_injection.h"
 
+#include <cmath>
+
 #include "qens/common/rng.h"
 #include "qens/common/string_util.h"
 #include "qens/obs/metrics.h"
@@ -14,6 +16,8 @@ constexpr uint64_t kCrashStream = 0xc4a5;
 constexpr uint64_t kStragglerStream = 0x57a6;
 constexpr uint64_t kDropoutStream = 0xd409;
 constexpr uint64_t kLossStream = 0x1055;
+constexpr uint64_t kCorruptStream = 0xbad0;
+constexpr uint64_t kCorruptActiveStream = 0xbad1;
 
 Status ValidateRate(double rate, const char* what) {
   if (rate < 0.0 || rate > 1.0) {
@@ -24,6 +28,48 @@ Status ValidateRate(double rate, const char* what) {
 }
 
 }  // namespace
+
+const char* CorruptionKindName(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kNone:
+      return "none";
+    case CorruptionKind::kNanUpdate:
+      return "nan";
+    case CorruptionKind::kInfUpdate:
+      return "inf";
+    case CorruptionKind::kScaledUpdate:
+      return "scale";
+    case CorruptionKind::kSignFlip:
+      return "sign_flip";
+    case CorruptionKind::kLabelFlipPoisoning:
+      return "label_flip";
+  }
+  return "none";
+}
+
+Result<CorruptionKind> ParseCorruptionKind(const std::string& name) {
+  const std::string n = ToLower(Trim(name));
+  if (n == "none") return CorruptionKind::kNone;
+  if (n == "nan") return CorruptionKind::kNanUpdate;
+  if (n == "inf") return CorruptionKind::kInfUpdate;
+  if (n == "scale" || n == "scaled") return CorruptionKind::kScaledUpdate;
+  if (n == "sign_flip" || n == "sign-flip") return CorruptionKind::kSignFlip;
+  if (n == "label_flip" || n == "label-flip") {
+    return CorruptionKind::kLabelFlipPoisoning;
+  }
+  return Status::InvalidArgument("unknown corruption kind: '" + name + "'");
+}
+
+Result<std::vector<CorruptionKind>> ParseCorruptionKinds(
+    const std::string& csv) {
+  std::vector<CorruptionKind> kinds;
+  if (Trim(csv).empty()) return kinds;
+  for (const std::string& part : Split(csv, ',')) {
+    QENS_ASSIGN_OR_RETURN(CorruptionKind kind, ParseCorruptionKind(part));
+    kinds.push_back(kind);
+  }
+  return kinds;
+}
 
 Result<FaultPlan> FaultPlan::Create(size_t num_nodes,
                                     const FaultPlanOptions& options) {
@@ -40,6 +86,26 @@ Result<FaultPlan> FaultPlan::Create(size_t num_nodes,
   if (options.crash_rate > 0.0 && options.crash_horizon == 0) {
     return Status::InvalidArgument(
         "fault plan: crash_horizon must be > 0 when crash_rate > 0");
+  }
+  QENS_RETURN_NOT_OK(ValidateRate(options.corruption_rate, "corruption_rate"));
+  QENS_RETURN_NOT_OK(
+      ValidateRate(options.corruption_active_rate, "corruption_active_rate"));
+  if (options.corruption_rate > 0.0) {
+    if (options.corruption_kinds.empty()) {
+      return Status::InvalidArgument(
+          "fault plan: corruption_kinds must be non-empty when "
+          "corruption_rate > 0");
+    }
+    for (CorruptionKind kind : options.corruption_kinds) {
+      if (kind == CorruptionKind::kNone) {
+        return Status::InvalidArgument(
+            "fault plan: corruption_kinds must not contain 'none'");
+      }
+    }
+    if (!std::isfinite(options.corruption_gamma)) {
+      return Status::InvalidArgument(
+          "fault plan: corruption_gamma must be finite");
+    }
   }
 
   std::vector<NodeFaultProfile> profiles(num_nodes);
@@ -58,6 +124,14 @@ Result<FaultPlan> FaultPlan::Create(size_t num_nodes,
       p.slowdown = straggler_rng.Uniform(options.straggler_slowdown_min,
                                          options.straggler_slowdown_max);
     }
+    if (options.corruption_rate > 0.0) {
+      Rng corrupt_rng = base.Fork(kCorruptStream).Fork(i);
+      if (corrupt_rng.Bernoulli(options.corruption_rate)) {
+        p.byzantine = true;
+        p.corruption = options.corruption_kinds[static_cast<size_t>(
+            corrupt_rng.UniformInt(options.corruption_kinds.size()))];
+      }
+    }
   }
   return FaultPlan(std::move(profiles), options);
 }
@@ -75,6 +149,11 @@ std::string FaultPlan::Describe() const {
     }
     if (p.straggler) {
       out += StrFormat(" node %zu: %.2fx straggler;", i, p.slowdown);
+      any = true;
+    }
+    if (p.byzantine) {
+      out += StrFormat(" node %zu: byzantine (%s);", i,
+                       CorruptionKindName(p.corruption));
       any = true;
     }
   }
@@ -125,6 +204,21 @@ bool FaultInjector::LoseMessage(size_t from, size_t to, size_t round,
   const bool lost = rng.Bernoulli(rate);
   if (lost) obs::Count("faults.messages_lost");
   return lost;
+}
+
+CorruptionKind FaultInjector::CorruptionFor(size_t node, size_t round) const {
+  const NodeFaultProfile& p = plan_.node(node);
+  if (!p.byzantine) return CorruptionKind::kNone;
+  const double active = plan_.options().corruption_active_rate;
+  if (active < 1.0) {
+    Rng rng = Rng(plan_.options().seed)
+                  .Fork(kCorruptActiveStream)
+                  .Fork(node)
+                  .Fork(round);
+    if (!rng.Bernoulli(active)) return CorruptionKind::kNone;
+  }
+  obs::Count("faults.corruptions");
+  return p.corruption;
 }
 
 }  // namespace qens::sim

@@ -29,6 +29,31 @@
 
 namespace qens::sim {
 
+/// Byzantine corruption modes a misbehaving node can apply. All but
+/// kLabelFlipPoisoning corrupt the *returned model parameters* after local
+/// training; label poisoning corrupts the participant's local training
+/// targets before training (the model itself trains honestly on bad data).
+enum class CorruptionKind {
+  kNone = 0,            ///< Honest behaviour.
+  kNanUpdate,           ///< Every returned parameter is NaN.
+  kInfUpdate,           ///< Every returned parameter is +Inf.
+  kScaledUpdate,        ///< Returned update (w_i - w) scaled by gamma.
+  kSignFlip,            ///< Returned parameters negated.
+  kLabelFlipPoisoning,  ///< Local training labels mirrored in-range.
+};
+
+/// Stable wire name ("none", "nan", "inf", "scale", "sign_flip",
+/// "label_flip").
+const char* CorruptionKindName(CorruptionKind kind);
+
+/// Inverse of CorruptionKindName; InvalidArgument on an unknown name.
+Result<CorruptionKind> ParseCorruptionKind(const std::string& name);
+
+/// Parse a comma-separated list of corruption kind names ("nan,sign_flip").
+/// Empty input yields an empty list.
+Result<std::vector<CorruptionKind>> ParseCorruptionKinds(
+    const std::string& csv);
+
 /// Fault-schedule knobs; all rates are probabilities in [0, 1]. The
 /// defaults describe a fault-free environment.
 struct FaultPlanOptions {
@@ -48,6 +73,18 @@ struct FaultPlanOptions {
   double straggler_slowdown_max = 8.0;
   /// Per-transmission probability that a message is lost in flight.
   double message_loss_rate = 0.0;
+  /// Probability that a node is Byzantine (a persistent attacker). Each
+  /// attacker is assigned one corruption mode drawn uniformly from
+  /// `corruption_kinds` at plan time.
+  double corruption_rate = 0.0;
+  /// Attack modes to mix across attackers. Must be non-empty and must not
+  /// contain kNone when corruption_rate > 0.
+  std::vector<CorruptionKind> corruption_kinds;
+  /// Per-node per-round probability that an attacker actually corrupts
+  /// that round (1 = attacks every round it participates in).
+  double corruption_active_rate = 1.0;
+  /// Multiplier applied to the update by kScaledUpdate attackers.
+  double corruption_gamma = 10.0;
 };
 
 /// One node's precomputed fate under a plan.
@@ -56,6 +93,8 @@ struct NodeFaultProfile {
   size_t crash_round = 0;  ///< Meaningful only when `crashes`.
   bool straggler = false;
   double slowdown = 1.0;   ///< >= 1; 1.0 for non-stragglers.
+  bool byzantine = false;
+  CorruptionKind corruption = CorruptionKind::kNone;  ///< When `byzantine`.
 };
 
 /// The per-node schedule drawn from one seed. Transient events (dropout,
@@ -109,6 +148,11 @@ class FaultInjector {
   /// `round` is lost in flight.
   bool LoseMessage(size_t from, size_t to, size_t round,
                    size_t attempt) const;
+
+  /// The corruption this node applies in this round: kNone for honest
+  /// nodes and for rounds where the attacker lies dormant
+  /// (corruption_active_rate < 1).
+  CorruptionKind CorruptionFor(size_t node, size_t round) const;
 
  private:
   FaultPlan plan_;

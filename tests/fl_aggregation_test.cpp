@@ -3,6 +3,8 @@
 
 #include "qens/fl/aggregation.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace qens::fl {
@@ -134,12 +136,29 @@ TEST(EnsembleTest, CreateErrors) {
 TEST(AggregationKindTest, NamesRoundTrip) {
   for (AggregationKind kind :
        {AggregationKind::kModelAveraging, AggregationKind::kWeightedAveraging,
-        AggregationKind::kFedAvgParameters}) {
+        AggregationKind::kFedAvgParameters, AggregationKind::kCoordinateMedian,
+        AggregationKind::kTrimmedMean,
+        AggregationKind::kNormClippedFedAvg}) {
     EXPECT_EQ(ParseAggregationKind(AggregationKindName(kind)).value(), kind);
   }
   EXPECT_EQ(ParseAggregationKind("weighted").value(),
             AggregationKind::kWeightedAveraging);
-  EXPECT_FALSE(ParseAggregationKind("median").ok());
+  EXPECT_EQ(ParseAggregationKind("median").value(),
+            AggregationKind::kCoordinateMedian);
+  EXPECT_EQ(ParseAggregationKind("trimmed").value(),
+            AggregationKind::kTrimmedMean);
+  EXPECT_EQ(ParseAggregationKind("clipped").value(),
+            AggregationKind::kNormClippedFedAvg);
+  EXPECT_FALSE(ParseAggregationKind("krum").ok());
+}
+
+TEST(FedAvgTest, NonFiniteParametersRejected) {
+  std::vector<ml::SequentialModel> models = {
+      Linear(std::numeric_limits<double>::quiet_NaN(), 0), Linear(2, 0)};
+  EXPECT_FALSE(FedAvgParameters(models, {1.0, 1.0}).ok());
+  Matrix x{{1.0}};
+  EXPECT_FALSE(AggregatePredictions(models, x).ok());
+  EXPECT_FALSE(AggregatePredictionsWeighted(models, {1.0, 1.0}, x).ok());
 }
 
 }  // namespace

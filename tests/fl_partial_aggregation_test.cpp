@@ -66,6 +66,17 @@ TEST(PartialWeightsTest, ZeroMassFallsBackToEqualWeights) {
   EXPECT_DOUBLE_EQ((*w)[2], 0.5);
 }
 
+TEST(PartialWeightsTest, DenormalMassFallsBackToEqualWeights) {
+  // A surviving mass below the smallest normal double (here a denormal)
+  // must take the equal-weight fallback, not divide through and return
+  // weights that fail to sum to 1 (or overflow to inf).
+  auto w = PartialWeights({1e-320, 0.0, 0.0}, {true, true, false});
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ((*w)[0], 0.5);
+  EXPECT_DOUBLE_EQ((*w)[1], 0.5);
+  EXPECT_DOUBLE_EQ((*w)[2], 0.0);
+}
+
 TEST(PartialWeightsTest, AllAliveKeepsProportions) {
   auto w = PartialWeights({1.0, 3.0}, {true, true});
   ASSERT_TRUE(w.ok());

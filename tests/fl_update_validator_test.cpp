@@ -1,0 +1,190 @@
+// Tests for the leader-side UpdateValidator: option validation, the finite
+// check, the absolute and median/MAD norm bounds, and the holdout-loss
+// screen with its reference-model anchor.
+
+#include "qens/fl/update_validator.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qens::fl {
+namespace {
+
+/// A 1-feature linear model y = w x + b.
+ml::SequentialModel Linear(double w, double b) {
+  ml::SequentialModel m;
+  EXPECT_TRUE(m.AddLayer(1, 1, ml::Activation::kIdentity).ok());
+  m.layer(0).weights()(0, 0) = w;
+  m.layer(0).bias()[0] = b;
+  return m;
+}
+
+UpdateValidator MakeValidator(const UpdateValidatorOptions& options) {
+  auto validator = UpdateValidator::Create(options);
+  EXPECT_TRUE(validator.ok()) << validator.status().ToString();
+  return std::move(validator).value();
+}
+
+TEST(UpdateValidatorTest, CreateRejectsBadOptions) {
+  UpdateValidatorOptions options;
+  options.max_update_norm = -1.0;
+  EXPECT_FALSE(UpdateValidator::Create(options).ok());
+  options = {};
+  options.norm_mad_k = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(UpdateValidator::Create(options).ok());
+  options = {};
+  options.holdout_loss_factor = 0.5;  // Would reject better-than-anchor.
+  EXPECT_FALSE(UpdateValidator::Create(options).ok());
+  options = {};
+  options.min_updates_for_stats = 1;
+  EXPECT_FALSE(UpdateValidator::Create(options).ok());
+  EXPECT_TRUE(UpdateValidator::Create(UpdateValidatorOptions()).ok());
+}
+
+TEST(UpdateValidatorTest, FiniteCheckRejectsNaN) {
+  const UpdateValidator validator = MakeValidator(UpdateValidatorOptions());
+  const ml::SequentialModel reference = Linear(0, 0);
+  std::vector<ml::SequentialModel> updates = {
+      Linear(1, 0), Linear(std::numeric_limits<double>::quiet_NaN(), 0),
+      Linear(2, 0)};
+  auto report = validator.Validate(updates, reference);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted, 2u);
+  EXPECT_EQ(report->rejected_non_finite, 1u);
+  EXPECT_FALSE(report->verdicts[1].accepted);
+  EXPECT_EQ(report->verdicts[1].reason, RejectReason::kNonFinite);
+  EXPECT_TRUE(std::isnan(report->verdicts[1].update_norm));
+}
+
+TEST(UpdateValidatorTest, AbsoluteNormBound) {
+  UpdateValidatorOptions options;
+  options.max_update_norm = 5.0;
+  const UpdateValidator validator = MakeValidator(options);
+  const ml::SequentialModel reference = Linear(0, 0);
+  std::vector<ml::SequentialModel> updates = {Linear(1, 0), Linear(100, 0)};
+  auto report = validator.Validate(updates, reference);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->verdicts[0].accepted);
+  EXPECT_FALSE(report->verdicts[1].accepted);
+  EXPECT_EQ(report->verdicts[1].reason, RejectReason::kAbsNormBound);
+  EXPECT_NEAR(report->verdicts[0].update_norm, 1.0, 1e-12);
+}
+
+TEST(UpdateValidatorTest, MadOutlierRejected) {
+  UpdateValidatorOptions options;
+  options.norm_mad_k = 6.0;
+  const UpdateValidator validator = MakeValidator(options);
+  const ml::SequentialModel reference = Linear(0, 0);
+  // Five near-identical honest norms and one far outlier.
+  std::vector<ml::SequentialModel> updates = {
+      Linear(1.00, 0), Linear(1.05, 0), Linear(0.95, 0),
+      Linear(1.02, 0), Linear(0.98, 0), Linear(60, 0)};
+  auto report = validator.Validate(updates, reference);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rejected_norm_outlier, 1u);
+  EXPECT_FALSE(report->verdicts[5].accepted);
+  EXPECT_EQ(report->verdicts[5].reason, RejectReason::kNormOutlier);
+  EXPECT_EQ(report->accepted, 5u);
+}
+
+TEST(UpdateValidatorTest, MadSkippedBelowMinUpdates) {
+  UpdateValidatorOptions options;
+  options.norm_mad_k = 6.0;
+  options.min_updates_for_stats = 3;
+  const UpdateValidator validator = MakeValidator(options);
+  const ml::SequentialModel reference = Linear(0, 0);
+  // Two updates cannot support a median/MAD test; both must pass.
+  std::vector<ml::SequentialModel> updates = {Linear(1, 0), Linear(60, 0)};
+  auto report = validator.Validate(updates, reference);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted, 2u);
+}
+
+TEST(UpdateValidatorTest, HoldoutReferenceAnchorCatchesSignFlip) {
+  UpdateValidatorOptions options;
+  options.holdout_loss_factor = 3.0;
+  const UpdateValidator validator = MakeValidator(options);
+  // Ground truth y = x; the reference is a decent-but-imperfect model, the
+  // flip mirrors the honest fit. Only two updates, so the median anchor is
+  // unavailable (min_updates_for_stats = 3) and the reference anchors alone.
+  const ml::SequentialModel reference = Linear(0.9, 0);
+  std::vector<ml::SequentialModel> updates = {Linear(1.0, 0),
+                                              Linear(-1.0, 0)};
+  Matrix x{{1.0}, {2.0}, {3.0}, {4.0}};
+  Matrix y = x;
+  auto report = validator.Validate(updates, reference, &x, &y);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->verdicts[0].accepted);
+  EXPECT_FALSE(report->verdicts[1].accepted);
+  EXPECT_EQ(report->verdicts[1].reason, RejectReason::kHoldoutLoss);
+  EXPECT_EQ(report->rejected_holdout, 1u);
+  EXPECT_GT(report->verdicts[1].holdout_loss,
+            report->verdicts[0].holdout_loss);
+}
+
+TEST(UpdateValidatorTest, HoldoutMedianAnchorCatchesOutlierLoss) {
+  UpdateValidatorOptions options;
+  options.holdout_loss_factor = 3.0;
+  const UpdateValidator validator = MakeValidator(options);
+  // The reference is terrible (anchor would be loose), but the honest
+  // median tightens the bound: min(median, reference) anchors.
+  const ml::SequentialModel reference = Linear(10, 0);
+  std::vector<ml::SequentialModel> updates = {
+      Linear(1.01, 0), Linear(0.99, 0), Linear(1.0, 0), Linear(-1.0, 0)};
+  Matrix x{{1.0}, {2.0}, {3.0}, {4.0}};
+  Matrix y = x;
+  auto report = validator.Validate(updates, reference, &x, &y);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted, 3u);
+  EXPECT_FALSE(report->verdicts[3].accepted);
+  EXPECT_EQ(report->verdicts[3].reason, RejectReason::kHoldoutLoss);
+}
+
+TEST(UpdateValidatorTest, HoldoutSkippedWithoutData) {
+  UpdateValidatorOptions options;
+  options.holdout_loss_factor = 3.0;
+  const UpdateValidator validator = MakeValidator(options);
+  EXPECT_TRUE(validator.wants_holdout());
+  const ml::SequentialModel reference = Linear(0.9, 0);
+  std::vector<ml::SequentialModel> updates = {Linear(1, 0), Linear(-1, 0)};
+  auto report = validator.Validate(updates, reference);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted, 2u);  // No holdout data: the check is off.
+}
+
+TEST(UpdateValidatorTest, ArchitectureMismatchIsHardError) {
+  const UpdateValidator validator = MakeValidator(UpdateValidatorOptions());
+  const ml::SequentialModel reference = Linear(0, 0);
+  ml::SequentialModel other;
+  ASSERT_TRUE(other.AddLayer(1, 2, ml::Activation::kIdentity).ok());
+  ASSERT_TRUE(other.AddLayer(2, 1, ml::Activation::kIdentity).ok());
+  std::vector<ml::SequentialModel> updates;
+  updates.push_back(Linear(1, 0));
+  updates.push_back(std::move(other));
+  EXPECT_FALSE(validator.Validate(updates, reference).ok());
+}
+
+TEST(UpdateValidatorTest, NonFiniteReferenceIsHardError) {
+  const UpdateValidator validator = MakeValidator(UpdateValidatorOptions());
+  const ml::SequentialModel reference =
+      Linear(std::numeric_limits<double>::infinity(), 0);
+  std::vector<ml::SequentialModel> updates = {Linear(1, 0)};
+  EXPECT_FALSE(validator.Validate(updates, reference).ok());
+}
+
+TEST(UpdateValidatorTest, ReportSummaryListsReasons) {
+  const UpdateValidator validator = MakeValidator(UpdateValidatorOptions());
+  const ml::SequentialModel reference = Linear(0, 0);
+  std::vector<ml::SequentialModel> updates = {
+      Linear(1, 0), Linear(std::numeric_limits<double>::quiet_NaN(), 0)};
+  auto report = validator.Validate(updates, reference);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rejected(), 1u);
+  EXPECT_NE(report->Summary().find("non_finite"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qens::fl

@@ -36,6 +36,8 @@ std::vector<RoundRecord> SampleRecords() {
   second.aggregation = "ensemble";
   second.engaged = 3;
   second.survivors = 1;
+  second.rejected = 1;
+  second.quarantined = 1;
   second.quorum_met = false;
   second.parallel_seconds = 0.5;
   second.total_train_seconds = 0.6;
@@ -44,8 +46,9 @@ std::vector<RoundRecord> SampleRecords() {
   second.loss = 123.456789012345;
   second.nodes = {
       {0, NodeFate::kMissedDeadline, 0.45, 0.01, 120, true},
-      {3, NodeFate::kSendFailed, 0.15, 0.0, 96, false},
-      {5, NodeFate::kCompleted, 0.0, 0.0, 88, false},
+      {3, NodeFate::kRejected, 0.15, 0.0, 96, false},
+      {5, NodeFate::kQuarantined, 0.0, 0.0, 0, false},
+      {7, NodeFate::kCompleted, 0.0, 0.0, 88, false},
   };
   return {first, second};
 }
@@ -57,12 +60,16 @@ void ExpectRecordsEqual(const RoundRecord& a, const RoundRecord& b) {
   EXPECT_EQ(a.aggregation, b.aggregation);
   EXPECT_EQ(a.engaged, b.engaged);
   EXPECT_EQ(a.survivors, b.survivors);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.quarantined, b.quarantined);
   EXPECT_EQ(a.quorum_met, b.quorum_met);
   EXPECT_DOUBLE_EQ(a.parallel_seconds, b.parallel_seconds);
   EXPECT_DOUBLE_EQ(a.total_train_seconds, b.total_train_seconds);
   EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
   EXPECT_EQ(a.has_loss, b.has_loss);
-  if (a.has_loss && b.has_loss) EXPECT_DOUBLE_EQ(a.loss, b.loss);
+  if (a.has_loss && b.has_loss) {
+    EXPECT_DOUBLE_EQ(a.loss, b.loss);
+  }
   ASSERT_EQ(a.nodes.size(), b.nodes.size());
   for (size_t i = 0; i < a.nodes.size(); ++i) {
     EXPECT_EQ(a.nodes[i].node_id, b.nodes[i].node_id);
@@ -77,7 +84,8 @@ void ExpectRecordsEqual(const RoundRecord& a, const RoundRecord& b) {
 TEST(NodeFateTest, NamesRoundTrip) {
   for (NodeFate fate :
        {NodeFate::kCompleted, NodeFate::kUnavailable, NodeFate::kSendFailed,
-        NodeFate::kMissedDeadline}) {
+        NodeFate::kMissedDeadline, NodeFate::kRejected,
+        NodeFate::kQuarantined}) {
     auto parsed = ParseNodeFate(NodeFateName(fate));
     ASSERT_TRUE(parsed.ok()) << NodeFateName(fate);
     EXPECT_EQ(*parsed, fate);

@@ -18,6 +18,16 @@ import json
 import math
 import sys
 
+# Optional per-bench requirements, applied when the document's "bench" name
+# matches: every listed section must appear among the records'
+# labels["section"], and every record must carry the listed value keys.
+BENCH_REQUIREMENTS = {
+    "bench_x6_byzantine": {
+        "sections": {"attacker_sweep", "quarantine"},
+        "record_values": {"avg_loss"},
+    },
+}
+
 
 def fail(path, message):
     print(f"{path}: FAIL: {message}")
@@ -75,6 +85,20 @@ def check_file(path):
                 return fail(path, f"{where}.values[{k!r}] must be a number")
             if not math.isfinite(v):
                 return fail(path, f"{where}.values[{k!r}] must be finite, got {v}")
+
+    requirements = BENCH_REQUIREMENTS.get(doc["bench"])
+    if requirements:
+        sections = {r["labels"].get("section") for r in doc["records"]}
+        missing = requirements.get("sections", set()) - sections
+        if missing:
+            return fail(path, f"missing required sections: {sorted(missing)}")
+        for i, record in enumerate(doc["records"]):
+            absent = requirements.get("record_values", set()) - set(
+                record["values"])
+            if absent:
+                return fail(
+                    path,
+                    f"records[{i}] missing required values: {sorted(absent)}")
 
     print(f"{path}: OK ({doc['bench']}, {len(doc['records'])} records)")
     return True
