@@ -29,6 +29,14 @@ struct KMeansOptions {
   double tolerance = 1e-6;  ///< Stop when max centroid shift <= tolerance.
   KMeansInit init = KMeansInit::kKMeansPlusPlus;
   uint64_t seed = 7;
+  /// Worker threads for the Lloyd assignment step. <= 1 keeps the exact
+  /// sequential path (bit-identical to the pre-threading implementation).
+  /// With > 1, rows are split into contiguous fixed-size chunks whose
+  /// per-chunk partial sums are reduced in ascending chunk order, so
+  /// results are bit-identical across every thread count >= 2 (and
+  /// identical to sequential whenever the data fits one chunk). A pool is
+  /// created once per Fit invocation.
+  size_t num_threads = 1;
 };
 
 /// Result of a k-means fit.

@@ -1,0 +1,61 @@
+#include "qens/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace qens::common {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      // Drain remaining tasks even when stopping, so futures handed out
+      // before destruction always become ready.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelChunks(
+    size_t n, size_t chunk_rows,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  chunk_rows = std::max<size_t>(1, chunk_rows);
+  std::vector<std::future<void>> futures;
+  futures.reserve((n + chunk_rows - 1) / chunk_rows);
+  size_t chunk = 0;
+  for (size_t begin = 0; begin < n; begin += chunk_rows, ++chunk) {
+    const size_t end = std::min(begin + chunk_rows, n);
+    const size_t c = chunk;
+    futures.push_back(Submit([&fn, c, begin, end]() { fn(c, begin, end); }));
+  }
+  for (std::future<void>& future : futures) future.get();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace qens::common

@@ -1,0 +1,88 @@
+#ifndef QENS_COMMON_THREAD_POOL_H_
+#define QENS_COMMON_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// Fixed-size reusable worker pool — the one concurrency primitive under the
+/// parallel hot paths (federated local training, the k-means assignment
+/// step, bench harnesses).
+///
+/// Determinism contract: the pool itself never reorders *results*. Submit
+/// returns a future per task; callers that collect futures in submission
+/// (index) order observe outputs independent of scheduling, so a pool of 1
+/// worker, a pool of N workers, and a plain sequential loop all produce the
+/// same result sequence. Every parallel call site in qens follows this
+/// index-ordered collection rule — see docs/PERFORMANCE.md.
+///
+/// Compared to per-task std::async spawning (the pre-pool federation path),
+/// the pool bounds concurrency at a fixed worker count, reuses threads
+/// across rounds, and queues oversubscribed work instead of oversubscribing
+/// the machine.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace qens::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). Workers live until the
+  /// pool is destroyed; the destructor drains the queue and joins.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a callable; returns the future of its result. Tasks start in
+  /// FIFO order (completion order depends on scheduling — collect futures in
+  /// submission order for deterministic output).
+  template <typename F>
+  std::future<std::invoke_result_t<F&>> Submit(F fn) {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run `fn(chunk_index, begin, end)` over [0, n) split into contiguous
+  /// chunks of `chunk_rows` (the last chunk may be short) and block until
+  /// every chunk has finished. Chunk boundaries depend only on n and
+  /// chunk_rows — never on the worker count — so any per-chunk partial
+  /// results reduced in ascending chunk index are bit-identical across
+  /// thread counts.
+  void ParallelChunks(size_t n, size_t chunk_rows,
+                      const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Worker count to use when the caller passes 0: the hardware thread
+  /// count, falling back to 1 when unknown.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qens::common
+
+#endif  // QENS_COMMON_THREAD_POOL_H_

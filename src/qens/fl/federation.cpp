@@ -581,13 +581,23 @@ Result<QueryOutcome> Federation::RunQueryMultiRound(
     };
     std::vector<std::optional<Result<LocalTrainResult>>> results(jobs.size());
     if (options_.parallel_local_training && jobs.size() > 1) {
+      // Jobs go onto the shared pool (created once, reused across rounds
+      // and queries) instead of spawning one thread per node per round.
+      // Oversubscribed rounds (jobs > workers) simply queue; results are
+      // consumed in submission order, so outcomes are independent of both
+      // the worker count and the completion order.
+      if (pool_ == nullptr) {
+        const size_t workers = options_.max_parallel_nodes > 0
+                                   ? options_.max_parallel_nodes
+                                   : common::ThreadPool::DefaultThreadCount();
+        pool_ = std::make_unique<common::ThreadPool>(workers);
+      }
       std::vector<std::future<Result<LocalTrainResult>>> futures(jobs.size());
       for (size_t j = 0; j < jobs.size(); ++j) {
         if (!job_trains(j)) continue;
         const TrainJob& job = jobs[j];
         const sim::CorruptionKind corruption = fates[j].corruption;
-        futures[j] = std::async(std::launch::async, [&run_job, &job,
-                                                     corruption] {
+        futures[j] = pool_->Submit([&run_job, &job, corruption] {
           return run_job(job, corruption);
         });
       }

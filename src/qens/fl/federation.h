@@ -21,10 +21,12 @@
 /// each RunQuery call.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "qens/common/status.h"
+#include "qens/common/thread_pool.h"
 #include "qens/data/dataset.h"
 #include "qens/data/normalizer.h"
 #include "qens/fl/aggregation.h"
@@ -111,10 +113,17 @@ struct FederationOptions {
   /// Volatile clients ([12]): probability that a selected node is offline
   /// for a given query and silently contributes no model. 0 disables.
   double dropout_rate = 0.0;
-  /// Train the selected participants concurrently (std::async), as they
-  /// would run on real hardware. Outcomes are bit-identical to the
-  /// sequential path (per-node seeds; deterministic accounting order).
+  /// Train the selected participants concurrently on a shared thread pool,
+  /// as they would run on real hardware. Outcomes are bit-identical to the
+  /// sequential path (per-node seeds; results consumed in submission order
+  /// regardless of completion order). The pool is created lazily on the
+  /// first parallel round and reused across rounds and queries.
   bool parallel_local_training = false;
+  /// Worker threads for parallel local training. 0 = one per hardware
+  /// thread. Jobs beyond the bound queue on the pool (oversubscription is
+  /// safe and still deterministic). Ignored when parallel_local_training
+  /// is false.
+  size_t max_parallel_nodes = 0;
   /// Fault injection + deadline/retry/quorum policy (opt-in).
   FaultToleranceOptions fault_tolerance;
   /// Update validation, quarantine, and robust aggregation (opt-in).
@@ -301,6 +310,9 @@ class Federation {
   std::optional<sim::FaultInjector> fault_injector_;  ///< When enabled.
   size_t fault_round_ = 0;  ///< Rounds executed under fault injection.
   std::optional<UpdateValidator> validator_;  ///< When byzantine.enabled.
+  /// Shared worker pool for parallel local training; created lazily on the
+  /// first parallel round, then reused across rounds and queries.
+  std::unique_ptr<common::ThreadPool> pool_;
   /// Per node: first byzantine round index the node may rejoin (quarantine
   /// expiry). Sized num_nodes when byzantine.enabled, else empty.
   std::vector<size_t> quarantine_until_;

@@ -21,27 +21,36 @@ void DenseLayer::InitGlorot(Rng* rng) {
   std::fill(bias_.begin(), bias_.end(), 0.0);
 }
 
+Result<Matrix> DenseLayer::Apply(const Matrix& x) const {
+  if (x.cols() != in_features_) {
+    return Status::InvalidArgument(
+        StrFormat("DenseLayer::Apply: input has %zu features, expected %zu",
+                  x.cols(), in_features_));
+  }
+  Matrix z;
+  QENS_RETURN_NOT_OK(x.MatMulAddBiasInto(weights_, bias_, &z));
+  ApplyActivation(activation_, z, &z);  // In place: one buffer end to end.
+  return z;
+}
+
 Result<Matrix> DenseLayer::Forward(const Matrix& x, bool cache) {
+  if (!cache) return Apply(x);
   if (x.cols() != in_features_) {
     return Status::InvalidArgument(
         StrFormat("DenseLayer::Forward: input has %zu features, expected %zu",
                   x.cols(), in_features_));
   }
-  QENS_ASSIGN_OR_RETURN(Matrix z, x.MatMul(weights_));
-  QENS_RETURN_NOT_OK(z.AddRowBroadcast(bias_));
-  if (cache) {
-    cached_input_ = x;
-    cached_pre_ = z;
-    has_cache_ = true;
-  }
+  QENS_RETURN_NOT_OK(x.MatMulAddBiasInto(weights_, bias_, &cached_pre_));
+  cached_input_ = &x;  // Zero-copy: the caller keeps x alive for Backward.
+  has_cache_ = true;
   Matrix y;
-  ApplyActivation(activation_, z, &y);
+  ApplyActivation(activation_, cached_pre_, &y);
   return y;
 }
 
 Result<Matrix> DenseLayer::Backward(const Matrix& grad_out,
                                     DenseGradients* grads) {
-  if (!has_cache_) {
+  if (!has_cache_ || cached_input_ == nullptr) {
     return Status::FailedPrecondition(
         "DenseLayer::Backward called without a cached Forward");
   }
@@ -49,14 +58,16 @@ Result<Matrix> DenseLayer::Backward(const Matrix& grad_out,
       grad_out.cols() != out_features_) {
     return Status::InvalidArgument("DenseLayer::Backward: grad shape mismatch");
   }
-  // dZ = dY (.) f'(Z)
-  Matrix fprime;
-  ApplyActivationGrad(activation_, cached_pre_, &fprime);
-  QENS_ASSIGN_OR_RETURN(Matrix dz, grad_out.Hadamard(fprime));
-  // dW = X^T dZ ; db = column sums of dZ ; dX = dZ W^T
-  QENS_ASSIGN_OR_RETURN(grads->d_weights, cached_input_.Transposed().MatMul(dz));
-  grads->d_bias = dz.ColSums();
-  QENS_ASSIGN_OR_RETURN(Matrix dx, dz.MatMul(weights_.Transposed()));
+  // dZ = dY (.) f'(Z), built in the layer-owned scratch buffer.
+  ApplyActivationGrad(activation_, cached_pre_, &dz_scratch_);
+  QENS_RETURN_NOT_OK(dz_scratch_.HadamardInPlace(grad_out));
+  // dW = Xᵀ dZ ; db = column sums of dZ ; dX = dZ Wᵀ — both GEMMs via the
+  // fused kernels, so no transposed copy of X or W is ever built.
+  QENS_RETURN_NOT_OK(
+      cached_input_->MatMulTransposedAInto(dz_scratch_, &grads->d_weights));
+  grads->d_bias = dz_scratch_.ColSums();
+  Matrix dx;
+  QENS_RETURN_NOT_OK(dz_scratch_.MatMulTransposedBInto(weights_, &dx));
   return dx;
 }
 

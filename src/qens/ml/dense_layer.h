@@ -38,13 +38,23 @@ class DenseLayer {
   /// matching the paper's setup).
   void InitGlorot(Rng* rng);
 
-  /// Forward pass. When `cache` is true, stores the input and pre-activation
-  /// for a subsequent Backward. Fails if x.cols() != in_features().
+  /// Inference-only forward pass: Y = f(X * W + b) with no caching and no
+  /// layer mutation. Fails if x.cols() != in_features().
+  Result<Matrix> Apply(const Matrix& x) const;
+
+  /// Forward pass. When `cache` is true, stores a VIEW of the input (a
+  /// pointer — zero-copy) plus the pre-activation for a subsequent Backward;
+  /// the caller must keep `x` alive and unmodified until Backward runs
+  /// (SequentialModel owns the inter-layer activations for exactly this).
+  /// Fails if x.cols() != in_features().
   Result<Matrix> Forward(const Matrix& x, bool cache);
 
   /// Backward pass given dL/dY (`grad_out`, batch x out). Returns parameter
-  /// gradients via `grads` and dL/dX as the function result.
-  /// Requires a prior Forward(x, /*cache=*/true) on the same batch.
+  /// gradients via `grads` and dL/dX as the function result. Computes
+  /// Xᵀ·dZ and dZ·Wᵀ through the fused transposed-operand kernels — no
+  /// transpose is ever materialized.
+  /// Requires a prior Forward(x, /*cache=*/true) on the same batch, with
+  /// that x still alive.
   Result<Matrix> Backward(const Matrix& grad_out, DenseGradients* grads);
 
   /// Apply a parameter delta: W += alpha * dW, b += alpha * db.
@@ -71,10 +81,15 @@ class DenseLayer {
   Matrix weights_;            // (in x out)
   std::vector<double> bias_;  // (out)
 
-  // Cached by Forward(cache=true) for Backward.
+  // Cached by Forward(cache=true) for Backward. The input is held by
+  // pointer (zero-copy); it is only dereferenced inside Backward, and the
+  // Forward/Backward contract guarantees it is still alive there. The
+  // pre-activation and the dZ scratch are layer-owned buffers whose
+  // allocations are reused across batches.
   bool has_cache_ = false;
-  Matrix cached_input_;  // (batch x in)
-  Matrix cached_pre_;    // (batch x out), pre-activation Z
+  const Matrix* cached_input_ = nullptr;  // (batch x in), caller-owned
+  Matrix cached_pre_;                     // (batch x out), pre-activation Z
+  Matrix dz_scratch_;                     // (batch x out), f'(Z) then dZ
 };
 
 }  // namespace qens::ml

@@ -34,11 +34,11 @@ Result<Matrix> SequentialModel::Predict(const Matrix& x) const {
   if (layers_.empty()) {
     return Status::FailedPrecondition("Predict: model has no layers");
   }
-  // Forward on copies so inference is const and thread-safe w.r.t. caches.
-  Matrix cur = x;
-  for (const auto& layer : layers_) {
-    DenseLayer scratch = layer;
-    QENS_ASSIGN_OR_RETURN(cur, scratch.Forward(cur, /*cache=*/false));
+  // Apply is const and cache-free, so inference neither copies layers nor
+  // touches training state.
+  QENS_ASSIGN_OR_RETURN(Matrix cur, layers_[0].Apply(x));
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    QENS_ASSIGN_OR_RETURN(cur, layers_[i].Apply(cur));
   }
   return cur;
 }
@@ -47,11 +47,19 @@ Result<Matrix> SequentialModel::Forward(const Matrix& x) {
   if (layers_.empty()) {
     return Status::FailedPrecondition("Forward: model has no layers");
   }
-  Matrix cur = x;
-  for (auto& layer : layers_) {
-    QENS_ASSIGN_OR_RETURN(cur, layer.Forward(cur, /*cache=*/true));
+  // Each layer caches a pointer to its input, so the model must keep every
+  // inter-layer activation alive until Backward. The final output is not
+  // needed by Backward (layers cache the pre-activation) and is returned.
+  if (activations_.size() != layers_.size() - 1) {
+    activations_.resize(layers_.size() - 1);
   }
-  return cur;
+  const Matrix* cur = &x;
+  for (size_t i = 0;; ++i) {
+    QENS_ASSIGN_OR_RETURN(Matrix y, layers_[i].Forward(*cur, /*cache=*/true));
+    if (i + 1 == layers_.size()) return y;
+    activations_[i] = std::move(y);
+    cur = &activations_[i];
+  }
 }
 
 Result<std::vector<DenseGradients>> SequentialModel::Backward(

@@ -37,10 +37,14 @@ class SequentialModel {
   /// Randomize all layer parameters (Glorot uniform, zero bias).
   void InitWeights(Rng* rng);
 
-  /// Forward pass without gradient caching (inference).
+  /// Forward pass without gradient caching (inference). Const and
+  /// allocation-light: no layer state is touched.
   Result<Matrix> Predict(const Matrix& x) const;
 
-  /// Forward pass with caching for TrainBatch (internal use).
+  /// Forward pass with caching for TrainBatch (internal use). The model
+  /// keeps the inter-layer activations alive, and each layer caches a
+  /// zero-copy view of its input; `x` itself must stay alive and unmodified
+  /// until the matching Backward.
   Result<Matrix> Forward(const Matrix& x);
 
   /// Backprop dL/dOutput through all layers; fills per-layer gradients.
@@ -64,6 +68,12 @@ class SequentialModel {
 
  private:
   std::vector<DenseLayer> layers_;
+  /// Inter-layer activations from the last caching Forward: activations_[i]
+  /// is the output of layer i and the input layer i+1 holds a view of. Kept
+  /// alive between Forward and Backward for the zero-copy backward pass;
+  /// buffers are reused across batches. A copied model must run its own
+  /// Forward before Backward (training always does).
+  std::vector<Matrix> activations_;
 };
 
 }  // namespace qens::ml

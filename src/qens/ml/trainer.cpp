@@ -109,6 +109,14 @@ Result<TrainReport> Trainer::Fit(SequentialModel* model, const Matrix& x,
   size_t bad_epochs = 0;
   const double base_lr = optimizer_->learning_rate();
 
+  // Batch scratch hoisted out of the epoch loop: the index buffer and the
+  // (xb, yb) slices keep their allocations across every batch of every
+  // epoch (batch shapes repeat, so SelectRowsInto never reallocates in
+  // steady state). TrainBatch caches a view of xb, which stays alive here.
+  std::vector<size_t> batch;
+  batch.reserve(options_.batch_size);
+  Matrix xb, yb;
+
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
     if (options_.lr_decay > 0.0) {
       optimizer_->set_learning_rate(
@@ -120,10 +128,10 @@ Result<TrainReport> Trainer::Fit(SequentialModel* model, const Matrix& x,
     size_t batches = 0;
     for (size_t start = 0; start < n_train; start += options_.batch_size) {
       const size_t end = std::min(start + options_.batch_size, n_train);
-      std::vector<size_t> batch(train_idx.begin() + static_cast<ptrdiff_t>(start),
-                                train_idx.begin() + static_cast<ptrdiff_t>(end));
-      QENS_ASSIGN_OR_RETURN(Matrix xb, x.SelectRows(batch));
-      QENS_ASSIGN_OR_RETURN(Matrix yb, y.SelectRows(batch));
+      batch.assign(train_idx.begin() + static_cast<ptrdiff_t>(start),
+                   train_idx.begin() + static_cast<ptrdiff_t>(end));
+      QENS_RETURN_NOT_OK(x.SelectRowsInto(batch, &xb));
+      QENS_RETURN_NOT_OK(y.SelectRowsInto(batch, &yb));
       QENS_ASSIGN_OR_RETURN(double loss, TrainBatch(model, xb, yb));
       epoch_loss += loss;
       ++batches;

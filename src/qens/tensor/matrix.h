@@ -4,8 +4,15 @@
 /// \file matrix.h
 /// Dense row-major double matrix — the numeric workhorse under the ML and
 /// clustering subsystems. Deliberately minimal: shapes are validated with
-/// Status on the fallible paths, and the hot paths (GEMM, axpy) are plain
-/// loops arranged for cache-friendly traversal.
+/// Status on the fallible paths, and the hot paths (GEMM, axpy) are raw
+/// pointer loops arranged for cache-friendly traversal, with fused
+/// transposed-operand kernels and *Into variants that write caller-owned
+/// scratch so steady-state training never touches the allocator.
+///
+/// Determinism: every kernel accumulates each output element in the same
+/// operand order as its naive counterpart (ascending inner index), so the
+/// fused and scratch variants are bit-identical to the compositions they
+/// replace.
 
 #include <cstddef>
 #include <initializer_list>
@@ -67,6 +74,10 @@ class Matrix {
   /// Copy of column c as a vector.
   std::vector<double> Col(size_t c) const;
 
+  /// Resize to rows x cols, reusing the existing allocation when capacity
+  /// allows. Element values are unspecified afterwards — callers overwrite.
+  void ResizeUninitialized(size_t rows, size_t cols);
+
   /// Overwrite row r with `values` (size must equal cols()).
   Status SetRow(size_t r, const std::vector<double>& values);
 
@@ -74,11 +85,39 @@ class Matrix {
   /// Fails if any index is out of range.
   Result<Matrix> SelectRows(const std::vector<size_t>& indices) const;
 
+  /// SelectRows into caller-owned scratch: `out` is resized (reusing its
+  /// allocation) and overwritten. Hot-path variant — a training loop can
+  /// slice every mini-batch of every epoch without touching the allocator.
+  /// `out` must not alias this matrix.
+  Status SelectRowsInto(const std::vector<size_t>& indices, Matrix* out) const;
+
   /// Transposed copy.
   Matrix Transposed() const;
 
   /// Matrix product this * rhs. Fails unless cols() == rhs.rows().
   Result<Matrix> MatMul(const Matrix& rhs) const;
+
+  /// MatMul into caller-owned scratch (resized, reusing its allocation).
+  /// `out` must alias neither operand.
+  Status MatMulInto(const Matrix& rhs, Matrix* out) const;
+
+  /// Fused dense forward kernel: out = this * rhs, then `bias` (length
+  /// rhs.cols()) added to every output row while it is still cache-hot.
+  /// Bit-identical to MatMul followed by AddRowBroadcast.
+  Status MatMulAddBiasInto(const Matrix& rhs, const std::vector<double>& bias,
+                           Matrix* out) const;
+
+  /// Fused backward kernel: out = thisᵀ * rhs without materializing the
+  /// transpose (this is (m x k), rhs is (m x n), out is (k x n)).
+  /// Bit-identical to Transposed().MatMul(rhs).
+  Status MatMulTransposedAInto(const Matrix& rhs, Matrix* out) const;
+  Result<Matrix> MatMulTransposedA(const Matrix& rhs) const;
+
+  /// Fused backward kernel: out = this * rhsᵀ without materializing the
+  /// transpose (this is (m x k), rhs is (n x k), out is (m x n)).
+  /// Bit-identical to MatMul(rhs.Transposed()).
+  Status MatMulTransposedBInto(const Matrix& rhs, Matrix* out) const;
+  Result<Matrix> MatMulTransposedB(const Matrix& rhs) const;
 
   /// this += alpha * rhs (elementwise). Fails on shape mismatch.
   Status Axpy(double alpha, const Matrix& rhs);
@@ -87,6 +126,9 @@ class Matrix {
   Result<Matrix> Add(const Matrix& rhs) const;
   Result<Matrix> Sub(const Matrix& rhs) const;
   Result<Matrix> Hadamard(const Matrix& rhs) const;
+
+  /// In-place Hadamard product: this *= rhs elementwise, no allocation.
+  Status HadamardInPlace(const Matrix& rhs);
 
   /// In-place multiply every element by s.
   void Scale(double s);

@@ -1,0 +1,120 @@
+// Pins the determinism contract of the parallel Lloyd steps
+// (KMeansOptions::num_threads): a dataset that fits one chunk is
+// bit-identical to the sequential path for any thread count, multi-chunk
+// fits are bit-identical across every thread count >= 2, and the parallel
+// objective stays numerically equivalent to the sequential one.
+
+#include "qens/clustering/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "qens/common/rng.h"
+
+namespace qens::clustering {
+namespace {
+
+/// m rows in d dims around `centers` well-separated Gaussian blobs.
+Matrix MakeBlobs(size_t m, size_t d, size_t centers, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(m, d);
+  for (size_t r = 0; r < m; ++r) {
+    const double base = 10.0 * static_cast<double>(r % centers);
+    for (size_t c = 0; c < d; ++c) {
+      data(r, c) = base + rng.Gaussian(0, 1.0);
+    }
+  }
+  return data;
+}
+
+void ExpectBitIdentical(const KMeansResult& a, const KMeansResult& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.empty_cluster_repairs, b.empty_cluster_repairs);
+  EXPECT_EQ(a.assignment, b.assignment);
+  ASSERT_EQ(a.centroids.rows(), b.centroids.rows());
+  ASSERT_EQ(a.centroids.cols(), b.centroids.cols());
+  // Element-wise == on doubles: this is the bit-identity claim.
+  EXPECT_EQ(a.centroids.data(), b.centroids.data());
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+// A dataset smaller than one chunk reproduces the sequential accumulation
+// order exactly, so sequential and parallel fits match bit for bit at any
+// worker count.
+TEST(KMeansParallelTest, SingleChunkMatchesSequentialBitwise) {
+  const Matrix data = MakeBlobs(500, 3, 4, 11);  // 500 < 2048: one chunk.
+  KMeansOptions options;
+  options.k = 4;
+  options.seed = 5;
+  const KMeans sequential(options);
+  auto seq = sequential.Fit(data);
+  ASSERT_TRUE(seq.ok());
+  for (size_t threads : {2u, 3u, 8u}) {
+    options.num_threads = threads;
+    auto par = KMeans(options).Fit(data);
+    ASSERT_TRUE(par.ok()) << "threads=" << threads;
+    ExpectBitIdentical(*seq, *par);
+  }
+}
+
+// Multi-chunk fits fix the reduction order on the chunk grid, so every
+// thread count >= 2 produces the same bits (the grid depends on the row
+// count, never the worker count).
+TEST(KMeansParallelTest, MultiChunkIdenticalAcrossThreadCounts) {
+  const Matrix data = MakeBlobs(5000, 2, 5, 13);  // 3 chunks of <= 2048.
+  KMeansOptions options;
+  options.k = 5;
+  options.seed = 7;
+  options.num_threads = 2;
+  auto base = KMeans(options).Fit(data);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : {3u, 4u, 16u}) {
+    options.num_threads = threads;
+    auto other = KMeans(options).Fit(data);
+    ASSERT_TRUE(other.ok()) << "threads=" << threads;
+    ExpectBitIdentical(*base, *other);
+  }
+}
+
+// The chunked reduction may associate floating-point sums differently from
+// the sequential loop, but the clustering itself must agree: identical
+// assignments on well-separated data and an objective equal to within
+// strict relative tolerance.
+TEST(KMeansParallelTest, MultiChunkAssignmentMatchesSequential) {
+  const Matrix data = MakeBlobs(5000, 2, 5, 17);
+  KMeansOptions options;
+  options.k = 5;
+  options.seed = 3;
+  auto seq = KMeans(options).Fit(data);
+  ASSERT_TRUE(seq.ok());
+  options.num_threads = 4;
+  auto par = KMeans(options).Fit(data);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq->assignment, par->assignment);
+  EXPECT_EQ(seq->iterations, par->iterations);
+  EXPECT_NEAR(par->inertia, seq->inertia,
+              1e-9 * std::abs(seq->inertia) + 1e-12);
+}
+
+// One Lloyd iteration from shared k-means++ seeds: the assignment step has
+// no cross-row reduction at all, so parallel and sequential assignments are
+// equal by construction, independent of chunking.
+TEST(KMeansParallelTest, SingleIterationAssignmentIdentity) {
+  const Matrix data = MakeBlobs(4500, 3, 4, 19);
+  KMeansOptions options;
+  options.k = 4;
+  options.seed = 23;
+  options.max_iterations = 1;
+  auto seq = KMeans(options).Fit(data);
+  ASSERT_TRUE(seq.ok());
+  options.num_threads = 3;
+  auto par = KMeans(options).Fit(data);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq->assignment, par->assignment);
+}
+
+}  // namespace
+}  // namespace qens::clustering

@@ -1,0 +1,118 @@
+// Tests for the shared worker pool: futures arrive in submission order with
+// the right values, chunk grids cover the input exactly once with
+// worker-count-independent boundaries, exceptions propagate through
+// futures, and destruction drains the queue.
+
+#include "qens/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qens::common {
+namespace {
+
+TEST(ThreadPoolTest, WorkerCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.num_threads(), 4u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultsInSubmissionOrder) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, OversubscribedSubmitsAllComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelChunksCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  const size_t n = 10000;
+  const size_t chunk_rows = 256;
+  std::vector<int> hits(n, 0);
+  pool.ParallelChunks(n, chunk_rows, [&](size_t chunk, size_t begin,
+                                         size_t end) {
+    // Boundaries must come from the fixed grid, never the worker count.
+    EXPECT_EQ(begin, chunk * chunk_rows);
+    EXPECT_EQ(end, std::min(begin + chunk_rows, n));
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(n));
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelChunksHandlesShortAndEmptyInputs) {
+  ThreadPool pool(4);
+  // n smaller than one chunk: exactly one call covering [0, n).
+  size_t calls = 0;
+  pool.ParallelChunks(5, 2048, [&](size_t chunk, size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(chunk, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+  });
+  EXPECT_EQ(calls, 1u);
+  // n == 0: no calls at all.
+  pool.ParallelChunks(0, 16, [&](size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }  // Destructor must run every queued task before joining.
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatchesOfWork) {
+  ThreadPool pool(2);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 10; ++i) {
+      futures.push_back(pool.Submit([batch, i] { return batch * 100 + i; }));
+    }
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(futures[static_cast<size_t>(i)].get(), batch * 100 + i);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace qens::common

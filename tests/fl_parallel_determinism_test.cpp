@@ -44,6 +44,15 @@ Result<Federation> MakeFederation(const FederationOptions& options) {
   return Federation::Create(std::move(nodes), options);
 }
 
+Result<Federation> MakeFederationN(size_t n, const FederationOptions& options) {
+  std::vector<data::Dataset> nodes;
+  nodes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(MakeNodeData(0, 2.0, i + 1));
+  }
+  return Federation::Create(std::move(nodes), options);
+}
+
 query::RangeQuery QueryOver(double lo, double hi) {
   query::RangeQuery q;
   q.id = 3;
@@ -241,6 +250,69 @@ TEST(ParallelDeterminismTest, RoundRecordTimingMatchesSequential) {
     EXPECT_LE(o_seq->sim_time_parallel, rounds * deadline + 1e-12);
   }
   obs::MetricsRegistry::Disable();
+}
+
+// The shared pool must leave outcomes invariant under its worker count: a
+// 1-worker pool, a small oversubscribed pool (more training jobs than
+// workers, so jobs queue), and a wide pool all match the plain sequential
+// path bit for bit — with the SAME pool reused across multi-round queries.
+TEST(ParallelDeterminismTest, WorkerCountInvariantWithOversubscribedPool) {
+  FederationOptions base = FastOptions();
+  base.query_driven.top_l = 6;  // Select all six nodes.
+  auto seq_fed = MakeFederationN(6, base);
+  ASSERT_TRUE(seq_fed.ok());
+  std::vector<QueryOutcome> expected;
+  for (int i = 0; i < 2; ++i) {
+    auto o = seq_fed->RunQueryMultiRound(
+        QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, 2);
+    ASSERT_TRUE(o.ok());
+    ASSERT_FALSE(o->skipped);
+    expected.push_back(*o);
+  }
+
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+    FederationOptions par_options = base;
+    par_options.parallel_local_training = true;
+    par_options.max_parallel_nodes = workers;  // 1 and 2 oversubscribe 6 jobs.
+    auto par_fed = MakeFederationN(6, par_options);
+    ASSERT_TRUE(par_fed.ok());
+    for (int i = 0; i < 2; ++i) {
+      auto o = par_fed->RunQueryMultiRound(
+          QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, 2);
+      ASSERT_TRUE(o.ok()) << "workers=" << workers;
+      ExpectIdenticalOutcomes(expected[static_cast<size_t>(i)], *o);
+    }
+  }
+}
+
+// Pool reuse across queries AND across the fault-injection layer: one
+// oversubscribed federation answering several queries must track its
+// sequential twin query by query.
+TEST(ParallelDeterminismTest, OversubscribedPoolSurvivesFaultInjection) {
+  FederationOptions base = FastOptions();
+  base.query_driven.top_l = 6;
+  base.fault_tolerance.enabled = true;
+  base.fault_tolerance.faults.seed = 31;
+  base.fault_tolerance.faults.dropout_rate = 0.25;
+  base.fault_tolerance.faults.straggler_rate = 0.4;
+  base.fault_tolerance.faults.message_loss_rate = 0.15;
+  base.fault_tolerance.min_quorum_frac = 0.25;
+  FederationOptions par_options = base;
+  par_options.parallel_local_training = true;
+  par_options.max_parallel_nodes = 2;  // Fewer workers than nodes.
+  auto seq = MakeFederationN(6, base);
+  auto par = MakeFederationN(6, par_options);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto o_seq = seq->RunQueryMultiRound(
+        QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, 2);
+    auto o_par = par->RunQueryMultiRound(
+        QueryOver(0, 10), selection::PolicyKind::kQueryDriven, true, 2);
+    ASSERT_TRUE(o_seq.ok());
+    ASSERT_TRUE(o_par.ok());
+    ExpectIdenticalOutcomes(*o_seq, *o_par);
+  }
 }
 
 }  // namespace

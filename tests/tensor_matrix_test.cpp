@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 namespace qens {
 namespace {
@@ -200,6 +202,120 @@ TEST(MatrixTest, MatMulAssociativityProperty) {
   Matrix left = a.MatMul(b).value().MatMul(c).value();
   Matrix right = a.MatMul(b.MatMul(c).value()).value();
   EXPECT_EQ(left, right);
+}
+
+// Regression: the GEMM inner loop must not skip zero multiplicands —
+// IEEE 754 says 0 * NaN = NaN and 0 * inf = NaN, so a zero-skip silently
+// masks non-finite values flowing through a model.
+TEST(MatrixTest, MatMulPropagatesNanThroughZeroEntries) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Matrix a{{0.0, 1.0}};
+  Matrix b{{nan, 0.0}, {2.0, 3.0}};
+  auto c = a.MatMul(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(std::isnan((*c)(0, 0)));  // 0*NaN + 1*2 must be NaN.
+  EXPECT_EQ((*c)(0, 1), 3.0);
+
+  Matrix zero{{0.0}};
+  Matrix infm{{inf}};
+  auto zi = zero.MatMul(infm);
+  ASSERT_TRUE(zi.ok());
+  EXPECT_TRUE(std::isnan((*zi)(0, 0)));  // 0 * inf = NaN.
+}
+
+/// Deterministic pseudo-random matrix (LCG; no RNG dependency needed).
+Matrix PseudoRandom(size_t rows, size_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      m(r, c) =
+          static_cast<double>(state >> 11) / static_cast<double>(1ULL << 53) -
+          0.5;
+    }
+  }
+  return m;
+}
+
+// The fused transposed kernels must be BITWISE equal to the materialized
+// compositions they replace (same per-element accumulation order), on
+// shapes matching the paper's MLP (batch 32, 13 features, 64 hidden units).
+TEST(MatrixTest, MatMulTransposedAMatchesMaterializedTranspose) {
+  Matrix x = PseudoRandom(32, 13, 1);
+  Matrix dz = PseudoRandom(32, 64, 2);
+  auto fused = x.MatMulTransposedA(dz);
+  auto naive = x.Transposed().MatMul(dz);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(fused->data(), naive->data());
+  EXPECT_EQ(fused->rows(), 13u);
+  EXPECT_EQ(fused->cols(), 64u);
+  EXPECT_FALSE(x.MatMulTransposedA(PseudoRandom(31, 4, 3)).ok());
+}
+
+TEST(MatrixTest, MatMulTransposedBMatchesMaterializedTranspose) {
+  Matrix dz = PseudoRandom(32, 64, 4);
+  Matrix w = PseudoRandom(13, 64, 5);
+  auto fused = dz.MatMulTransposedB(w);
+  auto naive = dz.MatMul(w.Transposed());
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(fused->data(), naive->data());
+  EXPECT_EQ(fused->rows(), 32u);
+  EXPECT_EQ(fused->cols(), 13u);
+  EXPECT_FALSE(dz.MatMulTransposedB(PseudoRandom(5, 63, 6)).ok());
+}
+
+TEST(MatrixTest, MatMulAddBiasMatchesComposition) {
+  Matrix x = PseudoRandom(32, 13, 7);
+  Matrix w = PseudoRandom(13, 64, 8);
+  std::vector<double> bias(64);
+  for (size_t i = 0; i < bias.size(); ++i) {
+    bias[i] = 0.01 * static_cast<double>(i) - 0.3;
+  }
+  Matrix fused;
+  ASSERT_TRUE(x.MatMulAddBiasInto(w, bias, &fused).ok());
+  Matrix naive = x.MatMul(w).value();
+  ASSERT_TRUE(naive.AddRowBroadcast(bias).ok());
+  EXPECT_EQ(fused.data(), naive.data());
+  // Shape errors: bad bias width, bad inner dimension.
+  EXPECT_FALSE(x.MatMulAddBiasInto(w, std::vector<double>(63), &fused).ok());
+  EXPECT_FALSE(x.MatMulAddBiasInto(PseudoRandom(12, 4, 9), bias, &fused).ok());
+}
+
+TEST(MatrixTest, SelectRowsIntoMatchesSelectRowsAndReusesBuffer) {
+  Matrix m = PseudoRandom(10, 4, 10);
+  const std::vector<size_t> idx = {7, 0, 3, 3, 9};
+  Matrix out;
+  ASSERT_TRUE(m.SelectRowsInto(idx, &out).ok());
+  EXPECT_EQ(out.data(), m.SelectRows(idx).value().data());
+  const double* buffer = out.data().data();
+  ASSERT_TRUE(m.SelectRowsInto({1, 2, 4, 5, 6}, &out).ok());
+  // Same shape, same capacity: steady-state reuse must not reallocate.
+  EXPECT_EQ(out.data().data(), buffer);
+  EXPECT_FALSE(m.SelectRowsInto({10}, &out).ok());  // Out-of-range row.
+}
+
+TEST(MatrixTest, HadamardInPlaceMatchesHadamard) {
+  Matrix a = PseudoRandom(6, 5, 11);
+  Matrix b = PseudoRandom(6, 5, 12);
+  Matrix expected = a.Hadamard(b).value();
+  ASSERT_TRUE(a.HadamardInPlace(b).ok());
+  EXPECT_EQ(a.data(), expected.data());
+  EXPECT_FALSE(a.HadamardInPlace(PseudoRandom(5, 5, 13)).ok());
+}
+
+TEST(MatrixTest, MatMulIntoReusesDestination) {
+  Matrix a = PseudoRandom(8, 6, 14);
+  Matrix b = PseudoRandom(6, 9, 15);
+  Matrix out;
+  ASSERT_TRUE(a.MatMulInto(b, &out).ok());
+  EXPECT_EQ(out.data(), a.MatMul(b).value().data());
+  const double* buffer = out.data().data();
+  ASSERT_TRUE(a.MatMulInto(b, &out).ok());
+  EXPECT_EQ(out.data().data(), buffer);  // No reallocation on reuse.
 }
 
 }  // namespace

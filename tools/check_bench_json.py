@@ -26,6 +26,10 @@ BENCH_REQUIREMENTS = {
         "sections": {"attacker_sweep", "quarantine"},
         "record_values": {"avg_loss"},
     },
+    "bench_x7_hotpath": {
+        "sections": {"kernels", "step", "kmeans", "round"},
+        "record_values": {"speedup", "reps"},
+    },
 }
 
 
