@@ -13,6 +13,7 @@
 
 #include "qens/common/config.h"
 #include "qens/fl/experiment.h"
+#include "qens/fl/query_server.h"
 #include "qens/obs/export.h"
 #include "qens/obs/metrics.h"
 #include "qens/obs/round_record.h"
@@ -92,6 +93,11 @@ enabled = false
 round_jsonl =        ; per-round records, one JSON object per line
 round_csv =          ; per-round records as CSV
 summary_json =       ; final counter/gauge/histogram snapshot
+
+[serving]
+sessions = 0             ; concurrent query sessions (0 = no serving phase)
+workers = 0              ; session worker threads (0 or 1 = sequential)
+queries_per_session = 8  ; workload queries each session serves (cycled)
 )";
 
 /// Export destinations parsed from the [metrics] section.
@@ -333,6 +339,59 @@ int main(int argc, char** argv) {
         "(%zu run, %zu skipped)\n",
         static_cast<long long>(rounds), loss.mean(), time.mean(), run,
         skipped);
+  }
+
+  // Optional serving phase: schedule the workload as concurrent sessions
+  // over the same fleet. Outcomes are bit-identical at every worker count;
+  // round records are tagged with their 1-based session id.
+  const int64_t sessions = Die(ini.GetInt("serving.sessions", 0), "serving");
+  if (sessions > 0) {
+    const int64_t workers = Die(ini.GetInt("serving.workers", 0), "serving");
+    const int64_t per_session =
+        Die(ini.GetInt("serving.queries_per_session", 8), "serving");
+    const auto& pool = runner.queries();
+    std::vector<fl::SessionSpec> specs;
+    size_t next = 0;
+    for (int64_t s = 0; s < sessions; ++s) {
+      fl::SessionSpec spec;
+      spec.rounds = static_cast<size_t>(rounds);
+      for (int64_t q = 0; q < per_session && !pool.empty(); ++q) {
+        spec.queries.push_back(pool[next % pool.size()]);
+        ++next;
+      }
+      specs.push_back(std::move(spec));
+    }
+    fl::ServingOptions serving_options;
+    serving_options.num_workers = static_cast<size_t>(workers);
+    fl::QueryServer server =
+        Die(fl::QueryServer::Create(runner.federation().fleet(),
+                                    serving_options),
+            "build query server");
+    std::printf("\nserving %lld session(s) x %lld queries, %lld worker(s)\n",
+                static_cast<long long>(sessions),
+                static_cast<long long>(per_session),
+                static_cast<long long>(workers));
+    std::vector<fl::SessionResult> served =
+        Die(server.Serve(specs), "serve sessions");
+    size_t total_run = 0, total_skipped = 0, total_bytes = 0;
+    for (const fl::SessionResult& result : served) {
+      std::printf(
+          "  session %llu: %zu run, %zu skipped, %zu msgs, %zu bytes, "
+          "%.4fs comm\n",
+          static_cast<unsigned long long>(result.session_id),
+          result.queries_run, result.queries_skipped, result.comm_messages,
+          result.comm_bytes, result.comm_seconds);
+      total_run += result.queries_run;
+      total_skipped += result.queries_skipped;
+      total_bytes += result.comm_bytes;
+      for (const fl::QueryOutcome& outcome : result.outcomes) {
+        for (const obs::RoundRecord& record : outcome.round_records) {
+          round_records.push_back(record);
+        }
+      }
+    }
+    std::printf("served %zu queries (%zu skipped), %zu bytes total\n",
+                total_run, total_skipped, total_bytes);
   }
 
   if (!metrics.round_jsonl.empty()) {

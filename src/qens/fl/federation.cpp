@@ -1,998 +1,19 @@
 #include "qens/fl/federation.h"
 
-#include <algorithm>
-#include <future>
-#include <limits>
-
-#include "qens/common/rng.h"
-#include "qens/common/stopwatch.h"
-#include "qens/common/string_util.h"
-#include "qens/data/splitter.h"
-#include "qens/ml/loss.h"
-#include "qens/ml/model_io.h"
-#include "qens/obs/metrics.h"
-#include "qens/obs/trace.h"
-#include "qens/selection/policies.h"
-
 namespace qens::fl {
-namespace {
-
-/// Apply a model-space corruption to a returned model, in place. Label
-/// poisoning is handled participant-side; kNone and kLabelFlipPoisoning
-/// leave the model untouched.
-void ApplyModelCorruption(ml::SequentialModel* model,
-                          sim::CorruptionKind kind, double gamma,
-                          const ml::SequentialModel& reference) {
-  if (kind == sim::CorruptionKind::kNone ||
-      kind == sim::CorruptionKind::kLabelFlipPoisoning) {
-    return;
-  }
-  std::vector<double> params = model->GetParameters();
-  switch (kind) {
-    case sim::CorruptionKind::kNanUpdate:
-      for (double& p : params) p = std::numeric_limits<double>::quiet_NaN();
-      break;
-    case sim::CorruptionKind::kInfUpdate:
-      for (double& p : params) p = std::numeric_limits<double>::infinity();
-      break;
-    case sim::CorruptionKind::kSignFlip:
-      for (double& p : params) p = -p;
-      break;
-    case sim::CorruptionKind::kScaledUpdate: {
-      const std::vector<double> ref = reference.GetParameters();
-      for (size_t i = 0; i < params.size(); ++i) {
-        params[i] = ref[i] + gamma * (params[i] - ref[i]);
-      }
-      break;
-    }
-    case sim::CorruptionKind::kNone:
-    case sim::CorruptionKind::kLabelFlipPoisoning:
-      break;
-  }
-  (void)model->SetParameters(params);  // Same size: cannot fail.
-}
-
-/// Inter-round merge under the configured robust aggregator.
-Result<ml::SequentialModel> MergeRobust(
-    const ByzantineOptions& byz,
-    const std::vector<ml::SequentialModel>& models,
-    const std::vector<double>& weights,
-    const ml::SequentialModel& reference) {
-  switch (byz.aggregator) {
-    case AggregationKind::kFedAvgParameters:
-      return FedAvgParameters(models, weights);
-    case AggregationKind::kCoordinateMedian:
-      return CoordinateMedianParameters(models);
-    case AggregationKind::kTrimmedMean:
-      return TrimmedMeanParameters(models, byz.trim_beta);
-    case AggregationKind::kNormClippedFedAvg:
-      return FedAvgNormClipped(models, weights, reference, byz.clip_norm);
-    default:
-      return Status::Internal("MergeRobust: non-parameter-space aggregator");
-  }
-}
-
-}  // namespace
-
-double QueryOutcome::DataFractionOfSelected() const {
-  return samples_selected > 0 ? static_cast<double>(samples_used) /
-                                    static_cast<double>(samples_selected)
-                              : 0.0;
-}
-
-double QueryOutcome::DataFractionOfAll() const {
-  return samples_all_nodes > 0 ? static_cast<double>(samples_used) /
-                                     static_cast<double>(samples_all_nodes)
-                               : 0.0;
-}
 
 Result<Federation> Federation::Create(std::vector<data::Dataset> node_data,
                                       const FederationOptions& options) {
-  if (node_data.empty()) {
-    return Status::InvalidArgument("federation: no nodes");
-  }
-  if (options.test_fraction <= 0.0 || options.test_fraction >= 1.0) {
-    return Status::InvalidArgument(
-        "federation: test_fraction must be in (0, 1)");
-  }
-
-  std::vector<data::Dataset> train_shards;
-  std::vector<data::Dataset> test_shards;
-  train_shards.reserve(node_data.size());
-  test_shards.reserve(node_data.size());
-  for (size_t i = 0; i < node_data.size(); ++i) {
-    QENS_ASSIGN_OR_RETURN(
-        data::TrainTestSplit split,
-        data::SplitTrainTest(node_data[i], options.test_fraction,
-                             options.seed + 31 * i));
-    train_shards.push_back(std::move(split.train));
-    test_shards.push_back(std::move(split.test));
-  }
-
-  // Raw-unit global data space: hull of every node's (train) feature box.
-  QENS_ASSIGN_OR_RETURN(query::HyperRectangle raw_space,
-                        train_shards[0].FeatureSpace());
-  for (size_t i = 1; i < train_shards.size(); ++i) {
-    QENS_ASSIGN_OR_RETURN(query::HyperRectangle space,
-                          train_shards[i].FeatureSpace());
-    QENS_ASSIGN_OR_RETURN(raw_space, raw_space.Hull(space));
-  }
-
-  // Leader-coordinated min-max normalization: the scaling constants are the
-  // global per-dimension bounds, which in the real protocol come straight
-  // from the cluster boundaries the nodes already publish.
-  std::optional<data::Normalizer> feature_norm;
-  std::optional<data::Normalizer> target_norm;
-  if (options.normalize) {
-    // Pool features/targets to fit the global bounds (numerically equal to
-    // the hull of per-node bounds for min-max scaling).
-    data::Dataset pooled = train_shards[0];
-    for (size_t i = 1; i < train_shards.size(); ++i) {
-      QENS_ASSIGN_OR_RETURN(pooled, pooled.Concat(train_shards[i]));
-    }
-    QENS_ASSIGN_OR_RETURN(
-        data::Normalizer fn,
-        data::Normalizer::Fit(pooled.features(), data::ScalingKind::kMinMax));
-    QENS_ASSIGN_OR_RETURN(
-        data::Normalizer tn,
-        data::Normalizer::Fit(pooled.targets(), data::ScalingKind::kMinMax));
-    feature_norm = std::move(fn);
-    target_norm = std::move(tn);
-
-    auto transform_shard = [&](data::Dataset* shard) -> Status {
-      QENS_ASSIGN_OR_RETURN(Matrix f,
-                            feature_norm->Transform(shard->features()));
-      QENS_ASSIGN_OR_RETURN(Matrix t, target_norm->Transform(shard->targets()));
-      QENS_ASSIGN_OR_RETURN(
-          *shard, data::Dataset::Create(std::move(f), std::move(t),
-                                        shard->feature_names(),
-                                        shard->target_name()));
-      return Status::OK();
-    };
-    for (auto& shard : train_shards) QENS_RETURN_NOT_OK(transform_shard(&shard));
-    for (auto& shard : test_shards) QENS_RETURN_NOT_OK(transform_shard(&shard));
-  }
-
+  QENS_ASSIGN_OR_RETURN(std::shared_ptr<Fleet> fleet,
+                        Fleet::Create(std::move(node_data), options));
+  // The default session: untagged (session_id 0), seeded with the
+  // federation seed, sending through the environment-owned network — which
+  // makes the facade byte-identical to the historical monolithic loop.
   QENS_ASSIGN_OR_RETURN(
-      sim::EdgeEnvironment environment,
-      sim::EdgeEnvironment::Create(std::move(train_shards),
-                                   options.environment));
-  QENS_ASSIGN_OR_RETURN(std::vector<selection::NodeProfile> profiles,
-                        environment.Profiles());
-  Leader leader(std::move(profiles), options.ranking, options.query_driven);
-  const size_t num_nodes = environment.num_nodes();
-  Federation federation(std::move(environment), std::move(test_shards),
-                        std::move(leader), options, std::move(raw_space),
-                        std::move(feature_norm), std::move(target_norm));
-
-  if (options.fault_tolerance.enabled) {
-    if (options.fault_tolerance.max_send_attempts == 0) {
-      return Status::InvalidArgument(
-          "federation: max_send_attempts must be >= 1");
-    }
-    if (options.fault_tolerance.min_quorum_frac < 0.0 ||
-        options.fault_tolerance.min_quorum_frac > 1.0) {
-      return Status::InvalidArgument(
-          "federation: min_quorum_frac must be in [0, 1]");
-    }
-    QENS_ASSIGN_OR_RETURN(
-        sim::FaultPlan plan,
-        sim::FaultPlan::Create(num_nodes, options.fault_tolerance.faults));
-    federation.fault_injector_.emplace(std::move(plan));
-  }
-  if (options.byzantine.enabled) {
-    const ByzantineOptions& byz = options.byzantine;
-    switch (byz.aggregator) {
-      case AggregationKind::kFedAvgParameters:
-      case AggregationKind::kCoordinateMedian:
-      case AggregationKind::kTrimmedMean:
-      case AggregationKind::kNormClippedFedAvg:
-        break;
-      default:
-        return Status::InvalidArgument(
-            StrFormat("federation: byzantine aggregator must be "
-                      "parameter-space, got %s",
-                      AggregationKindName(byz.aggregator)));
-    }
-    if (!(byz.trim_beta >= 0.0) || byz.trim_beta >= 0.5) {
-      return Status::InvalidArgument(
-          "federation: byzantine trim_beta must be in [0, 0.5)");
-    }
-    if (byz.aggregator == AggregationKind::kNormClippedFedAvg &&
-        byz.clip_norm <= 0.0) {
-      return Status::InvalidArgument(
-          "federation: byzantine clip_norm must be > 0");
-    }
-    QENS_ASSIGN_OR_RETURN(UpdateValidator validator,
-                          UpdateValidator::Create(byz.validator));
-    federation.validator_.emplace(std::move(validator));
-    federation.quarantine_until_.assign(num_nodes, 0);
-  }
-  return federation;
-}
-
-Result<query::RangeQuery> Federation::InternalQuery(
-    const query::RangeQuery& query) const {
-  if (!feature_norm_.has_value()) return query;
-  query::RangeQuery internal = query;
-  QENS_ASSIGN_OR_RETURN(internal.region,
-                        feature_norm_->TransformBox(query.region));
-  return internal;
-}
-
-double Federation::DenormalizeMse(double mse) const {
-  if (!target_norm_.has_value()) return mse;
-  const double scale = target_norm_->scale()[0];  // y_norm = (y - off) * scale
-  if (scale == 0.0) return mse;
-  return mse / (scale * scale);
-}
-
-Result<data::Dataset> Federation::QueryRegionTestData(
-    const query::RangeQuery& query) const {
-  QENS_ASSIGN_OR_RETURN(query::RangeQuery internal, InternalQuery(query));
-  std::optional<data::Dataset> pooled;
-  for (const auto& shard : test_shards_) {
-    QENS_ASSIGN_OR_RETURN(std::vector<size_t> rows,
-                          internal.MatchingRows(shard.features()));
-    if (rows.empty()) continue;
-    QENS_ASSIGN_OR_RETURN(data::Dataset subset, shard.SelectRows(rows));
-    if (!pooled.has_value()) {
-      pooled = std::move(subset);
-    } else {
-      QENS_ASSIGN_OR_RETURN(pooled.value(), pooled->Concat(subset));
-    }
-  }
-  if (!pooled.has_value()) {
-    return Status::NotFound("no test rows inside the query region");
-  }
-  return std::move(pooled.value());
-}
-
-Result<std::vector<size_t>> Federation::ChooseNodes(
-    const query::RangeQuery& query, selection::PolicyKind policy,
-    QueryOutcome* outcome) {
-  const size_t n = environment_.num_nodes();
-  switch (policy) {
-    case selection::PolicyKind::kQueryDriven: {
-      QENS_ASSIGN_OR_RETURN(SelectionDecision decision,
-                            leader_.Decide(query));
-      outcome->selected_rankings = decision.SelectedRankings();
-      return decision.SelectedNodeIds();
-    }
-    case selection::PolicyKind::kRandom: {
-      // A fresh stream per query keeps random draws independent across the
-      // workload but reproducible for the federation seed.
-      Rng rng = Rng(options_.seed ^ 0x5eed).Fork(++random_stream_);
-      const size_t l = std::min(options_.random_l, n);
-      return selection::SelectRandom(n, std::max<size_t>(1, l), &rng);
-    }
-    case selection::PolicyKind::kAllNodes:
-      return selection::SelectAllNodes(n);
-    case selection::PolicyKind::kDataCentric: {
-      // Query-agnostic device scoring [8]: data volume/diversity, compute,
-      // and link quality — note the query never enters the decision.
-      std::vector<selection::NodeProfile> profiles;
-      std::vector<double> capacities, latencies;
-      for (size_t i = 0; i < n; ++i) {
-        QENS_ASSIGN_OR_RETURN(const selection::NodeProfile* p,
-                              environment_.node(i).profile());
-        profiles.push_back(*p);
-        capacities.push_back(environment_.node(i).capacity());
-        latencies.push_back(
-            environment_.cost_model().options().link_latency_s);
-      }
-      return selection::SelectDataCentric(profiles, capacities, latencies,
-                                          options_.data_centric);
-    }
-    case selection::PolicyKind::kStochastic: {
-      // Fair stochastic selection [12]: ranking-weighted draw with a
-      // fairness boost; stateful across the query stream.
-      if (!stochastic_.has_value()) {
-        selection::StochasticOptions so = options_.stochastic;
-        so.seed = options_.seed ^ 0xfa12;
-        stochastic_.emplace(n, so);
-      }
-      QENS_ASSIGN_OR_RETURN(std::vector<selection::NodeRank> ranks,
-                            leader_.Rank(query));
-      return stochastic_->Select(ranks);
-    }
-    case selection::PolicyKind::kGameTheory: {
-      // GT probes with the leader's local (train) data against every node's
-      // local data — a full pre-round per query (its defining cost).
-      std::vector<data::Dataset> node_sets;
-      node_sets.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        node_sets.push_back(environment_.node(i).local_data());
-      }
-      selection::GameTheoryOptions gt = options_.game_theory;
-      gt.model = options_.hyper.kind;
-      gt.seed = options_.seed + query.id;
-      QENS_ASSIGN_OR_RETURN(
-          selection::GameTheorySelection sel,
-          selection::RunGameTheorySelection(
-              environment_.node(environment_.leader_index()).local_data(),
-              node_sets, gt));
-      outcome->gt_preround_seconds = sel.pre_round_seconds;
-      // The pre-round is leader-side training over its own data; charge it
-      // through the cost model as well.
-      outcome->sim_time_total += environment_.cost_model().TrainingSeconds(
-          environment_.node(environment_.leader_index()).NumSamples(),
-          options_.hyper.epochs,
-          environment_.node(environment_.leader_index()).capacity());
-      return sel.selected;
-    }
-  }
-  return Status::Internal("ChooseNodes: unhandled policy");
-}
-
-const std::vector<size_t>& Federation::StochasticParticipation() {
-  if (!stochastic_.has_value()) {
-    selection::StochasticOptions so = options_.stochastic;
-    so.seed = options_.seed ^ 0xfa12;
-    stochastic_.emplace(environment_.num_nodes(), so);
-  }
-  return stochastic_->participation_counts();
-}
-
-Result<QueryOutcome> Federation::RunQuery(const query::RangeQuery& query,
-                                          selection::PolicyKind policy,
-                                          bool data_selectivity) {
-  return RunQueryMultiRound(query, policy, data_selectivity, /*rounds=*/1);
-}
-
-Result<QueryOutcome> Federation::RunQueryMultiRound(
-    const query::RangeQuery& query, selection::PolicyKind policy,
-    bool data_selectivity, size_t rounds) {
-  if (rounds == 0) {
-    return Status::InvalidArgument("RunQueryMultiRound: rounds must be > 0");
-  }
-  obs::TraceSpan query_span("federation.query");
-  const bool obs_on = obs::MetricsRegistry::Enabled();
-  obs::Count("federation.queries");
-  Stopwatch watch;
-  QueryOutcome outcome;
-  outcome.query = query;
-  outcome.policy = policy;
-  outcome.data_selectivity = data_selectivity;
-  outcome.rounds = rounds;
-  outcome.samples_all_nodes = environment_.TotalSamples();
-
-  // All internal work (ranking, matching, training) happens in the
-  // federation's internal (normalized) space.
-  QENS_ASSIGN_OR_RETURN(query::RangeQuery internal, InternalQuery(query));
-
-  // Ground truth: pooled held-out rows inside the query region.
-  Result<data::Dataset> test = QueryRegionTestData(query);
-  if (!test.ok()) {
-    obs::Count("federation.queries.skipped");
-    outcome.skipped = true;
-    outcome.wall_seconds = watch.ElapsedSeconds();
-    return outcome;
-  }
-  outcome.test_rows = test->NumSamples();
-
-  QENS_ASSIGN_OR_RETURN(std::vector<size_t> chosen,
-                        ChooseNodes(internal, policy, &outcome));
-
-  // Volatile clients: selected nodes may be offline for this query.
-  if (options_.dropout_rate > 0.0) {
-    if (options_.dropout_rate > 1.0) {
-      return Status::InvalidArgument("dropout_rate must be in [0, 1]");
-    }
-    Rng drop_rng = Rng(options_.seed ^ 0xd20f).Fork(++dropout_stream_);
-    std::vector<size_t> alive;
-    for (size_t id : chosen) {
-      if (drop_rng.Bernoulli(options_.dropout_rate)) {
-        outcome.dropped_nodes.push_back(id);
-      } else {
-        alive.push_back(id);
-      }
-    }
-    chosen = std::move(alive);
-  }
-  if (chosen.empty()) {
-    obs::Count("federation.queries.skipped");
-    outcome.skipped = true;
-    outcome.wall_seconds = watch.ElapsedSeconds();
-    return outcome;
-  }
-
-  // Rankings for selectivity: the query-driven policy computed them in
-  // ChooseNodes; for baselines with selectivity requested we still need
-  // per-node supporting clusters, so rank on demand.
-  std::vector<selection::NodeRank> all_ranks;
-  if (data_selectivity) {
-    QENS_ASSIGN_OR_RETURN(all_ranks, leader_.Rank(internal));
-  }
-  auto rank_of_node = [&](size_t node_id) -> const selection::NodeRank* {
-    for (const auto& r : all_ranks) {
-      if (r.node_id == node_id) return &r;
-    }
-    return nullptr;
-  };
-
-  // Broadcast the initial global model w.
-  Rng init_rng(options_.seed * 1000003 + query.id);
-  QENS_ASSIGN_OR_RETURN(
-      ml::SequentialModel global,
-      ml::BuildModel(options_.hyper,
-                     environment_.node(0).local_data().NumFeatures(),
-                     &init_rng));
-  const size_t model_bytes = ml::SerializedModelBytes(global);
-
-  LocalTrainOptions local_options;
-  local_options.hyper = options_.hyper;
-  local_options.epochs_per_cluster = options_.epochs_per_cluster;
-  local_options.seed = options_.seed + query.id;
-
-  // Assemble the per-node training jobs once (node id, Eq. 7 weight, and
-  // the supporting-cluster set under data selectivity).
-  struct TrainJob {
-    size_t node_id;
-    double rank_weight;
-    bool selective;
-    std::vector<size_t> supporting;
-  };
-  std::vector<TrainJob> jobs;
-  for (size_t node_id : chosen) {
-    TrainJob job{node_id, 1.0, data_selectivity, {}};
-    if (data_selectivity) {
-      const selection::NodeRank* rank = rank_of_node(node_id);
-      if (rank == nullptr || rank->supporting_clusters == 0) {
-        // Nothing in this node matches the query; it contributes no model.
-        continue;
-      }
-      job.rank_weight = rank->ranking;
-      job.supporting = rank->SupportingClusterIds();
-    }
-    jobs.push_back(std::move(job));
-  }
-  if (jobs.empty()) {
-    // No selected node can contribute a model (e.g. nothing supports the
-    // query under selectivity): the query is unanswerable, faults or not.
-    obs::Count("federation.queries.skipped");
-    outcome.skipped = true;
-    outcome.wall_seconds = watch.ElapsedSeconds();
-    return outcome;
-  }
-
-  // Fault layer (opt-in). With no injector the loop below reproduces the
-  // fault-free protocol exactly: every job trains, every send succeeds.
-  const FaultToleranceOptions& ft = options_.fault_tolerance;
-  sim::FaultInjector* injector =
-      fault_injector_.has_value() ? &*fault_injector_ : nullptr;
-  const size_t leader_id = environment_.leader_index();
-
-  // Byzantine layer (opt-in): validator + quarantine + robust aggregation.
-  const ByzantineOptions& byz = options_.byzantine;
-  const bool byz_on = byz.enabled;
-
-  // Per-job fate this round, precomputed from the injector's pure schedule
-  // so training can still fan out in parallel.
-  struct JobFate {
-    bool quarantined = false;   ///< Sat out: still serving a quarantine.
-    bool unavailable = false;   ///< Crashed or transiently offline.
-    size_t down_attempts = 1;   ///< model-down transmissions performed.
-    bool down_delivered = true;
-    double slowdown = 1.0;
-    sim::CorruptionKind corruption = sim::CorruptionKind::kNone;
-  };
-
-  auto record_once = [](std::vector<size_t>* list, size_t node_id) {
-    if (std::find(list->begin(), list->end(), node_id) == list->end()) {
-      list->push_back(node_id);
-    }
-  };
-
-  std::vector<ml::SequentialModel> local_models;
-  std::vector<double> eq7_weights;
-  std::vector<double> fedavg_weights;  // Samples trained, per local model.
-  std::vector<size_t> survivor_jobs;   // Job index behind each local model.
-  std::vector<bool> final_alive(jobs.size(), false);
-  for (size_t round = 0; round < rounds; ++round) {
-    obs::TraceSpan round_span("federation.round");
-    obs::Count("federation.rounds");
-    local_models.clear();
-    eq7_weights.clear();
-    fedavg_weights.clear();
-    survivor_jobs.clear();
-    std::fill(final_alive.begin(), final_alive.end(), false);
-    double round_parallel = 0.0;
-    double round_train = 0.0;
-    double round_comm = 0.0;
-
-    obs::RoundRecord record;
-    if (obs_on) {
-      record.query_id = query.id;
-      record.round = round;
-      record.policy = selection::PolicyKindName(policy);
-      record.aggregation = round + 1 < rounds ? "fedavg" : "ensemble";
-      record.engaged = jobs.size();
-      record.nodes.reserve(jobs.size());
-    }
-    auto record_node = [&](size_t node_id, obs::NodeFate node_fate,
-                           double train_s, double comm_s, size_t samples,
-                           bool straggler) {
-      if (!obs_on) return;
-      obs::NodeRoundStat stat;
-      stat.node_id = node_id;
-      stat.fate = node_fate;
-      stat.train_seconds = train_s;
-      stat.comm_seconds = comm_s;
-      stat.samples_used = samples;
-      stat.straggler = straggler;
-      record.nodes.push_back(stat);
-    };
-
-    // Evaluate this round's fate for every job before any training runs.
-    const size_t fault_round = injector ? fault_round_++ : 0;
-    const size_t byz_round = byz_on ? byz_round_++ : 0;
-    std::vector<JobFate> fates(jobs.size());
-    if (byz_on && byz.quarantine_rounds > 0) {
-      for (size_t j = 0; j < jobs.size(); ++j) {
-        if (quarantine_until_[jobs[j].node_id] > byz_round) {
-          fates[j].quarantined = true;
-        }
-      }
-    }
-    if (injector) {
-      for (size_t j = 0; j < jobs.size(); ++j) {
-        JobFate& fate = fates[j];
-        if (fate.quarantined) continue;
-        if (!injector->IsAvailable(jobs[j].node_id, fault_round)) {
-          fate.unavailable = true;
-          continue;
-        }
-        fate.slowdown = injector->SlowdownFactor(jobs[j].node_id, fault_round);
-        fate.corruption = injector->CorruptionFor(jobs[j].node_id, fault_round);
-        fate.down_delivered = false;
-        fate.down_attempts = 0;
-        for (size_t attempt = 0; attempt < ft.max_send_attempts; ++attempt) {
-          ++fate.down_attempts;
-          if (!injector->LoseMessage(leader_id, jobs[j].node_id, fault_round,
-                                     attempt)) {
-            fate.down_delivered = true;
-            break;
-          }
-        }
-      }
-    }
-    auto job_trains = [&](size_t j) {
-      return !fates[j].quarantined && !fates[j].unavailable &&
-             fates[j].down_delivered;
-    };
-
-    // Run every training job (concurrently when configured), then account
-    // the results in job order so outcomes stay deterministic.
-    auto run_job = [&](const TrainJob& job, sim::CorruptionKind corruption)
-        -> Result<LocalTrainResult> {
-      const sim::EdgeNode& node = environment_.node(job.node_id);
-      LocalTrainOptions job_options = local_options;
-      if (corruption == sim::CorruptionKind::kLabelFlipPoisoning) {
-        job_options.poison_labels = true;
-      }
-      if (job.selective) {
-        return TrainOnSupportingClusters(node, global, job.supporting,
-                                         job_options,
-                                         environment_.cost_model());
-      }
-      return TrainOnFullData(node, global, job_options,
-                             environment_.cost_model());
-    };
-    std::vector<std::optional<Result<LocalTrainResult>>> results(jobs.size());
-    if (options_.parallel_local_training && jobs.size() > 1) {
-      // Jobs go onto the shared pool (created once, reused across rounds
-      // and queries) instead of spawning one thread per node per round.
-      // Oversubscribed rounds (jobs > workers) simply queue; results are
-      // consumed in submission order, so outcomes are independent of both
-      // the worker count and the completion order.
-      if (pool_ == nullptr) {
-        const size_t workers = options_.max_parallel_nodes > 0
-                                   ? options_.max_parallel_nodes
-                                   : common::ThreadPool::DefaultThreadCount();
-        pool_ = std::make_unique<common::ThreadPool>(workers);
-      }
-      std::vector<std::future<Result<LocalTrainResult>>> futures(jobs.size());
-      for (size_t j = 0; j < jobs.size(); ++j) {
-        if (!job_trains(j)) continue;
-        const TrainJob& job = jobs[j];
-        const sim::CorruptionKind corruption = fates[j].corruption;
-        futures[j] = pool_->Submit([&run_job, &job, corruption] {
-          return run_job(job, corruption);
-        });
-      }
-      for (size_t j = 0; j < jobs.size(); ++j) {
-        if (futures[j].valid()) results[j] = futures[j].get();
-      }
-    } else {
-      for (size_t j = 0; j < jobs.size(); ++j) {
-        if (job_trains(j)) results[j] = run_job(jobs[j], fates[j].corruption);
-      }
-    }
-
-    for (size_t j = 0; j < jobs.size(); ++j) {
-      const TrainJob& job = jobs[j];
-      const size_t node_id = job.node_id;
-      const sim::EdgeNode& node = environment_.node(node_id);
-      if (round == 0) outcome.samples_selected += node.NumSamples();
-      const double rank_weight = job.rank_weight;
-      const JobFate& fate = fates[j];
-
-      if (fate.quarantined) {
-        // Serving a quarantine: skipped without a reliability penalty (the
-        // node was never asked to train this round).
-        record_once(&outcome.quarantined_nodes, node_id);
-        ++outcome.quarantined_skips;
-        obs::Count("federation.nodes.quarantined");
-        record_node(node_id, obs::NodeFate::kQuarantined, 0.0, 0.0, 0, false);
-        if (obs_on) ++record.quarantined;
-        continue;
-      }
-      if (fate.unavailable) {
-        // Crashed or offline: contributes nothing, costs nothing.
-        record_once(&outcome.failed_nodes, node_id);
-        leader_.RecordRoundResult(node_id, Leader::RoundResult::kFailed);
-        obs::Count("federation.nodes.unavailable");
-        record_node(node_id, obs::NodeFate::kUnavailable, 0.0, 0.0, 0, false);
-        continue;
-      }
-      if (results[j].has_value()) {
-        QENS_RETURN_NOT_OK(results[j]->status());
-      }
-
-      // Model-down transfer(s): lost transmissions are retried with
-      // backoff; all time is accounted against the round.
-      double down_seconds = 0.0;
-      for (size_t attempt = 0; attempt < fate.down_attempts; ++attempt) {
-        const bool lost =
-            attempt + 1 < fate.down_attempts || !fate.down_delivered;
-        down_seconds += environment_.network().Send(
-            leader_id, node_id, model_bytes,
-            lost ? "model-down-lost" : "model-down");
-        if (lost) {
-          down_seconds += ft.retry_backoff_s;
-          ++outcome.messages_lost;
-          obs::Count("federation.messages.lost");
-        }
-      }
-      outcome.send_retries += fate.down_attempts - 1;
-      outcome.sim_time_comm += down_seconds;
-      round_comm += down_seconds;
-      if (!fate.down_delivered) {
-        // The global model never reached the node: no training happened,
-        // but the leader still spent the failed transmissions + backoff on
-        // this participant, so that wait is on the round's critical path
-        // (capped at the deadline like any other wait).
-        record_once(&outcome.failed_nodes, node_id);
-        leader_.RecordRoundResult(node_id, Leader::RoundResult::kFailed);
-        round_parallel = std::max(
-            round_parallel, ft.round_deadline_s > 0.0
-                                ? std::min(down_seconds, ft.round_deadline_s)
-                                : down_seconds);
-        obs::Count("federation.nodes.send_failed");
-        record_node(node_id, obs::NodeFate::kSendFailed, 0.0, down_seconds, 0,
-                    false);
-        continue;
-      }
-
-      LocalTrainResult& result = results[j]->value();
-      if (injector && fate.corruption != sim::CorruptionKind::kNone) {
-        // Byzantine node: the model that goes on the wire is the corrupted
-        // one (upload bytes and all downstream screening see it).
-        ApplyModelCorruption(&result.model, fate.corruption,
-                             injector->plan().options().corruption_gamma,
-                             global);
-      }
-      if (round == 0) outcome.samples_used += result.samples_used;
-      const double train_seconds = result.sim_train_seconds * fate.slowdown;
-      outcome.sim_time_total += train_seconds;
-      round_train += train_seconds;
-      double node_seconds = down_seconds + train_seconds;
-
-      // Deadline gate 1: a straggler whose download + training already
-      // exceeds the deadline is cut before it even uploads; the leader
-      // stops waiting at the deadline.
-      if (injector && ft.round_deadline_s > 0.0 &&
-          node_seconds > ft.round_deadline_s) {
-        record_once(&outcome.deadline_missed_nodes, node_id);
-        leader_.RecordRoundResult(node_id,
-                                  Leader::RoundResult::kMissedDeadline);
-        round_parallel = std::max(round_parallel, ft.round_deadline_s);
-        obs::Count("federation.nodes.missed_deadline");
-        record_node(node_id, obs::NodeFate::kMissedDeadline, train_seconds,
-                    down_seconds, result.samples_used, fate.slowdown > 1.0);
-        continue;
-      }
-
-      // Model-up transfer(s), with the same retry/backoff policy.
-      const size_t up_bytes = ml::SerializedModelBytes(result.model);
-      bool up_delivered = true;
-      size_t up_attempts = 1;
-      if (injector) {
-        up_delivered = false;
-        up_attempts = 0;
-        for (size_t attempt = 0; attempt < ft.max_send_attempts; ++attempt) {
-          ++up_attempts;
-          if (!injector->LoseMessage(node_id, leader_id, fault_round,
-                                     attempt)) {
-            up_delivered = true;
-            break;
-          }
-        }
-      }
-      double up_seconds = 0.0;
-      for (size_t attempt = 0; attempt < up_attempts; ++attempt) {
-        const bool lost = attempt + 1 < up_attempts || !up_delivered;
-        up_seconds += environment_.network().Send(
-            node_id, leader_id, up_bytes, lost ? "model-up-lost" : "model-up");
-        if (lost) {
-          up_seconds += ft.retry_backoff_s;
-          ++outcome.messages_lost;
-          obs::Count("federation.messages.lost");
-        }
-      }
-      outcome.send_retries += up_attempts - 1;
-      outcome.sim_time_comm += up_seconds;
-      round_comm += up_seconds;
-      node_seconds += up_seconds;
-
-      if (!up_delivered) {
-        record_once(&outcome.failed_nodes, node_id);
-        leader_.RecordRoundResult(node_id, Leader::RoundResult::kFailed);
-        round_parallel = std::max(
-            round_parallel, ft.round_deadline_s > 0.0
-                                ? std::min(node_seconds, ft.round_deadline_s)
-                                : node_seconds);
-        obs::Count("federation.nodes.send_failed");
-        record_node(node_id, obs::NodeFate::kSendFailed, train_seconds,
-                    down_seconds + up_seconds, result.samples_used,
-                    fate.slowdown > 1.0);
-        continue;
-      }
-      // Deadline gate 2: the upload itself can push a participant past
-      // the deadline (e.g. retry backoff) — the model arrives too late.
-      if (injector && ft.round_deadline_s > 0.0 &&
-          node_seconds > ft.round_deadline_s) {
-        record_once(&outcome.deadline_missed_nodes, node_id);
-        leader_.RecordRoundResult(node_id,
-                                  Leader::RoundResult::kMissedDeadline);
-        round_parallel = std::max(round_parallel, ft.round_deadline_s);
-        obs::Count("federation.nodes.missed_deadline");
-        record_node(node_id, obs::NodeFate::kMissedDeadline, train_seconds,
-                    down_seconds + up_seconds, result.samples_used,
-                    fate.slowdown > 1.0);
-        continue;
-      }
-
-      if (injector) {
-        // Under the byzantine layer the completion credit waits until the
-        // validator has ruled on this update (a rejection books the round
-        // as kRejected instead).
-        if (!byz_on) {
-          leader_.RecordRoundResult(node_id, Leader::RoundResult::kCompleted);
-        }
-        // Under faults the round's critical path includes transfers,
-        // retries, and the straggler slowdown.
-        round_parallel = std::max(round_parallel, node_seconds);
-      } else {
-        round_parallel = std::max(round_parallel, train_seconds);
-      }
-      obs::Count("federation.nodes.completed");
-      record_node(node_id, obs::NodeFate::kCompleted, train_seconds,
-                  down_seconds + up_seconds, result.samples_used,
-                  fate.slowdown > 1.0);
-      final_alive[j] = true;
-      local_models.push_back(result.model);
-      eq7_weights.push_back(rank_weight);
-      fedavg_weights.push_back(
-          std::max(1.0, static_cast<double>(result.samples_used)));
-      survivor_jobs.push_back(j);
-    }
-    // Byzantine screening: every delivered update faces the validator
-    // before it can influence any aggregate. Rejected updates are dropped
-    // from the survivor set, booked against the node's reliability, and
-    // (optionally) start a quarantine.
-    if (byz_on && !local_models.empty()) {
-      const Matrix* holdout_x = nullptr;
-      const Matrix* holdout_y = nullptr;
-      if (validator_->wants_holdout()) {
-        holdout_x = &test->features();
-        holdout_y = &test->targets();
-      }
-      QENS_ASSIGN_OR_RETURN(
-          ValidationReport screening,
-          validator_->Validate(local_models, global, holdout_x, holdout_y));
-      if (screening.rejected() > 0) {
-        outcome.rejected_non_finite += screening.rejected_non_finite;
-        outcome.rejected_abs_norm += screening.rejected_abs_norm;
-        outcome.rejected_norm_outlier += screening.rejected_norm_outlier;
-        outcome.rejected_holdout += screening.rejected_holdout;
-        std::vector<ml::SequentialModel> kept_models;
-        std::vector<double> kept_eq7;
-        std::vector<double> kept_fedavg;
-        std::vector<size_t> kept_jobs;
-        for (size_t i = 0; i < local_models.size(); ++i) {
-          const size_t j = survivor_jobs[i];
-          const size_t node_id = jobs[j].node_id;
-          if (screening.verdicts[i].accepted) {
-            leader_.RecordRoundResult(node_id,
-                                      Leader::RoundResult::kCompleted);
-            kept_models.push_back(std::move(local_models[i]));
-            kept_eq7.push_back(eq7_weights[i]);
-            kept_fedavg.push_back(fedavg_weights[i]);
-            kept_jobs.push_back(j);
-            continue;
-          }
-          final_alive[j] = false;
-          record_once(&outcome.rejected_nodes, node_id);
-          ++outcome.rejected_updates;
-          leader_.RecordRoundResult(node_id, Leader::RoundResult::kRejected);
-          if (byz.quarantine_rounds > 0) {
-            quarantine_until_[node_id] =
-                byz_round + 1 + byz.quarantine_rounds;
-          }
-          obs::Count("federation.nodes.rejected");
-          if (obs_on) {
-            ++record.rejected;
-            for (obs::NodeRoundStat& stat : record.nodes) {
-              if (stat.node_id == node_id &&
-                  stat.fate == obs::NodeFate::kCompleted) {
-                stat.fate = obs::NodeFate::kRejected;
-                break;
-              }
-            }
-          }
-        }
-        local_models = std::move(kept_models);
-        eq7_weights = std::move(kept_eq7);
-        fedavg_weights = std::move(kept_fedavg);
-        survivor_jobs = std::move(kept_jobs);
-      } else {
-        // Every delivered update passed: book the deferred completions.
-        for (size_t i = 0; i < local_models.size(); ++i) {
-          leader_.RecordRoundResult(jobs[survivor_jobs[i]].node_id,
-                                    Leader::RoundResult::kCompleted);
-        }
-      }
-    }
-
-    // Rounds run in parallel across nodes but sequentially in time.
-    outcome.sim_time_parallel += round_parallel;
-    outcome.round_survivors.push_back(local_models.size());
-
-    if (obs_on) {
-      record.survivors = local_models.size();
-      record.quorum_met =
-          (!injector && !byz_on) ||
-          MeetsQuorum(local_models.size(), jobs.size(), ft.min_quorum_frac);
-      record.parallel_seconds = round_parallel;
-      record.total_train_seconds = round_train;
-      record.comm_seconds = round_comm;
-      obs::Observe("federation.round.parallel_seconds", round_parallel);
-      outcome.round_records.push_back(std::move(record));
-    }
-
-    if ((injector || byz_on) &&
-        !MeetsQuorum(local_models.size(), jobs.size(), ft.min_quorum_frac)) {
-      // Below quorum: discard the partial update; the previous global
-      // model carries into the next round (or becomes the final answer).
-      ++outcome.degraded_rounds;
-      obs::Count("federation.rounds.degraded");
-      local_models.clear();
-      eq7_weights.clear();
-      fedavg_weights.clear();
-      survivor_jobs.clear();
-      std::fill(final_alive.begin(), final_alive.end(), false);
-      continue;
-    }
-    if (local_models.empty()) {
-      if (!injector && !byz_on) break;
-      continue;  // A later round may still gather survivors.
-    }
-    if (round + 1 < rounds) {
-      // Merge the locals into the next round's global model: FedAvg on the
-      // paper path, the configured robust aggregator under the byzantine
-      // layer.
-      if (byz_on) {
-        QENS_ASSIGN_OR_RETURN(
-            global, MergeRobust(byz, local_models, fedavg_weights, global));
-      } else {
-        QENS_ASSIGN_OR_RETURN(global,
-                              FedAvgParameters(local_models, fedavg_weights));
-      }
-    }
-  }
-
-  if ((injector || byz_on) && local_models.empty()) {
-    // Graceful degradation: answer with the last committed global model
-    // rather than failing the query outright.
-    local_models.push_back(global.Clone());
-    eq7_weights.push_back(1.0);
-  }
-  if (local_models.empty()) {
-    outcome.skipped = true;
-    outcome.wall_seconds = watch.ElapsedSeconds();
-    return outcome;
-  }
-  outcome.selected_nodes = chosen;
-
-  if (injector && std::find(final_alive.begin(), final_alive.end(), true) !=
-                      final_alive.end()) {
-    // Survivor-renormalized Eq. 7 weights over the engaged jobs (exposed
-    // for diagnostics; the ensemble normalizes equivalently below).
-    std::vector<double> job_weights(jobs.size());
-    for (size_t j = 0; j < jobs.size(); ++j) {
-      job_weights[j] = jobs[j].rank_weight;
-    }
-    QENS_ASSIGN_OR_RETURN(outcome.survivor_weights,
-                          PartialWeights(job_weights, final_alive));
-  }
-
-  // Eq. 7 weights: rankings when ranked selection produced them; otherwise
-  // (Random/All/GT) weighted averaging degenerates to Eq. 6. A degenerate
-  // all-zero ranking vector also falls back to equal weights.
-  double weight_sum = 0.0;
-  for (double w : eq7_weights) weight_sum += w;
-  if (weight_sum <= 0.0) {
-    std::fill(eq7_weights.begin(), eq7_weights.end(), 1.0);
-  }
-
-  QENS_ASSIGN_OR_RETURN(
-      EnsembleModel ensemble,
-      EnsembleModel::Create(std::move(local_models), eq7_weights));
-
-  const Matrix& x_test = test->features();
-  const Matrix& y_test = test->targets();
-  QENS_ASSIGN_OR_RETURN(Matrix pred_avg,
-                        ensemble.Predict(x_test,
-                                         AggregationKind::kModelAveraging));
-  QENS_ASSIGN_OR_RETURN(
-      outcome.loss_model_avg,
-      ml::ComputeLoss(ml::LossKind::kMse, pred_avg, y_test));
-  QENS_ASSIGN_OR_RETURN(
-      Matrix pred_weighted,
-      ensemble.Predict(x_test, AggregationKind::kWeightedAveraging));
-  QENS_ASSIGN_OR_RETURN(
-      outcome.loss_weighted,
-      ml::ComputeLoss(ml::LossKind::kMse, pred_weighted, y_test));
-  QENS_ASSIGN_OR_RETURN(
-      Matrix pred_fedavg,
-      ensemble.Predict(x_test, AggregationKind::kFedAvgParameters));
-  QENS_ASSIGN_OR_RETURN(
-      outcome.loss_fedavg,
-      ml::ComputeLoss(ml::LossKind::kMse, pred_fedavg, y_test));
-
-  if (byz_on) {
-    // Robust final answer under the configured aggregator, against the
-    // last committed global model as the clipping reference.
-    RobustAggregationOptions robust;
-    robust.trim_beta = byz.trim_beta;
-    robust.clip_norm = byz.clip_norm;
-    robust.reference = &global;
-    QENS_ASSIGN_OR_RETURN(Matrix pred_robust,
-                          ensemble.Predict(x_test, byz.aggregator, robust));
-    QENS_ASSIGN_OR_RETURN(
-        outcome.loss_robust,
-        ml::ComputeLoss(ml::LossKind::kMse, pred_robust, y_test));
-    outcome.has_loss_robust = true;
-  }
-
-  // Report losses in raw target units, comparable to the paper's numbers.
-  outcome.loss_model_avg = DenormalizeMse(outcome.loss_model_avg);
-  outcome.loss_weighted = DenormalizeMse(outcome.loss_weighted);
-  outcome.loss_fedavg = DenormalizeMse(outcome.loss_fedavg);
-  if (outcome.has_loss_robust) {
-    outcome.loss_robust = DenormalizeMse(outcome.loss_robust);
-  }
-
-  if (!outcome.round_records.empty()) {
-    // The final record carries the evaluated answer quality (Eq. 7 loss).
-    outcome.round_records.back().has_loss = true;
-    outcome.round_records.back().loss = outcome.loss_weighted;
-  }
-
-  outcome.wall_seconds = watch.ElapsedSeconds();
-  return outcome;
+      QuerySession session,
+      QuerySession::Create(fleet, QuerySessionOptions{},
+                           &fleet->environment.network()));
+  return Federation(std::move(fleet), std::move(session));
 }
 
 }  // namespace qens::fl

@@ -2,213 +2,50 @@
 #define QENS_FL_FEDERATION_H_
 
 /// \file federation.h
-/// End-to-end per-query federated learning (Section IV-B), parameterized by
-/// the node-selection policy and the aggregation rule:
+/// The sequential facade over the session-based query-serving engine: one
+/// fleet, one default QuerySession, the historical API.
 ///
-///   1. the leader ranks profiles and selects N'(q) (query-driven), or the
-///      baseline policy picks nodes (random / all / game-theory);
-///   2. the leader broadcasts the initial global model w;
-///   3. every selected node trains locally — on its supporting clusters
-///      only (data selectivity) or on its full data (baseline);
-///   4. local models return to the leader, which aggregates them (Eq. 6/7
-///      or FedAvg) and answers the query;
+/// One RunQuery call executes the paper's end-to-end per-query protocol
+/// (Section IV-B), layered as (see docs/ARCHITECTURE.md):
+///
+///   1. the QuerySession maps the query into internal units, pools the
+///      ground-truth test rows, and picks N'(q) — the leader's ranked cut
+///      (query-driven) or a baseline policy (random / all / game-theory /
+///      data-centric / stochastic);
+///   2. the session builds one TrainJob per contributing node (supporting
+///      clusters only under data selectivity) and initializes the global
+///      model w;
+///   3. the RoundEngine drives the round(s): broadcast w over the
+///      Transport, train locally on every node (optionally in parallel),
+///      collect the returning models, screen/quarantine them when the
+///      Byzantine layer is on, gate them on deadlines/quorum when the
+///      fault layer is on, and FedAvg-merge between rounds;
+///   4. the session aggregates the surviving local models (Eq. 6/7 or
+///      FedAvg) and answers the query;
 ///   5. the outcome is evaluated on held-out test rows that fall inside the
 ///      query region, pooled across ALL nodes (ground truth independent of
 ///      the selection decision).
 ///
 /// Every message is accounted through the simulated network, and training
 /// time through the cost model, so Fig. 7/8/9-style records fall out of
-/// each RunQuery call.
+/// each RunQuery call. The Federation's session sends through the
+/// environment-owned network and is seeded with FederationOptions::seed,
+/// which keeps this facade byte-identical to the historical monolithic
+/// implementation; QueryServer runs many isolated sessions concurrently
+/// over the same fleet.
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "qens/common/status.h"
-#include "qens/common/thread_pool.h"
 #include "qens/data/dataset.h"
-#include "qens/data/normalizer.h"
-#include "qens/fl/aggregation.h"
-#include "qens/fl/leader.h"
-#include "qens/fl/participant.h"
-#include "qens/fl/update_validator.h"
-#include "qens/ml/metrics.h"
-#include "qens/obs/round_record.h"
-#include "qens/query/range_query.h"
-#include "qens/selection/data_centric.h"
-#include "qens/selection/game_theory.h"
-#include "qens/selection/stochastic.h"
-#include "qens/sim/edge_environment.h"
-#include "qens/sim/fault_injection.h"
+#include "qens/fl/query_session.h"
 
 namespace qens::fl {
 
-/// Fault-tolerance policy for the federated loop. Strictly opt-in: with
-/// `enabled == false` the loop reproduces the fault-free protocol
-/// bit-for-bit (no injector is constructed and no extra RNG draws occur).
-struct FaultToleranceOptions {
-  bool enabled = false;
-  /// The seeded fault schedule applied to the simulated environment.
-  sim::FaultPlanOptions faults;
-  /// Per-round deadline in simulated seconds covering one participant's
-  /// model-down transfer + (slowed) local training + model-up transfer.
-  /// Participants that exceed it are excluded from the round. 0 disables.
-  double round_deadline_s = 0.0;
-  /// Total transmissions attempted per message (1 = no retries).
-  size_t max_send_attempts = 3;
-  /// Extra simulated wait added after each lost transmission before the
-  /// retry goes out.
-  double retry_backoff_s = 0.005;
-  /// Minimum fraction of the engaged participants that must return a model
-  /// for the round to commit; below it the round degrades gracefully to
-  /// the previous global model.
-  double min_quorum_frac = 0.5;
-};
-
-/// Byzantine-robustness policy (opt-in). Strictly additive: with
-/// `enabled == false` no validator is built, no quarantine state is kept,
-/// and the round flow is byte-identical to the pre-robustness protocol.
-struct ByzantineOptions {
-  bool enabled = false;
-  /// Leader-side screening of returned updates (finite / norm / holdout).
-  UpdateValidatorOptions validator;
-  /// Rounds a node sits out after a rejected update (0 = reject only,
-  /// never quarantine). Repeat offenders are re-quarantined on return.
-  size_t quarantine_rounds = 0;
-  /// Aggregator for the inter-round merge and the robust final answer.
-  /// Must be parameter-space: kFedAvgParameters, kCoordinateMedian,
-  /// kTrimmedMean, or kNormClippedFedAvg.
-  AggregationKind aggregator = AggregationKind::kFedAvgParameters;
-  /// kTrimmedMean trim fraction, in [0, 0.5).
-  double trim_beta = 0.1;
-  /// kNormClippedFedAvg L2 bound on (w_i - w_round), > 0.
-  double clip_norm = 1.0;
-};
-
-/// Federation-wide configuration.
-struct FederationOptions {
-  sim::EnvironmentOptions environment;
-  selection::RankingOptions ranking;
-  selection::QueryDrivenOptions query_driven;
-  selection::GameTheoryOptions game_theory;
-  selection::DataCentricOptions data_centric;
-  selection::StochasticOptions stochastic;
-  ml::HyperParams hyper = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
-  /// Local epochs per supporting cluster (the paper's E).
-  size_t epochs_per_cluster = 20;
-  /// Number of nodes the Random baseline draws (paper's l). Clamped to N.
-  size_t random_l = 3;
-  /// Fraction of each node's data held out for leader-side evaluation.
-  double test_fraction = 0.2;
-  /// Leader-coordinated min-max normalization of features and targets
-  /// before training. The scaling constants are exactly the per-dimension
-  /// global min/max, which the leader already learns from the shipped
-  /// cluster boundaries (plus one target-range pair per node) — so this
-  /// costs O(1) extra communication and no raw-data exposure. Required in
-  /// practice: Table III's learning rates (0.03 for LR) diverge on raw
-  /// PM2.5-scale targets. Reported losses are mapped back to raw target
-  /// units so they remain comparable with the paper's numbers.
-  bool normalize = true;
-  /// Volatile clients ([12]): probability that a selected node is offline
-  /// for a given query and silently contributes no model. 0 disables.
-  double dropout_rate = 0.0;
-  /// Train the selected participants concurrently on a shared thread pool,
-  /// as they would run on real hardware. Outcomes are bit-identical to the
-  /// sequential path (per-node seeds; results consumed in submission order
-  /// regardless of completion order). The pool is created lazily on the
-  /// first parallel round and reused across rounds and queries.
-  bool parallel_local_training = false;
-  /// Worker threads for parallel local training. 0 = one per hardware
-  /// thread. Jobs beyond the bound queue on the pool (oversubscription is
-  /// safe and still deterministic). Ignored when parallel_local_training
-  /// is false.
-  size_t max_parallel_nodes = 0;
-  /// Fault injection + deadline/retry/quorum policy (opt-in).
-  FaultToleranceOptions fault_tolerance;
-  /// Update validation, quarantine, and robust aggregation (opt-in).
-  ByzantineOptions byzantine;
-  uint64_t seed = 17;
-};
-
-/// Everything recorded about one query execution.
-struct QueryOutcome {
-  query::RangeQuery query;
-  selection::PolicyKind policy = selection::PolicyKind::kQueryDriven;
-  bool data_selectivity = false;  ///< Trained on supporting clusters only.
-
-  std::vector<size_t> selected_nodes;
-  std::vector<double> selected_rankings;  ///< Empty for non-ranked policies.
-
-  /// Losses of the aggregated answer on the pooled query-region test rows.
-  double loss_model_avg = 0.0;   ///< Eq. 6.
-  double loss_weighted = 0.0;    ///< Eq. 7 (falls back to Eq. 6 when no
-                                 ///< rankings are available).
-  double loss_fedavg = 0.0;      ///< Parameter-averaging extension.
-  size_t test_rows = 0;
-
-  /// Data accounting (Fig. 9).
-  size_t samples_used = 0;        ///< Rows actually trained on.
-  size_t samples_selected = 0;    ///< Total rows held by selected nodes.
-  size_t samples_all_nodes = 0;   ///< Total rows across the federation.
-  double DataFractionOfSelected() const;
-  double DataFractionOfAll() const;
-
-  /// Time accounting (Fig. 8).
-  double sim_time_total = 0.0;     ///< Sum of per-node training seconds.
-  double sim_time_parallel = 0.0;  ///< Max per-node training seconds.
-  double sim_time_comm = 0.0;      ///< Model up/down transfer seconds.
-  double wall_seconds = 0.0;       ///< Measured C++ wall time.
-  double gt_preround_seconds = 0.0;  ///< GT's mandatory probing cost.
-
-  /// True when the query produced no usable run (no test rows in region or
-  /// no trainable node); such outcomes carry no loss numbers.
-  bool skipped = false;
-
-  /// Federated rounds executed (1 for the paper's single-round protocol).
-  size_t rounds = 1;
-  /// Selected nodes that were offline this query (volatile clients).
-  std::vector<size_t> dropped_nodes;
-
-  /// \name Fault-tolerance accounting
-  /// Populated when FederationOptions::fault_tolerance is enabled
-  /// (round_survivors is recorded unconditionally).
-  /// @{
-  std::vector<size_t> round_survivors;  ///< Models received, per round.
-  std::vector<size_t> failed_nodes;     ///< Crashed / offline / all sends lost.
-  std::vector<size_t> deadline_missed_nodes;  ///< Excluded as stragglers.
-  /// Final-round Eq. 7 weights renormalized over the survivors (one entry
-  /// per engaged job; non-survivors hold 0; survivors sum to 1).
-  std::vector<double> survivor_weights;
-  size_t degraded_rounds = 0;  ///< Below-quorum rounds (kept previous model).
-  size_t messages_lost = 0;    ///< Transmissions lost in flight.
-  size_t send_retries = 0;     ///< Extra transmissions beyond the first.
-  /// @}
-
-  /// \name Byzantine accounting
-  /// Populated when FederationOptions::byzantine is enabled.
-  /// @{
-  std::vector<size_t> rejected_nodes;     ///< Had >= 1 update rejected.
-  std::vector<size_t> quarantined_nodes;  ///< Skipped >= 1 round quarantined.
-  size_t rejected_updates = 0;    ///< Updates dropped by the validator.
-  size_t quarantined_skips = 0;   ///< (node, round) pairs skipped.
-  size_t rejected_non_finite = 0;
-  size_t rejected_abs_norm = 0;
-  size_t rejected_norm_outlier = 0;
-  size_t rejected_holdout = 0;
-  /// Final answer under ByzantineOptions::aggregator (raw target units).
-  bool has_loss_robust = false;
-  double loss_robust = 0.0;
-  /// @}
-
-  /// Per-round telemetry (schema in docs/OBSERVABILITY.md). Populated only
-  /// while obs metrics are enabled; always empty otherwise, so the default
-  /// path allocates nothing.
-  std::vector<obs::RoundRecord> round_records;
-};
-
-/// Owns the environment (train shards), the held-out test shards, and the
-/// leader; executes queries under any policy.
+/// Owns the fleet (environment + test shards) and a default session;
+/// executes queries sequentially under any policy.
 class Federation {
  public:
   /// Split every node's dataset into train/test, build the environment on
@@ -216,27 +53,42 @@ class Federation {
   static Result<Federation> Create(std::vector<data::Dataset> node_data,
                                    const FederationOptions& options);
 
-  const sim::EdgeEnvironment& environment() const { return environment_; }
-  sim::EdgeEnvironment& environment() { return environment_; }
-  const Leader& leader() const { return leader_; }
-  const FederationOptions& options() const { return options_; }
+  const sim::EdgeEnvironment& environment() const {
+    return fleet_->environment;
+  }
+  sim::EdgeEnvironment& environment() { return fleet_->environment; }
+  const Leader& leader() const { return session_.leader(); }
+  const FederationOptions& options() const { return fleet_->options; }
+
+  /// The immutable deployment, shareable with concurrent QuerySessions /
+  /// a QueryServer. Outlives this Federation as long as someone holds it.
+  std::shared_ptr<const Fleet> fleet() const { return fleet_; }
 
   /// Hull of all nodes' feature spaces in RAW units — queries are issued
   /// against this space regardless of internal normalization.
-  const query::HyperRectangle& RawDataSpace() const { return raw_space_; }
+  const query::HyperRectangle& RawDataSpace() const {
+    return fleet_->raw_space;
+  }
 
   /// Map a raw-unit query into the federation's internal (possibly
   /// normalized) feature space. Identity when normalization is off.
-  Result<query::RangeQuery> InternalQuery(const query::RangeQuery& query) const;
+  Result<query::RangeQuery> InternalQuery(
+      const query::RangeQuery& query) const {
+    return fleet_->InternalQuery(query);
+  }
 
   /// Convert an internal-space MSE back to raw target units (identity when
   /// normalization is off or the target range is degenerate).
-  double DenormalizeMse(double mse) const;
+  double DenormalizeMse(double mse) const {
+    return fleet_->DenormalizeMse(mse);
+  }
 
   /// Pooled test rows (across all nodes) inside the query region. The query
   /// is in raw units; the returned dataset is in internal units.
   Result<data::Dataset> QueryRegionTestData(
-      const query::RangeQuery& query) const;
+      const query::RangeQuery& query) const {
+    return fleet_->QueryRegionTestData(query);
+  }
 
   /// Execute one query under `policy`. `data_selectivity` controls whether
   /// selected nodes train only on supporting clusters (the paper's
@@ -245,7 +97,9 @@ class Federation {
   /// explicitly requested AND the node has supporting clusters.
   Result<QueryOutcome> RunQuery(const query::RangeQuery& query,
                                 selection::PolicyKind policy,
-                                bool data_selectivity);
+                                bool data_selectivity) {
+    return session_.RunQuery(query, policy, data_selectivity);
+  }
 
   /// Convenience: the paper's mechanism (query-driven + selectivity).
   Result<QueryOutcome> RunQueryDriven(const query::RangeQuery& query) {
@@ -262,61 +116,32 @@ class Federation {
   Result<QueryOutcome> RunQueryMultiRound(const query::RangeQuery& query,
                                           selection::PolicyKind policy,
                                           bool data_selectivity,
-                                          size_t rounds);
+                                          size_t rounds) {
+    return session_.RunQueryMultiRound(query, policy, data_selectivity,
+                                       rounds);
+  }
 
   /// Per-node participation counts accumulated by the stochastic policy.
-  const std::vector<size_t>& StochasticParticipation();
+  const std::vector<size_t>& StochasticParticipation() {
+    return session_.StochasticParticipation();
+  }
 
   /// The active fault injector, or nullptr when fault tolerance is off.
   const sim::FaultInjector* fault_injector() const {
-    return fault_injector_.has_value() ? &*fault_injector_ : nullptr;
+    return session_.fault_injector();
   }
 
   /// Global round counter the fault schedule is evaluated against (advances
   /// once per executed round when fault tolerance is on, so crashes persist
   /// across queries).
-  size_t fault_round() const { return fault_round_; }
+  size_t fault_round() const { return session_.fault_round(); }
 
  private:
-  Federation(sim::EdgeEnvironment environment,
-             std::vector<data::Dataset> test_shards, Leader leader,
-             FederationOptions options, query::HyperRectangle raw_space,
-             std::optional<data::Normalizer> feature_norm,
-             std::optional<data::Normalizer> target_norm)
-      : environment_(std::move(environment)),
-        test_shards_(std::move(test_shards)),
-        leader_(std::move(leader)),
-        options_(std::move(options)),
-        raw_space_(std::move(raw_space)),
-        feature_norm_(std::move(feature_norm)),
-        target_norm_(std::move(target_norm)) {}
+  Federation(std::shared_ptr<Fleet> fleet, QuerySession session)
+      : fleet_(std::move(fleet)), session_(std::move(session)) {}
 
-  /// Per-policy node choice; fills rankings for ranked policies. The query
-  /// must already be in internal units.
-  Result<std::vector<size_t>> ChooseNodes(const query::RangeQuery& query,
-                                          selection::PolicyKind policy,
-                                          QueryOutcome* outcome);
-
-  sim::EdgeEnvironment environment_;
-  std::vector<data::Dataset> test_shards_;  ///< By node id, internal units.
-  Leader leader_;
-  FederationOptions options_;
-  query::HyperRectangle raw_space_;  ///< Raw-unit global data space.
-  std::optional<data::Normalizer> feature_norm_;
-  std::optional<data::Normalizer> target_norm_;
-  uint64_t random_stream_ = 0;   ///< Advances per Random-policy query.
-  uint64_t dropout_stream_ = 0;  ///< Advances per query with dropout on.
-  std::optional<selection::StochasticSelector> stochastic_;  ///< Lazy.
-  std::optional<sim::FaultInjector> fault_injector_;  ///< When enabled.
-  size_t fault_round_ = 0;  ///< Rounds executed under fault injection.
-  std::optional<UpdateValidator> validator_;  ///< When byzantine.enabled.
-  /// Shared worker pool for parallel local training; created lazily on the
-  /// first parallel round, then reused across rounds and queries.
-  std::unique_ptr<common::ThreadPool> pool_;
-  /// Per node: first byzantine round index the node may rejoin (quarantine
-  /// expiry). Sized num_nodes when byzantine.enabled, else empty.
-  std::vector<size_t> quarantine_until_;
-  size_t byz_round_ = 0;  ///< Rounds executed under the byzantine layer.
+  std::shared_ptr<Fleet> fleet_;
+  QuerySession session_;  ///< Default stream over the environment network.
 };
 
 }  // namespace qens::fl

@@ -44,13 +44,17 @@ Result<QueryPlan> PlanQuery(
       std::vector<selection::NodeRank> selected,
       selection::SelectQueryDriven(ranks, options.selection));
 
-  // Size of the model that would be broadcast (weights are irrelevant to
-  // the byte count; build a representative instance).
+  // Size of the model that would be broadcast. The serialized size depends
+  // on the weight digits, so with a session seed we rebuild the exact model
+  // the session's init stream would produce; otherwise a representative
+  // fixed-seed instance.
   size_t model_bytes = 0;
   if (!profiles.empty() && !profiles[0].clusters.empty()) {
     const size_t input_features = profiles[0].clusters[0].centroid.size();
     if (input_features > 0) {
-      Rng rng(1);
+      Rng rng(options.session_seed.has_value()
+                  ? *options.session_seed * 1000003 + query.id
+                  : 1);
       QENS_ASSIGN_OR_RETURN(ml::SequentialModel model,
                             ml::BuildModel(options.hyper, input_features,
                                            &rng));

@@ -15,6 +15,7 @@
 /// queries that would touch too little (or too much) data.
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,13 @@ struct PlannerOptions {
   /// Model the round would train (prices the model transfer bytes).
   ml::HyperParams hyper = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
   sim::CostModelOptions cost;
+  /// Session seed the query would run under. When set, the plan prices the
+  /// EXACT model the session would broadcast (init stream
+  /// `seed * 1000003 + query.id`), so est_comm_bytes matches the executed
+  /// transfer byte-for-byte — the serialized size depends on the weight
+  /// digits. Unset = a representative fixed-seed instance (close, not
+  /// exact).
+  std::optional<uint64_t> session_seed;
 };
 
 /// One selected node's predicted contribution.

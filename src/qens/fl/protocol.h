@@ -1,0 +1,207 @@
+#ifndef QENS_FL_PROTOCOL_H_
+#define QENS_FL_PROTOCOL_H_
+
+/// \file protocol.h
+/// Shared types of the per-query federated protocol: the configuration
+/// every layer reads (FederationOptions and its opt-in fault-tolerance /
+/// Byzantine sub-policies), the per-node training assignment entering a
+/// round (TrainJob), and everything recorded about one query execution
+/// (QueryOutcome). Splitting these out of the Federation facade lets the
+/// Transport / RoundEngine / QuerySession / QueryServer layers share them
+/// without include cycles — see docs/ARCHITECTURE.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "qens/fl/aggregation.h"
+#include "qens/fl/update_validator.h"
+#include "qens/ml/model_factory.h"
+#include "qens/obs/round_record.h"
+#include "qens/query/range_query.h"
+#include "qens/selection/data_centric.h"
+#include "qens/selection/game_theory.h"
+#include "qens/selection/policies.h"
+#include "qens/selection/ranking.h"
+#include "qens/selection/stochastic.h"
+#include "qens/sim/edge_environment.h"
+#include "qens/sim/fault_injection.h"
+
+namespace qens::fl {
+
+/// Fault-tolerance policy for the federated loop. Strictly opt-in: with
+/// `enabled == false` the loop reproduces the fault-free protocol
+/// bit-for-bit (no injector is constructed and no extra RNG draws occur).
+struct FaultToleranceOptions {
+  bool enabled = false;
+  /// The seeded fault schedule applied to the simulated environment.
+  sim::FaultPlanOptions faults;
+  /// Per-round deadline in simulated seconds covering one participant's
+  /// model-down transfer + (slowed) local training + model-up transfer.
+  /// Participants that exceed it are excluded from the round. 0 disables.
+  double round_deadline_s = 0.0;
+  /// Total transmissions attempted per message (1 = no retries).
+  size_t max_send_attempts = 3;
+  /// Extra simulated wait added after each lost transmission before the
+  /// retry goes out.
+  double retry_backoff_s = 0.005;
+  /// Minimum fraction of the engaged participants that must return a model
+  /// for the round to commit; below it the round degrades gracefully to
+  /// the previous global model.
+  double min_quorum_frac = 0.5;
+};
+
+/// Byzantine-robustness policy (opt-in). Strictly additive: with
+/// `enabled == false` no validator is built, no quarantine state is kept,
+/// and the round flow is byte-identical to the pre-robustness protocol.
+struct ByzantineOptions {
+  bool enabled = false;
+  /// Leader-side screening of returned updates (finite / norm / holdout).
+  UpdateValidatorOptions validator;
+  /// Rounds a node sits out after a rejected update (0 = reject only,
+  /// never quarantine). Repeat offenders are re-quarantined on return.
+  size_t quarantine_rounds = 0;
+  /// Aggregator for the inter-round merge and the robust final answer.
+  /// Must be parameter-space: kFedAvgParameters, kCoordinateMedian,
+  /// kTrimmedMean, or kNormClippedFedAvg.
+  AggregationKind aggregator = AggregationKind::kFedAvgParameters;
+  /// kTrimmedMean trim fraction, in [0, 0.5).
+  double trim_beta = 0.1;
+  /// kNormClippedFedAvg L2 bound on (w_i - w_round), > 0.
+  double clip_norm = 1.0;
+};
+
+/// Federation-wide configuration.
+struct FederationOptions {
+  sim::EnvironmentOptions environment;
+  selection::RankingOptions ranking;
+  selection::QueryDrivenOptions query_driven;
+  selection::GameTheoryOptions game_theory;
+  selection::DataCentricOptions data_centric;
+  selection::StochasticOptions stochastic;
+  ml::HyperParams hyper = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
+  /// Local epochs per supporting cluster (the paper's E).
+  size_t epochs_per_cluster = 20;
+  /// Number of nodes the Random baseline draws (paper's l). Clamped to N.
+  size_t random_l = 3;
+  /// Fraction of each node's data held out for leader-side evaluation.
+  double test_fraction = 0.2;
+  /// Leader-coordinated min-max normalization of features and targets
+  /// before training. The scaling constants are exactly the per-dimension
+  /// global min/max, which the leader already learns from the shipped
+  /// cluster boundaries (plus one target-range pair per node) — so this
+  /// costs O(1) extra communication and no raw-data exposure. Required in
+  /// practice: Table III's learning rates (0.03 for LR) diverge on raw
+  /// PM2.5-scale targets. Reported losses are mapped back to raw target
+  /// units so they remain comparable with the paper's numbers.
+  bool normalize = true;
+  /// Volatile clients ([12]): probability that a selected node is offline
+  /// for a given query and silently contributes no model. 0 disables.
+  double dropout_rate = 0.0;
+  /// Train the selected participants concurrently on a shared thread pool,
+  /// as they would run on real hardware. Outcomes are bit-identical to the
+  /// sequential path (per-node seeds; results consumed in submission order
+  /// regardless of completion order). The pool is created lazily on the
+  /// first parallel round and reused across rounds and queries.
+  bool parallel_local_training = false;
+  /// Worker threads for parallel local training. 0 = one per hardware
+  /// thread. Jobs beyond the bound queue on the pool (oversubscription is
+  /// safe and still deterministic). Ignored when parallel_local_training
+  /// is false.
+  size_t max_parallel_nodes = 0;
+  /// Fault injection + deadline/retry/quorum policy (opt-in).
+  FaultToleranceOptions fault_tolerance;
+  /// Update validation, quarantine, and robust aggregation (opt-in).
+  ByzantineOptions byzantine;
+  uint64_t seed = 17;
+};
+
+/// One per-node training assignment entering a round: the node, its Eq. 7
+/// weight, and (under data selectivity) the supporting-cluster set it
+/// trains on. Built once per query by the session driver; consumed every
+/// round by the RoundEngine.
+struct TrainJob {
+  size_t node_id = 0;
+  double rank_weight = 1.0;  ///< Eq. 7 weight (1.0 for unranked policies).
+  bool selective = false;    ///< Train on supporting clusters only.
+  std::vector<size_t> supporting;  ///< Supporting cluster ids when selective.
+};
+
+/// Everything recorded about one query execution.
+struct QueryOutcome {
+  query::RangeQuery query;
+  selection::PolicyKind policy = selection::PolicyKind::kQueryDriven;
+  bool data_selectivity = false;  ///< Trained on supporting clusters only.
+
+  std::vector<size_t> selected_nodes;
+  std::vector<double> selected_rankings;  ///< Empty for non-ranked policies.
+
+  /// Losses of the aggregated answer on the pooled query-region test rows.
+  double loss_model_avg = 0.0;   ///< Eq. 6.
+  double loss_weighted = 0.0;    ///< Eq. 7 (falls back to Eq. 6 when no
+                                 ///< rankings are available).
+  double loss_fedavg = 0.0;      ///< Parameter-averaging extension.
+  size_t test_rows = 0;
+
+  /// Data accounting (Fig. 9).
+  size_t samples_used = 0;        ///< Rows actually trained on.
+  size_t samples_selected = 0;    ///< Total rows held by selected nodes.
+  size_t samples_all_nodes = 0;   ///< Total rows across the federation.
+  double DataFractionOfSelected() const;
+  double DataFractionOfAll() const;
+
+  /// Time accounting (Fig. 8).
+  double sim_time_total = 0.0;     ///< Sum of per-node training seconds.
+  double sim_time_parallel = 0.0;  ///< Max per-node training seconds.
+  double sim_time_comm = 0.0;      ///< Model up/down transfer seconds.
+  double wall_seconds = 0.0;       ///< Measured C++ wall time.
+  double gt_preround_seconds = 0.0;  ///< GT's mandatory probing cost.
+
+  /// True when the query produced no usable run (no test rows in region or
+  /// no trainable node); such outcomes carry no loss numbers.
+  bool skipped = false;
+
+  /// Federated rounds executed (1 for the paper's single-round protocol).
+  size_t rounds = 1;
+  /// Selected nodes that were offline this query (volatile clients).
+  std::vector<size_t> dropped_nodes;
+
+  /// \name Fault-tolerance accounting
+  /// Populated when FederationOptions::fault_tolerance is enabled
+  /// (round_survivors is recorded unconditionally).
+  /// @{
+  std::vector<size_t> round_survivors;  ///< Models received, per round.
+  std::vector<size_t> failed_nodes;     ///< Crashed / offline / all sends lost.
+  std::vector<size_t> deadline_missed_nodes;  ///< Excluded as stragglers.
+  /// Final-round Eq. 7 weights renormalized over the survivors (one entry
+  /// per engaged job; non-survivors hold 0; survivors sum to 1).
+  std::vector<double> survivor_weights;
+  size_t degraded_rounds = 0;  ///< Below-quorum rounds (kept previous model).
+  size_t messages_lost = 0;    ///< Transmissions lost in flight.
+  size_t send_retries = 0;     ///< Extra transmissions beyond the first.
+  /// @}
+
+  /// \name Byzantine accounting
+  /// Populated when FederationOptions::byzantine is enabled.
+  /// @{
+  std::vector<size_t> rejected_nodes;     ///< Had >= 1 update rejected.
+  std::vector<size_t> quarantined_nodes;  ///< Skipped >= 1 round quarantined.
+  size_t rejected_updates = 0;    ///< Updates dropped by the validator.
+  size_t quarantined_skips = 0;   ///< (node, round) pairs skipped.
+  size_t rejected_non_finite = 0;
+  size_t rejected_abs_norm = 0;
+  size_t rejected_norm_outlier = 0;
+  size_t rejected_holdout = 0;
+  /// Final answer under ByzantineOptions::aggregator (raw target units).
+  bool has_loss_robust = false;
+  double loss_robust = 0.0;
+  /// @}
+
+  /// Per-round telemetry (schema in docs/OBSERVABILITY.md). Populated only
+  /// while obs metrics are enabled; always empty otherwise, so the default
+  /// path allocates nothing.
+  std::vector<obs::RoundRecord> round_records;
+};
+
+}  // namespace qens::fl
+
+#endif  // QENS_FL_PROTOCOL_H_

@@ -1,0 +1,92 @@
+#include "qens/fl/query_server.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "qens/common/rng.h"
+#include "qens/common/stopwatch.h"
+#include "qens/common/thread_pool.h"
+
+namespace qens::fl {
+
+Result<QueryServer> QueryServer::Create(std::shared_ptr<const Fleet> fleet,
+                                        const ServingOptions& options) {
+  if (fleet == nullptr) {
+    return Status::InvalidArgument("query server: null fleet");
+  }
+  return QueryServer(std::move(fleet), options);
+}
+
+uint64_t QueryServer::SessionSeed(uint64_t base_seed, uint64_t session_id) {
+  // Independent stream per session id; Fork keeps streams decorrelated
+  // without advancing the base generator, so the derivation depends only
+  // on (base_seed, session_id) — never on scheduling.
+  return Rng(base_seed ^ 0x5e5510ull).Fork(session_id).Next();
+}
+
+Result<SessionResult> QueryServer::RunSession(const SessionSpec& spec,
+                                              uint64_t session_id) const {
+  QuerySessionOptions session_options;
+  session_options.session_id = session_id;
+  session_options.seed =
+      SessionSeed(options_.seed.value_or(fleet_->options.seed), session_id);
+  session_options.network.record_messages = options_.record_session_messages;
+  QENS_ASSIGN_OR_RETURN(QuerySession session,
+                        QuerySession::Create(fleet_, session_options));
+
+  Stopwatch watch;
+  SessionResult result;
+  result.session_id = session_id;
+  result.outcomes.reserve(spec.queries.size());
+  for (const query::RangeQuery& query : spec.queries) {
+    QENS_ASSIGN_OR_RETURN(
+        QueryOutcome outcome,
+        session.RunQueryMultiRound(query, spec.policy, spec.data_selectivity,
+                                   spec.rounds));
+    if (outcome.skipped) {
+      ++result.queries_skipped;
+    } else {
+      ++result.queries_run;
+    }
+    result.outcomes.push_back(std::move(outcome));
+  }
+  result.comm_messages = session.transport().total_messages();
+  result.comm_bytes = session.transport().total_bytes();
+  result.comm_seconds = session.transport().total_transfer_seconds();
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<std::vector<SessionResult>> QueryServer::Serve(
+    const std::vector<SessionSpec>& specs) {
+  std::vector<Result<SessionResult>> raw;
+  raw.reserve(specs.size());
+  if (options_.num_workers <= 1 || specs.size() <= 1) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      raw.push_back(RunSession(specs[i], /*session_id=*/i + 1));
+    }
+  } else {
+    // One task per session; futures are collected in submission order so
+    // the result vector (and any error propagation) is independent of
+    // completion order.
+    common::ThreadPool pool(std::min(options_.num_workers, specs.size()));
+    std::vector<std::future<Result<SessionResult>>> futures;
+    futures.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      futures.push_back(pool.Submit(
+          [this, &spec = specs[i], i] { return RunSession(spec, i + 1); }));
+    }
+    for (auto& future : futures) raw.push_back(future.get());
+  }
+
+  std::vector<SessionResult> results;
+  results.reserve(raw.size());
+  for (Result<SessionResult>& r : raw) {
+    QENS_RETURN_NOT_OK(r.status());
+    results.push_back(std::move(r.value()));
+  }
+  return results;
+}
+
+}  // namespace qens::fl

@@ -1,0 +1,99 @@
+#ifndef QENS_FL_QUERY_SERVER_H_
+#define QENS_FL_QUERY_SERVER_H_
+
+/// \file query_server.h
+/// Concurrent query serving: a scheduler that runs multiple QuerySessions
+/// over one shared (immutable) fleet, one worker thread per in-flight
+/// session.
+///
+/// Determinism contract: serving is bit-identical at every worker count,
+/// including fully sequential execution. Each session gets a fixed seed
+/// derived from (base seed, session id) — independent of scheduling — plus
+/// a private network for traffic accounting and its own leader/fault/
+/// Byzantine/RNG state, so sessions share nothing mutable. Results are
+/// collected in submission order. Only SessionResult::wall_seconds varies
+/// across runs.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/fl/query_session.h"
+
+namespace qens::fl {
+
+/// One session's workload: a query stream executed under a single policy.
+struct SessionSpec {
+  std::vector<query::RangeQuery> queries;
+  selection::PolicyKind policy = selection::PolicyKind::kQueryDriven;
+  bool data_selectivity = true;
+  size_t rounds = 1;
+};
+
+/// Server configuration.
+struct ServingOptions {
+  /// Concurrent session workers. 0 or 1 = run sessions sequentially
+  /// inline (no pool); outcomes are identical either way.
+  size_t num_workers = 0;
+  /// Base seed the per-session seeds derive from. Unset = the fleet's
+  /// FederationOptions::seed.
+  std::optional<uint64_t> seed;
+  /// Keep per-message logs in the session-private networks (the counters
+  /// are always kept). Off by default: a serving workload only needs the
+  /// totals, and the logs grow per transfer.
+  bool record_session_messages = false;
+};
+
+/// Everything recorded about one served session.
+struct SessionResult {
+  uint64_t session_id = 0;  ///< 1-based; matches RoundRecord::session.
+  std::vector<QueryOutcome> outcomes;  ///< One per query, in spec order.
+  size_t queries_run = 0;
+  size_t queries_skipped = 0;
+  /// Session-private network totals (model/profile traffic of this stream).
+  size_t comm_messages = 0;
+  size_t comm_bytes = 0;
+  double comm_seconds = 0.0;
+  /// Measured wall time of this session's stream. The only field that is
+  /// NOT deterministic across runs / worker counts.
+  double wall_seconds = 0.0;
+};
+
+/// Schedules QuerySessions over a shared fleet.
+class QueryServer {
+ public:
+  static Result<QueryServer> Create(std::shared_ptr<const Fleet> fleet,
+                                    const ServingOptions& options = {});
+
+  /// The fixed per-session seed derivation: independent SplitMix64 streams
+  /// per session id, never dependent on scheduling order.
+  static uint64_t SessionSeed(uint64_t base_seed, uint64_t session_id);
+
+  /// Run one session per spec (session ids 1..specs.size(), in order) and
+  /// return their results in spec order. With num_workers > 1 the sessions
+  /// run concurrently; outcomes are bit-identical to sequential execution.
+  /// Fails on the first session error (remaining in-flight sessions still
+  /// complete before the error returns).
+  Result<std::vector<SessionResult>> Serve(
+      const std::vector<SessionSpec>& specs);
+
+  const ServingOptions& options() const { return options_; }
+  const Fleet& fleet() const { return *fleet_; }
+
+ private:
+  QueryServer(std::shared_ptr<const Fleet> fleet, ServingOptions options)
+      : fleet_(std::move(fleet)), options_(options) {}
+
+  /// Build and run the session for `specs[index]` start to finish.
+  Result<SessionResult> RunSession(const SessionSpec& spec,
+                                   uint64_t session_id) const;
+
+  std::shared_ptr<const Fleet> fleet_;
+  ServingOptions options_;
+};
+
+}  // namespace qens::fl
+
+#endif  // QENS_FL_QUERY_SERVER_H_

@@ -1,0 +1,179 @@
+#ifndef QENS_FL_QUERY_SESSION_H_
+#define QENS_FL_QUERY_SESSION_H_
+
+/// \file query_session.h
+/// The per-stream query driver of the serving engine.
+///
+/// A `Fleet` is the immutable part of a deployment: the environment (nodes,
+/// train shards, cost model), the held-out test shards, the configuration,
+/// and the normalization constants. It is built once and then shared
+/// read-only by any number of sessions.
+///
+/// A `QuerySession` is one independent query stream over that fleet. It
+/// owns every piece of mutable state the protocol touches — the leader's
+/// reliability bookkeeping, the RNG streams (random policy, dropout,
+/// stochastic selection), the fault injector, the Byzantine quarantine
+/// ledger, the training pool, and the Transport its traffic is accounted
+/// through — so two sessions never share mutable state and can run
+/// concurrently while each stays bit-identical to running alone.
+///
+/// Seed contract: all per-query randomness derives from the session seed
+/// exactly as the historical Federation derived it from
+/// `FederationOptions::seed` (model init `seed * 1000003 + query.id`,
+/// local training `seed + query.id`, Random policy
+/// `Rng(seed ^ 0x5eed).Fork(stream)`, dropout `Rng(seed ^ 0xd20f)`,
+/// stochastic `seed ^ 0xfa12`, GT `seed + query.id`). A session seeded
+/// with `FederationOptions::seed` therefore reproduces the sequential
+/// Federation byte-for-byte.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/common/thread_pool.h"
+#include "qens/data/dataset.h"
+#include "qens/data/normalizer.h"
+#include "qens/fl/leader.h"
+#include "qens/fl/protocol.h"
+#include "qens/fl/transport.h"
+
+namespace qens::fl {
+
+/// The immutable, shareable part of a deployment. Built once by
+/// Fleet::Create; sessions hold it through shared_ptr<const Fleet> and
+/// never mutate it (the environment-owned network is mutated only by the
+/// sequential Federation facade, which owns the fleet non-const).
+struct Fleet {
+  sim::EdgeEnvironment environment;
+  std::vector<data::Dataset> test_shards;  ///< By node id, internal units.
+  FederationOptions options;
+  query::HyperRectangle raw_space;  ///< Raw-unit global data space.
+  std::optional<data::Normalizer> feature_norm;
+  std::optional<data::Normalizer> target_norm;
+
+  /// Split every node's dataset into train/test, normalize when configured,
+  /// and build the environment on the train shards. Fails on empty input or
+  /// a test_fraction outside (0, 1).
+  static Result<std::shared_ptr<Fleet>> Create(
+      std::vector<data::Dataset> node_data, const FederationOptions& options);
+
+  /// Map a raw-unit query into the fleet's internal (possibly normalized)
+  /// feature space. Identity when normalization is off.
+  Result<query::RangeQuery> InternalQuery(const query::RangeQuery& query) const;
+
+  /// Convert an internal-space MSE back to raw target units (identity when
+  /// normalization is off or the target range is degenerate).
+  double DenormalizeMse(double mse) const;
+
+  /// Pooled test rows (across all nodes) inside the query region. The query
+  /// is in raw units; the returned dataset is in internal units.
+  Result<data::Dataset> QueryRegionTestData(
+      const query::RangeQuery& query) const;
+};
+
+/// Session construction knobs.
+struct QuerySessionOptions {
+  /// Tags this session's RoundRecords; 0 is the sequential Federation API.
+  uint64_t session_id = 0;
+  /// Seed all the session's RNG streams derive from. Unset = the fleet's
+  /// FederationOptions::seed (the historical sequential behavior).
+  std::optional<uint64_t> seed;
+  /// Accounting options for the session-private network (ignored when a
+  /// shared network is supplied).
+  sim::NetworkOptions network;
+};
+
+/// One independent query stream over a shared fleet.
+class QuerySession {
+ public:
+  /// Build a session over `fleet`. With `shared_network == nullptr` the
+  /// session accounts its traffic in a private sim::Network (isolated
+  /// counters, zeroed at creation); otherwise it sends through the supplied
+  /// network, which must outlive the session (the Federation facade passes
+  /// the environment-owned network so historical counters keep working).
+  /// Validates the fault-tolerance and Byzantine options.
+  static Result<QuerySession> Create(std::shared_ptr<const Fleet> fleet,
+                                     const QuerySessionOptions& options,
+                                     sim::Network* shared_network = nullptr);
+
+  /// Execute one query under `policy`. See Federation::RunQuery.
+  Result<QueryOutcome> RunQuery(const query::RangeQuery& query,
+                                selection::PolicyKind policy,
+                                bool data_selectivity);
+
+  /// Multi-round extension; rounds == 1 is the paper's protocol. See
+  /// Federation::RunQueryMultiRound.
+  Result<QueryOutcome> RunQueryMultiRound(const query::RangeQuery& query,
+                                          selection::PolicyKind policy,
+                                          bool data_selectivity,
+                                          size_t rounds);
+
+  /// Per-node participation counts accumulated by the stochastic policy.
+  const std::vector<size_t>& StochasticParticipation();
+
+  uint64_t session_id() const { return session_id_; }
+  uint64_t seed() const { return seed_; }
+  const Fleet& fleet() const { return *fleet_; }
+  const Leader& leader() const { return leader_; }
+
+  /// The channel this session's traffic goes through.
+  const Transport& transport() const { return *transport_; }
+
+  /// The session-private network, or nullptr when sending through a shared
+  /// one.
+  const sim::Network* own_network() const { return own_network_.get(); }
+
+  /// The active fault injector, or nullptr when fault tolerance is off.
+  const sim::FaultInjector* fault_injector() const {
+    return fault_injector_.has_value() ? &*fault_injector_ : nullptr;
+  }
+
+  /// Global round counter the fault schedule is evaluated against (advances
+  /// once per executed round when fault tolerance is on, so crashes persist
+  /// across the session's queries).
+  size_t fault_round() const { return fault_round_; }
+
+ private:
+  QuerySession(std::shared_ptr<const Fleet> fleet, uint64_t session_id,
+               uint64_t seed, Leader leader,
+               std::unique_ptr<sim::Network> own_network,
+               sim::Network* network)
+      : fleet_(std::move(fleet)),
+        session_id_(session_id),
+        seed_(seed),
+        leader_(std::move(leader)),
+        own_network_(std::move(own_network)),
+        transport_(std::make_unique<InProcessTransport>(network)) {}
+
+  /// Per-policy node choice; fills rankings for ranked policies. The query
+  /// must already be in internal units.
+  Result<std::vector<size_t>> ChooseNodes(const query::RangeQuery& query,
+                                          selection::PolicyKind policy,
+                                          QueryOutcome* outcome);
+
+  std::shared_ptr<const Fleet> fleet_;
+  uint64_t session_id_ = 0;
+  uint64_t seed_ = 0;
+  Leader leader_;  ///< Session-local ranking + reliability state.
+  std::unique_ptr<sim::Network> own_network_;  ///< Null when shared.
+  std::unique_ptr<InProcessTransport> transport_;
+  uint64_t random_stream_ = 0;   ///< Advances per Random-policy query.
+  uint64_t dropout_stream_ = 0;  ///< Advances per query with dropout on.
+  std::optional<selection::StochasticSelector> stochastic_;  ///< Lazy.
+  std::optional<sim::FaultInjector> fault_injector_;  ///< When enabled.
+  size_t fault_round_ = 0;  ///< Rounds executed under fault injection.
+  std::optional<UpdateValidator> validator_;  ///< When byzantine.enabled.
+  /// Shared worker pool for parallel local training; created lazily on the
+  /// first parallel round, then reused across rounds and queries.
+  std::unique_ptr<common::ThreadPool> pool_;
+  /// Per node: first byzantine round index the node may rejoin (quarantine
+  /// expiry). Sized num_nodes when byzantine.enabled, else empty.
+  std::vector<size_t> quarantine_until_;
+  size_t byz_round_ = 0;  ///< Rounds executed under the byzantine layer.
+};
+
+}  // namespace qens::fl
+
+#endif  // QENS_FL_QUERY_SESSION_H_

@@ -1,0 +1,8 @@
+#include "qens/fl/transport.h"
+
+namespace qens::fl {
+
+// Out-of-line to anchor the vtable in one translation unit.
+Transport::~Transport() = default;
+
+}  // namespace qens::fl

@@ -1,0 +1,77 @@
+#ifndef QENS_FL_TRANSPORT_H_
+#define QENS_FL_TRANSPORT_H_
+
+/// \file transport.h
+/// The communication seam of the federated protocol. Every leader <->
+/// participant exchange executed by the RoundEngine goes through one
+/// Transport, so the protocol logic is independent of how bytes actually
+/// move (and of where they are accounted).
+///
+/// `InProcessTransport` is the simulation backend: it forwards to a
+/// `sim::Network`, which prices each transfer through the platform cost
+/// model and keeps the byte/tag counters the benches and tests read. A
+/// session-private Network gives each QuerySession isolated accounting; the
+/// Federation's sequential API wraps the environment-owned Network so its
+/// historical counters keep working unchanged.
+
+#include <cstddef>
+#include <string>
+
+#include "qens/sim/network.h"
+
+namespace qens::fl {
+
+/// Abstract transfer channel between fleet members. Implementations must
+/// account every transmission (including ones the fault layer later counts
+/// as lost — the bytes still went out) and return the simulated transfer
+/// seconds charged to the sender.
+class Transport {
+ public:
+  virtual ~Transport();
+
+  /// Transmit `bytes` from node `from` to node `to`; returns the simulated
+  /// transfer seconds. `tag` labels the traffic class ("model-down",
+  /// "model-up", "model-down-lost", ...).
+  virtual double Send(size_t from, size_t to, size_t bytes,
+                      std::string tag) = 0;
+
+  /// \name Accounting
+  /// @{
+  virtual size_t total_messages() const = 0;
+  virtual size_t total_bytes() const = 0;
+  virtual double total_transfer_seconds() const = 0;
+  virtual size_t BytesWithTag(const std::string& tag) const = 0;
+  /// @}
+};
+
+/// Simulation backend: forwards to a (non-owned) sim::Network.
+class InProcessTransport final : public Transport {
+ public:
+  /// `network` must outlive the transport.
+  explicit InProcessTransport(sim::Network* network) : network_(network) {}
+
+  double Send(size_t from, size_t to, size_t bytes,
+              std::string tag) override {
+    return network_->Send(from, to, bytes, std::move(tag));
+  }
+
+  size_t total_messages() const override {
+    return network_->total_messages();
+  }
+  size_t total_bytes() const override { return network_->total_bytes(); }
+  double total_transfer_seconds() const override {
+    return network_->total_transfer_seconds();
+  }
+  size_t BytesWithTag(const std::string& tag) const override {
+    return network_->BytesWithTag(tag);
+  }
+
+  const sim::Network& network() const { return *network_; }
+
+ private:
+  sim::Network* network_;
+};
+
+}  // namespace qens::fl
+
+#endif  // QENS_FL_TRANSPORT_H_

@@ -77,6 +77,11 @@ Status WriteTextFile(const std::string& content, const std::string& path) {
 
 std::string RoundRecordToJson(const RoundRecord& record) {
   JsonValue root = JsonValue::Object();
+  // Emitted only for tagged (QueryServer) sessions so sequential JSONL
+  // stays byte-compatible with pre-serving consumers.
+  if (record.session > 0) {
+    root.Set("session", JsonValue::Number(static_cast<double>(record.session)));
+  }
   root.Set("query_id", JsonValue::Number(static_cast<double>(record.query_id)));
   root.Set("round", JsonValue::Number(static_cast<double>(record.round)));
   root.Set("policy", JsonValue::String(record.policy));
@@ -128,6 +133,12 @@ Result<RoundRecord> ParseRoundRecordJson(const std::string& line) {
     return Status::InvalidArgument("round record: not a JSON object");
   }
   RoundRecord record;
+  if (const JsonValue* session = root.Find("session")) {
+    if (!session->is_number()) {
+      return Status::InvalidArgument("round record: session is not a number");
+    }
+    record.session = static_cast<uint64_t>(session->AsNumber());
+  }
   QENS_ASSIGN_OR_RETURN(double query_id, root.GetNumber("query_id"));
   record.query_id = static_cast<uint64_t>(query_id);
   QENS_ASSIGN_OR_RETURN(double round, root.GetNumber("round"));
@@ -191,7 +202,7 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsJsonl(
 namespace {
 
 constexpr char kCsvHeader[] =
-    "query_id,round,policy,aggregation,engaged,survivors,rejected,"
+    "session,query_id,round,policy,aggregation,engaged,survivors,rejected,"
     "quarantined,quorum_met,parallel_seconds,total_train_seconds,"
     "comm_seconds,has_loss,loss,nodes";
 
@@ -236,7 +247,8 @@ std::string RoundRecordsToCsv(const std::vector<RoundRecord>& records) {
   std::string out = kCsvHeader;
   out.push_back('\n');
   for (const RoundRecord& r : records) {
-    out += StrFormat("%llu,%zu,%s,%s,%zu,%zu,%zu,%zu,%d,%s,%s,%s,%d,%s,%s\n",
+    out += StrFormat("%llu,%llu,%zu,%s,%s,%zu,%zu,%zu,%zu,%d,%s,%s,%s,%d,%s,%s\n",
+                     static_cast<unsigned long long>(r.session),
                      static_cast<unsigned long long>(r.query_id), r.round,
                      r.policy.c_str(), r.aggregation.c_str(), r.engaged,
                      r.survivors, r.rejected, r.quarantined,
@@ -270,29 +282,30 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text) {
       continue;
     }
     const std::vector<std::string> cells = Split(line, ',');
-    if (cells.size() != 15) {
+    if (cells.size() != 16) {
       return Status::InvalidArgument(
-          StrFormat("round csv: expected 15 cells, got %zu", cells.size()));
+          StrFormat("round csv: expected 16 cells, got %zu", cells.size()));
     }
     RoundRecord r;
-    r.query_id = std::strtoull(cells[0].c_str(), nullptr, 10);
-    r.round = static_cast<size_t>(std::strtoull(cells[1].c_str(), nullptr, 10));
-    r.policy = cells[2];
-    r.aggregation = cells[3];
-    r.engaged = static_cast<size_t>(std::strtoull(cells[4].c_str(), nullptr, 10));
+    r.session = std::strtoull(cells[0].c_str(), nullptr, 10);
+    r.query_id = std::strtoull(cells[1].c_str(), nullptr, 10);
+    r.round = static_cast<size_t>(std::strtoull(cells[2].c_str(), nullptr, 10));
+    r.policy = cells[3];
+    r.aggregation = cells[4];
+    r.engaged = static_cast<size_t>(std::strtoull(cells[5].c_str(), nullptr, 10));
     r.survivors =
-        static_cast<size_t>(std::strtoull(cells[5].c_str(), nullptr, 10));
-    r.rejected =
         static_cast<size_t>(std::strtoull(cells[6].c_str(), nullptr, 10));
-    r.quarantined =
+    r.rejected =
         static_cast<size_t>(std::strtoull(cells[7].c_str(), nullptr, 10));
-    r.quorum_met = cells[8] == "1";
-    r.parallel_seconds = std::strtod(cells[9].c_str(), nullptr);
-    r.total_train_seconds = std::strtod(cells[10].c_str(), nullptr);
-    r.comm_seconds = std::strtod(cells[11].c_str(), nullptr);
-    r.has_loss = cells[12] == "1";
-    r.loss = std::strtod(cells[13].c_str(), nullptr);
-    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[14]));
+    r.quarantined =
+        static_cast<size_t>(std::strtoull(cells[8].c_str(), nullptr, 10));
+    r.quorum_met = cells[9] == "1";
+    r.parallel_seconds = std::strtod(cells[10].c_str(), nullptr);
+    r.total_train_seconds = std::strtod(cells[11].c_str(), nullptr);
+    r.comm_seconds = std::strtod(cells[12].c_str(), nullptr);
+    r.has_loss = cells[13] == "1";
+    r.loss = std::strtod(cells[14].c_str(), nullptr);
+    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[15]));
     records.push_back(std::move(r));
   }
   return records;

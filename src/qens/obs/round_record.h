@@ -58,6 +58,9 @@ struct NodeRoundStat {
 
 /// One federation round.
 struct RoundRecord {
+  /// Owning QuerySession (QueryServer sessions are 1-based; 0 = the
+  /// sequential Federation API, omitted from JSON for byte-compatibility).
+  uint64_t session = 0;
   uint64_t query_id = 0;
   size_t round = 0;         ///< 0-based within the query.
   std::string policy;       ///< Selection policy name ("query_driven", ...).

@@ -3,7 +3,11 @@
 namespace qens::sim {
 
 double Network::Send(size_t from, size_t to, size_t bytes, std::string tag) {
-  messages_.push_back(Message{from, to, bytes, std::move(tag)});
+  bytes_by_tag_[tag] += bytes;
+  if (options_.record_messages) {
+    messages_.push_back(Message{from, to, bytes, std::move(tag)});
+  }
+  ++total_messages_;
   total_bytes_ += bytes;
   const double seconds = cost_model_.TransferSeconds(bytes);
   total_seconds_ += seconds;
@@ -11,15 +15,14 @@ double Network::Send(size_t from, size_t to, size_t bytes, std::string tag) {
 }
 
 size_t Network::BytesWithTag(const std::string& tag) const {
-  size_t bytes = 0;
-  for (const auto& m : messages_) {
-    if (m.tag == tag) bytes += m.bytes;
-  }
-  return bytes;
+  const auto it = bytes_by_tag_.find(tag);
+  return it == bytes_by_tag_.end() ? 0 : it->second;
 }
 
 void Network::Reset() {
   messages_.clear();
+  bytes_by_tag_.clear();
+  total_messages_ = 0;
   total_bytes_ = 0;
   total_seconds_ = 0.0;
 }

@@ -6,9 +6,16 @@
 /// participant exchange is recorded so experiments can report communication
 /// volume and simulated transfer time (the paper's O(1)-communication claim
 /// for the selection protocol is checked against these counters).
+///
+/// Aggregate counters (total messages/bytes/seconds and per-tag bytes) are
+/// always maintained in O(1) per Send. The per-message log behind
+/// `messages()` is optional: high-throughput serving workloads can turn it
+/// off via NetworkOptions::record_messages to keep memory bounded while the
+/// counters keep working.
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,30 +31,55 @@ struct Message {
   std::string tag;  ///< e.g. "profile", "model-down", "model-up".
 };
 
+/// Network accounting knobs.
+struct NetworkOptions {
+  /// Keep the full per-message log served by `messages()`. Default on
+  /// (the historical behavior). With it off, `messages()` stays empty but
+  /// every counter — `total_messages`, `total_bytes`,
+  /// `total_transfer_seconds`, `BytesWithTag` — is still exact, so
+  /// long-running query-serving workloads don't grow an unbounded log.
+  bool record_messages = true;
+};
+
 /// Records traffic and accumulates simulated transfer time.
 class Network {
  public:
-  explicit Network(CostModel cost_model) : cost_model_(cost_model) {}
+  explicit Network(CostModel cost_model,
+                   NetworkOptions options = NetworkOptions())
+      : cost_model_(cost_model), options_(options) {}
 
   /// Record a message and return its simulated transfer seconds.
   double Send(size_t from, size_t to, size_t bytes, std::string tag);
 
-  size_t total_messages() const { return messages_.size(); }
+  size_t total_messages() const { return total_messages_; }
   size_t total_bytes() const { return total_bytes_; }
   double total_transfer_seconds() const { return total_seconds_; }
+
+  /// The per-message log. Empty when NetworkOptions::record_messages is
+  /// off — use the counters instead.
   const std::vector<Message>& messages() const { return messages_; }
 
-  /// Sum of bytes for messages with the given tag.
+  /// Sum of bytes for messages with the given tag. O(log #tags): served
+  /// from a running per-tag counter, not a scan of the message log.
   size_t BytesWithTag(const std::string& tag) const;
 
-  /// Forget all recorded traffic.
+  /// Running byte totals keyed by tag (deterministic iteration order).
+  const std::map<std::string, size_t>& bytes_by_tag() const {
+    return bytes_by_tag_;
+  }
+
+  /// Forget all recorded traffic (log and counters).
   void Reset();
 
   const CostModel& cost_model() const { return cost_model_; }
+  const NetworkOptions& options() const { return options_; }
 
  private:
   CostModel cost_model_;
+  NetworkOptions options_;
   std::vector<Message> messages_;
+  std::map<std::string, size_t> bytes_by_tag_;
+  size_t total_messages_ = 0;
   size_t total_bytes_ = 0;
   double total_seconds_ = 0.0;
 };

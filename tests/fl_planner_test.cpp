@@ -158,5 +158,77 @@ TEST(PlannerTest, PlanAgreesWithFederationExecution) {
   EXPECT_EQ(plan->total_supporting_samples, outcome->samples_used);
 }
 
+TEST(PlannerTest, PlanBytesMatchTransportAccounting) {
+  // The plan's est_comm_bytes must equal the model traffic a fault-free
+  // RunQuery actually pushes through the Transport seam. A session-private
+  // network isolates the deltas (no profile traffic mixed in).
+  auto make_node = [&](double offset, uint64_t seed) {
+    Rng r(seed);
+    Matrix x(200, 1), y(200, 1);
+    for (size_t i = 0; i < 200; ++i) {
+      x(i, 0) = offset + r.Uniform(0, 10);
+      y(i, 0) = 2 * x(i, 0) + r.Gaussian(0, 0.1);
+    }
+    return data::Dataset::Create(x, y).value();
+  };
+  FederationOptions fed_options;
+  fed_options.environment.kmeans.k = 3;
+  fed_options.ranking.epsilon = 0.1;
+  fed_options.query_driven.top_l = 2;
+  fed_options.hyper = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
+  fed_options.hyper.epochs = 10;
+  fed_options.epochs_per_cluster = 5;
+  fed_options.seed = 9;
+  auto fleet = Fleet::Create(
+      {make_node(0, 1), make_node(0, 2), make_node(50, 3)}, fed_options);
+  ASSERT_TRUE(fleet.ok());
+  auto session = QuerySession::Create(*fleet, QuerySessionOptions{});
+  ASSERT_TRUE(session.ok());
+
+  query::RangeQuery q = MakeQuery(0, 10);
+  auto internal = (*fleet)->InternalQuery(q);
+  ASSERT_TRUE(internal.ok());
+  PlannerOptions plan_options;
+  plan_options.ranking = fed_options.ranking;
+  plan_options.selection = fed_options.query_driven;
+  plan_options.epochs_per_cluster = fed_options.epochs_per_cluster;
+  plan_options.hyper = fed_options.hyper;
+  plan_options.session_seed = session->seed();  // Price the exact model.
+  auto profiles = (*fleet)->environment.Profiles();
+  ASSERT_TRUE(profiles.ok());
+  auto plan = PlanQuery(*profiles, {}, *internal, plan_options);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->executable);
+
+  auto outcome = session->RunQuery(
+      q, selection::PolicyKind::kQueryDriven, /*data_selectivity=*/true);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->skipped);
+
+  // Same node set, same training volume...
+  std::vector<size_t> planned;
+  for (const auto& n : plan->nodes) planned.push_back(n.node_id);
+  std::sort(planned.begin(), planned.end());
+  std::vector<size_t> executed = outcome->selected_nodes;
+  std::sort(executed.begin(), executed.end());
+  EXPECT_EQ(planned, executed);
+  EXPECT_EQ(plan->total_supporting_samples, outcome->samples_used);
+
+  // ...and exactly the predicted broadcast bytes on the wire. With
+  // session_seed set the plan prices the exact initial model, so the
+  // model-down traffic (the predictable half of est_comm_bytes: the text
+  // serialization of a TRAINED model — the up-link — depends on the weight
+  // digits after training) must match byte-for-byte.
+  const Transport& transport = session->transport();
+  const size_t down_bytes = transport.BytesWithTag("model-down");
+  const size_t up_bytes = transport.BytesWithTag("model-up");
+  EXPECT_EQ(down_bytes, plan->est_comm_bytes / 2);
+  EXPECT_GT(up_bytes, 0u);
+  // One down + one up per selected node, nothing else on the private
+  // network (profile traffic was accounted at fleet build, elsewhere).
+  EXPECT_EQ(transport.total_messages(), 2 * plan->nodes.size());
+  EXPECT_EQ(transport.total_bytes(), down_bytes + up_bytes);
+}
+
 }  // namespace
 }  // namespace qens::fl

@@ -1,0 +1,221 @@
+// Pins the QueryServer serving contract: sessions scheduled over a shared
+// fleet are bit-identical at EVERY worker count (0 = sequential inline,
+// 1, 2, 4, 8 = pooled), because each session's seed derives only from
+// (base seed, session id) and every piece of mutable state is private to
+// the session. Also pins the session-id tagging of RoundRecords and that
+// serving leaves a concurrently used sequential Federation untouched.
+
+#include <gtest/gtest.h>
+
+#include "qens/common/rng.h"
+#include "qens/fl/federation.h"
+#include "qens/fl/query_server.h"
+#include "qens/obs/metrics.h"
+
+namespace qens::fl {
+namespace {
+
+data::Dataset MakeNodeData(double offset, double slope, uint64_t seed,
+                           size_t n = 220) {
+  Rng rng(seed);
+  Matrix x(n, 1), y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = offset + rng.Uniform(0, 10);
+    y(i, 0) = slope * x(i, 0) + rng.Gaussian(0, 0.2);
+  }
+  return data::Dataset::Create(x, y).value();
+}
+
+FederationOptions FastOptions() {
+  FederationOptions options;
+  options.environment.kmeans.k = 3;
+  options.ranking.epsilon = 0.1;
+  options.query_driven.top_l = 4;
+  options.hyper = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
+  options.hyper.epochs = 15;
+  options.epochs_per_cluster = 6;
+  options.random_l = 2;
+  options.seed = 77;
+  return options;
+}
+
+std::vector<data::Dataset> MakeNodes() {
+  return {MakeNodeData(0, 2.0, 1), MakeNodeData(0, 2.0, 2),
+          MakeNodeData(0, 2.0, 3), MakeNodeData(0, 2.0, 4)};
+}
+
+query::RangeQuery QueryOver(double lo, double hi, uint64_t id) {
+  query::RangeQuery q;
+  q.id = id;
+  q.region = query::HyperRectangle::FromFlatBounds({lo, hi}).value();
+  return q;
+}
+
+/// Four sessions with distinct query streams (widths and ids differ so a
+/// cross-session state leak cannot cancel out).
+std::vector<SessionSpec> MakeSpecs() {
+  std::vector<SessionSpec> specs;
+  for (size_t s = 0; s < 4; ++s) {
+    SessionSpec spec;
+    for (uint64_t q = 0; q < 2; ++q) {
+      spec.queries.push_back(
+          QueryOver(0, 6.0 + static_cast<double>(s), 10 * (s + 1) + q));
+    }
+    spec.rounds = 1 + s % 2;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void ExpectIdenticalOutcomes(const QueryOutcome& a, const QueryOutcome& b) {
+  EXPECT_EQ(a.skipped, b.skipped);
+  EXPECT_EQ(a.selected_nodes, b.selected_nodes);
+  EXPECT_EQ(a.round_survivors, b.round_survivors);
+  EXPECT_EQ(a.samples_used, b.samples_used);
+  if (a.skipped || b.skipped) return;
+  EXPECT_DOUBLE_EQ(a.loss_model_avg, b.loss_model_avg);
+  EXPECT_DOUBLE_EQ(a.loss_weighted, b.loss_weighted);
+  EXPECT_DOUBLE_EQ(a.loss_fedavg, b.loss_fedavg);
+  EXPECT_DOUBLE_EQ(a.sim_time_total, b.sim_time_total);
+  EXPECT_DOUBLE_EQ(a.sim_time_parallel, b.sim_time_parallel);
+  EXPECT_DOUBLE_EQ(a.sim_time_comm, b.sim_time_comm);
+}
+
+/// Everything except wall_seconds (the one field allowed to vary).
+void ExpectIdenticalSessionResults(const SessionResult& a,
+                                   const SessionResult& b) {
+  EXPECT_EQ(a.session_id, b.session_id);
+  EXPECT_EQ(a.queries_run, b.queries_run);
+  EXPECT_EQ(a.queries_skipped, b.queries_skipped);
+  EXPECT_EQ(a.comm_messages, b.comm_messages);
+  EXPECT_EQ(a.comm_bytes, b.comm_bytes);
+  EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    ExpectIdenticalOutcomes(a.outcomes[i], b.outcomes[i]);
+  }
+}
+
+TEST(QueryServerTest, SessionSeedIndependentOfSchedulingInputs) {
+  // Derivation is pure: same (base, id) -> same seed, distinct ids ->
+  // distinct streams.
+  EXPECT_EQ(QueryServer::SessionSeed(77, 1), QueryServer::SessionSeed(77, 1));
+  EXPECT_NE(QueryServer::SessionSeed(77, 1), QueryServer::SessionSeed(77, 2));
+  EXPECT_NE(QueryServer::SessionSeed(77, 1), QueryServer::SessionSeed(78, 1));
+}
+
+TEST(QueryServerTest, BitIdenticalAtEveryWorkerCount) {
+  auto fleet = Fleet::Create(MakeNodes(), FastOptions());
+  ASSERT_TRUE(fleet.ok());
+  const std::vector<SessionSpec> specs = MakeSpecs();
+
+  auto sequential = QueryServer::Create(*fleet, ServingOptions{});
+  ASSERT_TRUE(sequential.ok());
+  auto expected = sequential->Serve(specs);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_EQ(expected->size(), specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    EXPECT_EQ((*expected)[s].session_id, s + 1);
+    EXPECT_EQ((*expected)[s].outcomes.size(), specs[s].queries.size());
+    EXPECT_GT((*expected)[s].queries_run, 0u);
+    EXPECT_GT((*expected)[s].comm_bytes, 0u);
+  }
+
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ServingOptions options;
+    options.num_workers = workers;
+    auto server = QueryServer::Create(*fleet, options);
+    ASSERT_TRUE(server.ok());
+    auto results = server->Serve(specs);
+    ASSERT_TRUE(results.ok()) << "workers=" << workers;
+    ASSERT_EQ(results->size(), expected->size());
+    for (size_t s = 0; s < results->size(); ++s) {
+      ExpectIdenticalSessionResults((*expected)[s], (*results)[s]);
+    }
+  }
+}
+
+TEST(QueryServerTest, RoundRecordsCarrySessionIds) {
+  obs::MetricsRegistry::Enable();
+  auto fleet = Fleet::Create(MakeNodes(), FastOptions());
+  ASSERT_TRUE(fleet.ok());
+  ServingOptions options;
+  options.num_workers = 2;
+  auto server = QueryServer::Create(*fleet, options);
+  ASSERT_TRUE(server.ok());
+  auto results = server->Serve(MakeSpecs());
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  size_t records_seen = 0;
+  for (const SessionResult& session : *results) {
+    for (const QueryOutcome& outcome : session.outcomes) {
+      for (const obs::RoundRecord& record : outcome.round_records) {
+        EXPECT_EQ(record.session, session.session_id);
+        ++records_seen;
+      }
+    }
+  }
+  EXPECT_GT(records_seen, 0u);
+  obs::MetricsRegistry::Disable();
+}
+
+TEST(QueryServerTest, SessionsAreIsolatedFromEachOther) {
+  // Session 2 alone must reproduce session 2 served alongside others:
+  // nothing another session does may leak into its stream.
+  auto fleet = Fleet::Create(MakeNodes(), FastOptions());
+  ASSERT_TRUE(fleet.ok());
+  const std::vector<SessionSpec> specs = MakeSpecs();
+
+  ServingOptions options;
+  options.num_workers = 4;
+  auto server = QueryServer::Create(*fleet, options);
+  ASSERT_TRUE(server.ok());
+  auto all = server->Serve(specs);
+  ASSERT_TRUE(all.ok());
+
+  // Replay session 2's stream on a standalone QuerySession with the same
+  // derived seed and id.
+  QuerySessionOptions session_options;
+  session_options.session_id = 2;
+  session_options.seed =
+      QueryServer::SessionSeed((*fleet)->options.seed, 2);
+  auto session = QuerySession::Create(*fleet, session_options);
+  ASSERT_TRUE(session.ok());
+  const SessionSpec& spec = specs[1];
+  for (size_t q = 0; q < spec.queries.size(); ++q) {
+    auto outcome = session->RunQueryMultiRound(
+        spec.queries[q], spec.policy, spec.data_selectivity, spec.rounds);
+    ASSERT_TRUE(outcome.ok());
+    ExpectIdenticalOutcomes((*all)[1].outcomes[q], *outcome);
+  }
+}
+
+TEST(QueryServerTest, ServingLeavesSequentialFederationUntouched) {
+  // Twin federations, one interleaved with a serve over its fleet: the
+  // interleaved one must stay in lockstep with the undisturbed twin, and
+  // its environment-owned network must not record any serving traffic
+  // (server sessions account in private networks).
+  auto fed = Federation::Create(MakeNodes(), FastOptions());
+  auto twin = Federation::Create(MakeNodes(), FastOptions());
+  ASSERT_TRUE(fed.ok());
+  ASSERT_TRUE(twin.ok());
+  auto check_lockstep = [&] {
+    auto a = fed->RunQueryDriven(QueryOver(0, 10, 3));
+    auto b = twin->RunQueryDriven(QueryOver(0, 10, 3));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectIdenticalOutcomes(*a, *b);
+  };
+  check_lockstep();
+  const size_t network_bytes = fed->environment().network().total_bytes();
+
+  auto server = QueryServer::Create(fed->fleet(), ServingOptions{});
+  ASSERT_TRUE(server.ok());
+  auto results = server->Serve(MakeSpecs());
+  ASSERT_TRUE(results.ok());
+
+  EXPECT_EQ(fed->environment().network().total_bytes(), network_bytes);
+  check_lockstep();
+}
+
+}  // namespace
+}  // namespace qens::fl

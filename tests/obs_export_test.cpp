@@ -30,6 +30,7 @@ std::vector<RoundRecord> SampleRecords() {
   };
 
   RoundRecord second;
+  second.session = 3;  // Tagged: served by QueryServer session 3.
   second.query_id = 42;
   second.round = 1;
   second.policy = "query_driven";
@@ -54,6 +55,7 @@ std::vector<RoundRecord> SampleRecords() {
 }
 
 void ExpectRecordsEqual(const RoundRecord& a, const RoundRecord& b) {
+  EXPECT_EQ(a.session, b.session);
   EXPECT_EQ(a.query_id, b.query_id);
   EXPECT_EQ(a.round, b.round);
   EXPECT_EQ(a.policy, b.policy);
@@ -102,6 +104,16 @@ TEST(RoundRecordJsonlTest, RoundTripsExactly) {
   for (size_t i = 0; i < records.size(); ++i) {
     ExpectRecordsEqual(records[i], (*parsed)[i]);
   }
+}
+
+TEST(RoundRecordJsonlTest, SessionFieldOnlyEmittedWhenTagged) {
+  // Untagged (sequential Federation) records must serialize byte-identically
+  // to the pre-serving schema; tagged records carry the session id.
+  const std::vector<RoundRecord> records = SampleRecords();
+  EXPECT_EQ(RoundRecordToJson(records[0]).find("\"session\""),
+            std::string::npos);
+  EXPECT_NE(RoundRecordToJson(records[1]).find("\"session\":3"),
+            std::string::npos);
 }
 
 TEST(RoundRecordJsonlTest, OneObjectPerLine) {

@@ -62,6 +62,51 @@ TEST(NetworkTest, AccountsMessagesAndBytes) {
   EXPECT_EQ(net.total_bytes(), 0u);
 }
 
+TEST(NetworkTest, PerTagCountersTrackManyTags) {
+  // BytesWithTag is served from running per-tag counters, not a log scan:
+  // totals must be exact for every tag after interleaved sends and expose
+  // the same numbers through bytes_by_tag().
+  Network net{CostModel({0.0, 1000.0, 1.0})};
+  const char* tags[] = {"profile", "model-down", "model-up", "model-up-lost"};
+  size_t expected[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < 40; ++i) {
+    const size_t which = i % 4;
+    const size_t bytes = 10 + 7 * i;
+    net.Send(0, 1, bytes, tags[which]);
+    expected[which] += bytes;
+  }
+  size_t total = 0;
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(net.BytesWithTag(tags[t]), expected[t]) << tags[t];
+    ASSERT_TRUE(net.bytes_by_tag().count(tags[t])) << tags[t];
+    EXPECT_EQ(net.bytes_by_tag().at(tags[t]), expected[t]) << tags[t];
+    total += expected[t];
+  }
+  EXPECT_EQ(net.total_bytes(), total);
+  EXPECT_EQ(net.messages().size(), 40u);  // Log on by default.
+  net.Reset();
+  EXPECT_TRUE(net.bytes_by_tag().empty());
+  EXPECT_EQ(net.BytesWithTag("profile"), 0u);
+}
+
+TEST(NetworkTest, CountersExactWithMessageLogOff) {
+  NetworkOptions options;
+  options.record_messages = false;
+  Network net{CostModel({0.01, 1000.0, 1.0}), options};
+  const double t = net.Send(0, 1, 500, "model-down");
+  EXPECT_DOUBLE_EQ(t, 0.01 + 0.5);
+  net.Send(1, 0, 200, "model-up");
+  net.Send(0, 2, 300, "model-down");
+  // The log stays empty...
+  EXPECT_TRUE(net.messages().empty());
+  // ...but every counter is still exact.
+  EXPECT_EQ(net.total_messages(), 3u);
+  EXPECT_EQ(net.total_bytes(), 1000u);
+  EXPECT_EQ(net.BytesWithTag("model-down"), 800u);
+  EXPECT_EQ(net.BytesWithTag("model-up"), 200u);
+  EXPECT_NEAR(net.total_transfer_seconds(), 3 * 0.01 + 1.0, 1e-12);
+}
+
 TEST(EdgeNodeTest, QuantizeAndProfile) {
   EdgeNode node(3, "n3", MakeData(200, 0.0, 1), 1.5);
   EXPECT_EQ(node.id(), 3u);

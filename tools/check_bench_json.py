@@ -30,6 +30,10 @@ BENCH_REQUIREMENTS = {
         "sections": {"kernels", "step", "kmeans", "round"},
         "record_values": {"speedup", "reps"},
     },
+    "bench_x8_query_throughput": {
+        "sections": {"equality", "throughput"},
+        "record_values": {"queries"},
+    },
 }
 
 
