@@ -23,7 +23,42 @@ Result<std::vector<selection::NodeRank>> Leader::Rank(
     const query::RangeQuery& query) const {
   obs::TraceSpan span("leader.rank");
   obs::Count("leader.rankings");
-  return selection::RankNodes(profiles_, query, ranking_options_);
+  if (cache_.has_value()) {
+    if (const std::vector<selection::NodeRank>* hit =
+            cache_->Lookup(query.region)) {
+      ++telemetry_.cache_hits;
+      obs::Count("leader.rank_cache_hits");
+      return *hit;
+    }
+    ++telemetry_.cache_misses;
+    obs::Count("leader.rank_cache_misses");
+  }
+  Result<std::vector<selection::NodeRank>> ranks = [&] {
+    if (ranking_options_.use_index && index_ != nullptr) {
+      selection::IndexQueryStats stats;
+      auto r = selection::RankNodesIndexed(*index_, profiles_, query,
+                                           ranking_options_, &scratch_,
+                                           &stats);
+      if (r.ok()) {
+        ++telemetry_.index_rankings;
+        telemetry_.candidate_nodes += stats.candidate_nodes;
+        telemetry_.pruned_clusters += stats.pruned_clusters;
+        obs::Count("leader.rank_index_rankings");
+      }
+      return r;
+    }
+    auto r = selection::RankNodes(profiles_, query, ranking_options_);
+    if (r.ok()) ++telemetry_.scan_rankings;
+    return r;
+  }();
+  if (!ranks.ok()) return ranks;
+  if (cache_.has_value()) {
+    // Failed rankings are never cached; successful ones are cached by the
+    // exact query rectangle (copy in, original returned).
+    cache_->Insert(query.region, *ranks);
+    telemetry_.cache_evictions = cache_->stats().evictions;
+  }
+  return ranks;
 }
 
 Result<SelectionDecision> Leader::Decide(
@@ -42,6 +77,9 @@ Result<SelectionDecision> Leader::Decide(
 void Leader::RecordRoundResult(size_t node_id, RoundResult result) {
   for (auto& profile : profiles_) {
     if (profile.node_id != node_id) continue;
+    // Reliability feeds NodeRank (the record always, the ranking when
+    // reliability_weight > 0): any cached ranking is now stale.
+    if (cache_.has_value()) cache_->Clear();
     switch (result) {
       case RoundResult::kCompleted:
         profile.reliability.RecordCompleted();

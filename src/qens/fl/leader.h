@@ -6,14 +6,27 @@
 /// every participant's published profile against it (Eqs. 2–4), and cut the
 /// ranked list into the participant set N'(q) (top-l or Eq. 5 threshold).
 /// The leader never touches raw node data — only profiles.
+///
+/// Ranking is served through up to three bitwise-identical paths, chosen
+/// by RankingOptions (docs/INDEXING.md): the paper-exact scan (default), a
+/// shared cluster-rectangle spatial index (use_index, supplied at
+/// construction — typically Fleet's), and a leader-local exact-match
+/// ranking cache (use_cache). The cache is cleared whenever
+/// RecordRoundResult touches a profile, because reliability feeds the
+/// ranking record.
 
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "qens/common/status.h"
 #include "qens/query/range_query.h"
+#include "qens/selection/cluster_index.h"
 #include "qens/selection/node_profile.h"
 #include "qens/selection/policies.h"
 #include "qens/selection/ranking.h"
+#include "qens/selection/ranking_cache.h"
 
 namespace qens::fl {
 
@@ -30,12 +43,36 @@ struct SelectionDecision {
 /// Ranks profiles and applies the query-driven cut.
 class Leader {
  public:
+  /// How each ranking request was served (cumulative; diagnostics only).
+  struct RankingTelemetry {
+    uint64_t scan_rankings = 0;   ///< Full O(N*K) scans.
+    uint64_t index_rankings = 0;  ///< Served through the cluster index.
+    uint64_t cache_hits = 0;      ///< Served from the ranking cache.
+    uint64_t cache_misses = 0;    ///< Cache enabled but had to compute.
+    uint64_t cache_evictions = 0;
+    uint64_t candidate_nodes = 0;   ///< Nodes scored by the index (sum).
+    uint64_t pruned_clusters = 0;   ///< Clusters skipped by the index (sum).
+  };
+
+  /// `index` (optional) must have been built over exactly `profiles` (same
+  /// order, ids, and cluster counts); it is consulted only when
+  /// ranking_options.use_index is set. The cache is created here iff
+  /// ranking_options.use_cache.
   Leader(std::vector<selection::NodeProfile> profiles,
          selection::RankingOptions ranking_options,
-         selection::QueryDrivenOptions selection_options)
+         selection::QueryDrivenOptions selection_options,
+         std::shared_ptr<const selection::ClusterIndex> index = nullptr)
       : profiles_(std::move(profiles)),
         ranking_options_(ranking_options),
-        selection_options_(selection_options) {}
+        selection_options_(selection_options),
+        index_(std::move(index)) {
+    if (ranking_options_.use_cache && ranking_options_.cache_capacity > 0) {
+      selection::RankingCacheOptions cache_options;
+      cache_options.capacity = ranking_options_.cache_capacity;
+      cache_options.quantum = ranking_options_.cache_quantum;
+      cache_.emplace(cache_options);
+    }
+  }
 
   const std::vector<selection::NodeProfile>& profiles() const {
     return profiles_;
@@ -59,13 +96,28 @@ class Leader {
 
   /// Record an engaged node's round outcome into its profile's observed
   /// reliability history (feeds the ranking's flaky-node penalty). Unknown
-  /// node ids are ignored.
+  /// node ids are ignored. Invalidates the ranking cache: reliability is
+  /// part of every NodeRank, so stale entries must never be served.
   void RecordRoundResult(size_t node_id, RoundResult result);
+
+  /// The shared spatial index this leader ranks through, or nullptr.
+  const selection::ClusterIndex* cluster_index() const { return index_.get(); }
+  /// The leader-local ranking cache, or nullptr when use_cache is off.
+  const selection::RankingCache* ranking_cache() const {
+    return cache_.has_value() ? &*cache_ : nullptr;
+  }
+  const RankingTelemetry& ranking_telemetry() const { return telemetry_; }
 
  private:
   std::vector<selection::NodeProfile> profiles_;
   selection::RankingOptions ranking_options_;
   selection::QueryDrivenOptions selection_options_;
+  std::shared_ptr<const selection::ClusterIndex> index_;
+  /// Rank() is logically const; the accelerators below are memoization
+  /// and diagnostics only (never observable in results).
+  mutable selection::ClusterIndex::Scratch scratch_;
+  mutable std::optional<selection::RankingCache> cache_;
+  mutable RankingTelemetry telemetry_;
 };
 
 }  // namespace qens::fl

@@ -52,6 +52,11 @@ struct Fleet {
   query::HyperRectangle raw_space;  ///< Raw-unit global data space.
   std::optional<data::Normalizer> feature_norm;
   std::optional<data::Normalizer> target_norm;
+  /// Shared cluster-rectangle spatial index over the published profiles
+  /// (docs/INDEXING.md); built iff options.ranking.use_index, else null.
+  /// Immutable, shared read-only by every session's leader; each session
+  /// keeps its own scratch and ranking cache.
+  std::shared_ptr<const selection::ClusterIndex> ranking_index;
 
   /// Split every node's dataset into train/test, normalize when configured,
   /// and build the environment on the train shards. Fails on empty input or

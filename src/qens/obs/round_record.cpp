@@ -100,6 +100,24 @@ std::string RoundRecordToJson(const RoundRecord& record) {
     root.Set("quarantined",
              JsonValue::Number(static_cast<double>(record.quarantined)));
   }
+  // Ranking-accelerator counters: nonzero-only, same byte-compatibility
+  // contract as the byzantine counters above.
+  if (record.rank_index_rankings > 0) {
+    root.Set("rank_index_rankings",
+             JsonValue::Number(static_cast<double>(record.rank_index_rankings)));
+  }
+  if (record.rank_cache_hits > 0) {
+    root.Set("rank_cache_hits",
+             JsonValue::Number(static_cast<double>(record.rank_cache_hits)));
+  }
+  if (record.rank_cache_misses > 0) {
+    root.Set("rank_cache_misses",
+             JsonValue::Number(static_cast<double>(record.rank_cache_misses)));
+  }
+  if (record.rank_candidate_nodes > 0) {
+    root.Set("rank_candidate_nodes",
+             JsonValue::Number(static_cast<double>(record.rank_candidate_nodes)));
+  }
   root.Set("parallel_seconds", JsonValue::Number(record.parallel_seconds));
   root.Set("total_train_seconds",
            JsonValue::Number(record.total_train_seconds));
@@ -163,6 +181,25 @@ Result<RoundRecord> ParseRoundRecordJson(const std::string& line) {
     }
     record.quarantined = static_cast<size_t>(quarantined->AsNumber());
   }
+  auto parse_optional_count = [&root](const char* name,
+                                      size_t* out) -> Status {
+    if (const JsonValue* value = root.Find(name)) {
+      if (!value->is_number()) {
+        return Status::InvalidArgument(
+            StrFormat("round record: %s is not a number", name));
+      }
+      *out = static_cast<size_t>(value->AsNumber());
+    }
+    return Status::OK();
+  };
+  QENS_RETURN_NOT_OK(parse_optional_count("rank_index_rankings",
+                                          &record.rank_index_rankings));
+  QENS_RETURN_NOT_OK(
+      parse_optional_count("rank_cache_hits", &record.rank_cache_hits));
+  QENS_RETURN_NOT_OK(
+      parse_optional_count("rank_cache_misses", &record.rank_cache_misses));
+  QENS_RETURN_NOT_OK(parse_optional_count("rank_candidate_nodes",
+                                          &record.rank_candidate_nodes));
   QENS_ASSIGN_OR_RETURN(record.parallel_seconds,
                         root.GetNumber("parallel_seconds"));
   QENS_ASSIGN_OR_RETURN(record.total_train_seconds,
@@ -203,7 +240,8 @@ namespace {
 
 constexpr char kCsvHeader[] =
     "session,query_id,round,policy,aggregation,engaged,survivors,rejected,"
-    "quarantined,quorum_met,parallel_seconds,total_train_seconds,"
+    "quarantined,rank_index_rankings,rank_cache_hits,rank_cache_misses,"
+    "rank_candidate_nodes,quorum_met,parallel_seconds,total_train_seconds,"
     "comm_seconds,has_loss,loss,nodes";
 
 std::string NodesCell(const std::vector<NodeRoundStat>& nodes) {
@@ -247,17 +285,18 @@ std::string RoundRecordsToCsv(const std::vector<RoundRecord>& records) {
   std::string out = kCsvHeader;
   out.push_back('\n');
   for (const RoundRecord& r : records) {
-    out += StrFormat("%llu,%llu,%zu,%s,%s,%zu,%zu,%zu,%zu,%d,%s,%s,%s,%d,%s,%s\n",
-                     static_cast<unsigned long long>(r.session),
-                     static_cast<unsigned long long>(r.query_id), r.round,
-                     r.policy.c_str(), r.aggregation.c_str(), r.engaged,
-                     r.survivors, r.rejected, r.quarantined,
-                     r.quorum_met ? 1 : 0,
-                     JsonNumber(r.parallel_seconds).c_str(),
-                     JsonNumber(r.total_train_seconds).c_str(),
-                     JsonNumber(r.comm_seconds).c_str(), r.has_loss ? 1 : 0,
-                     JsonNumber(r.loss).c_str(),
-                     NodesCell(r.nodes).c_str());
+    out += StrFormat(
+        "%llu,%llu,%zu,%s,%s,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%d,%s,%s,%s,"
+        "%d,%s,%s\n",
+        static_cast<unsigned long long>(r.session),
+        static_cast<unsigned long long>(r.query_id), r.round,
+        r.policy.c_str(), r.aggregation.c_str(), r.engaged, r.survivors,
+        r.rejected, r.quarantined, r.rank_index_rankings, r.rank_cache_hits,
+        r.rank_cache_misses, r.rank_candidate_nodes, r.quorum_met ? 1 : 0,
+        JsonNumber(r.parallel_seconds).c_str(),
+        JsonNumber(r.total_train_seconds).c_str(),
+        JsonNumber(r.comm_seconds).c_str(), r.has_loss ? 1 : 0,
+        JsonNumber(r.loss).c_str(), NodesCell(r.nodes).c_str());
   }
   return out;
 }
@@ -282,9 +321,9 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text) {
       continue;
     }
     const std::vector<std::string> cells = Split(line, ',');
-    if (cells.size() != 16) {
+    if (cells.size() != 20) {
       return Status::InvalidArgument(
-          StrFormat("round csv: expected 16 cells, got %zu", cells.size()));
+          StrFormat("round csv: expected 20 cells, got %zu", cells.size()));
     }
     RoundRecord r;
     r.session = std::strtoull(cells[0].c_str(), nullptr, 10);
@@ -299,13 +338,21 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text) {
         static_cast<size_t>(std::strtoull(cells[7].c_str(), nullptr, 10));
     r.quarantined =
         static_cast<size_t>(std::strtoull(cells[8].c_str(), nullptr, 10));
-    r.quorum_met = cells[9] == "1";
-    r.parallel_seconds = std::strtod(cells[10].c_str(), nullptr);
-    r.total_train_seconds = std::strtod(cells[11].c_str(), nullptr);
-    r.comm_seconds = std::strtod(cells[12].c_str(), nullptr);
-    r.has_loss = cells[13] == "1";
-    r.loss = std::strtod(cells[14].c_str(), nullptr);
-    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[15]));
+    r.rank_index_rankings =
+        static_cast<size_t>(std::strtoull(cells[9].c_str(), nullptr, 10));
+    r.rank_cache_hits =
+        static_cast<size_t>(std::strtoull(cells[10].c_str(), nullptr, 10));
+    r.rank_cache_misses =
+        static_cast<size_t>(std::strtoull(cells[11].c_str(), nullptr, 10));
+    r.rank_candidate_nodes =
+        static_cast<size_t>(std::strtoull(cells[12].c_str(), nullptr, 10));
+    r.quorum_met = cells[13] == "1";
+    r.parallel_seconds = std::strtod(cells[14].c_str(), nullptr);
+    r.total_train_seconds = std::strtod(cells[15].c_str(), nullptr);
+    r.comm_seconds = std::strtod(cells[16].c_str(), nullptr);
+    r.has_loss = cells[17] == "1";
+    r.loss = std::strtod(cells[18].c_str(), nullptr);
+    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[19]));
     records.push_back(std::move(r));
   }
   return records;

@@ -1,0 +1,459 @@
+#include "qens/selection/cluster_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "qens/common/string_util.h"
+#include "qens/query/overlap.h"
+
+namespace qens::selection {
+namespace {
+
+/// The scan's exact sort key (selection/ranking.cpp): descending ranking,
+/// ascending node id.
+bool RankLess(const NodeRank& a, const NodeRank& b) {
+  if (a.ranking != b.ranking) return a.ranking > b.ranking;
+  return a.node_id < b.node_id;
+}
+
+bool BitEq(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+}  // namespace
+
+void ClusterIndex::Scratch::Prepare(size_t num_entries) {
+  if (entry_epoch.size() != num_entries) {
+    entry_epoch.assign(num_entries, 0);
+    entry_hits.assign(num_entries, 0);
+    entry_last_dim.assign(num_entries, 0);
+    epoch = 0;
+  }
+  ++epoch;  // uint64: never wraps in practice.
+  touched.clear();
+  candidates.clear();
+}
+
+Result<ClusterIndex> ClusterIndex::Build(
+    const std::vector<NodeProfile>& profiles,
+    const ClusterIndexOptions& options) {
+  ClusterIndex index;
+  index.num_nodes_ = profiles.size();
+  index.bins_per_dim_ =
+      std::clamp<size_t>(options.bins_per_dim, 1, size_t{1} << 20);
+  index.node_ids_.reserve(profiles.size());
+  index.node_cluster_counts_.reserve(profiles.size());
+
+  // Pass 1: validate structure, assign entry ids in (node, cluster)
+  // lexicographic order (RankNodesIndexed relies on this for the scan's
+  // floating-point accumulation order).
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    const NodeProfile& p = profiles[i];
+    if (p.clusters.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("ClusterIndex: node %zu has no clusters", p.node_id));
+    }
+    if (p.clusters.size() > std::numeric_limits<uint32_t>::max() ||
+        i > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("ClusterIndex: fleet too large");
+    }
+    if (i > 0 && profiles[i - 1].node_id >= p.node_id) {
+      index.ids_strictly_increasing_ = false;
+    }
+    index.node_ids_.push_back(p.node_id);
+    index.node_cluster_counts_.push_back(
+        static_cast<uint32_t>(p.clusters.size()));
+    for (size_t k = 0; k < p.clusters.size(); ++k) {
+      const clustering::ClusterSummary& c = p.clusters[k];
+      if (c.size == 0) continue;  // Empty cluster: the scan never scores it.
+      if (c.bounds.dims() == 0) {
+        return Status::InvalidArgument(StrFormat(
+            "ClusterIndex: node %zu cluster %zu has a zero-dimensional "
+            "bounds box",
+            p.node_id, k));
+      }
+      if (index.dims_ == 0) {
+        index.dims_ = c.bounds.dims();
+      } else if (c.bounds.dims() != index.dims_) {
+        return Status::InvalidArgument(StrFormat(
+            "ClusterIndex: node %zu cluster %zu has %zu dims, index has %zu",
+            p.node_id, k, c.bounds.dims(), index.dims_));
+      }
+      if (!c.bounds.valid()) {
+        return Status::InvalidArgument(StrFormat(
+            "ClusterIndex: node %zu cluster %zu has an invalid bounds box "
+            "(min > max)",
+            p.node_id, k));
+      }
+      index.entry_node_.push_back(static_cast<uint32_t>(i));
+      index.entry_cluster_.push_back(static_cast<uint32_t>(k));
+    }
+  }
+
+  const size_t entries = index.entry_node_.size();
+  if (entries == 0) return index;  // All clusters empty: nothing to grid.
+
+  // The exact prune thresholds: hit_bound_[m] is precisely the double the
+  // scan's `sum / dims` can round up to when only m dimensions intersect.
+  index.hit_bound_.resize(index.dims_ + 1);
+  for (size_t m = 0; m <= index.dims_; ++m) {
+    index.hit_bound_[m] =
+        static_cast<double>(m) / static_cast<double>(index.dims_);
+  }
+
+  auto bounds_of = [&](size_t e) -> const query::HyperRectangle& {
+    return profiles[index.entry_node_[e]]
+        .clusters[index.entry_cluster_[e]]
+        .bounds;
+  };
+
+  // Pass 2: one uniform grid per dimension over the hull of all entries.
+  index.grids_.resize(index.dims_);
+  for (size_t d = 0; d < index.dims_; ++d) {
+    DimGrid& g = index.grids_[d];
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t e = 0; e < entries; ++e) {
+      const query::Interval& iv = bounds_of(e).dim(d);
+      lo = std::min(lo, iv.lo);
+      hi = std::max(hi, iv.hi);
+    }
+    g.lo = lo;
+    g.bins = index.bins_per_dim_;
+    const double span = hi - lo;
+    g.inv_width = (std::isfinite(span) && span > 0.0)
+                      ? static_cast<double>(g.bins) / span
+                      : 0.0;
+    if (!std::isfinite(g.inv_width)) g.inv_width = 0.0;
+
+    // CSR bucketing: a cluster occupies every bin its interval touches,
+    // so "intervals intersect => bin ranges intersect" (BinOf is monotone).
+    g.start.assign(g.bins + 1, 0);
+    for (size_t e = 0; e < entries; ++e) {
+      const query::Interval& iv = bounds_of(e).dim(d);
+      const size_t b0 = index.BinOf(g, iv.lo);
+      const size_t b1 = index.BinOf(g, iv.hi);
+      for (size_t b = b0; b <= b1; ++b) ++g.start[b + 1];
+    }
+    for (size_t b = 0; b < g.bins; ++b) g.start[b + 1] += g.start[b];
+    g.items.resize(g.start[g.bins]);
+    std::vector<uint32_t> cursor(g.start.begin(), g.start.end() - 1);
+    for (size_t e = 0; e < entries; ++e) {
+      const query::Interval& iv = bounds_of(e).dim(d);
+      const size_t b0 = index.BinOf(g, iv.lo);
+      const size_t b1 = index.BinOf(g, iv.hi);
+      for (size_t b = b0; b <= b1; ++b) {
+        g.items[cursor[b]++] = static_cast<uint32_t>(e);
+      }
+    }
+  }
+  return index;
+}
+
+size_t ClusterIndex::BinOf(const DimGrid& grid, double x) const {
+  const double t = (x - grid.lo) * grid.inv_width;
+  if (!(t > 0.0)) return 0;  // Catches t <= 0 and NaN (inf hull arithmetic).
+  if (t >= static_cast<double>(grid.bins)) return grid.bins - 1;
+  const size_t b = static_cast<size_t>(t);
+  return b < grid.bins ? b : grid.bins - 1;
+}
+
+Status ClusterIndex::ValidateQueryRegion(
+    const query::HyperRectangle& region) const {
+  // With zero indexed entries the scan never reaches ComputeOverlapRate,
+  // so even a malformed query ranks (to all zeros). Mirror that.
+  if (num_entries() == 0) return Status::OK();
+  // Build guarantees every indexed cluster box has dims_ valid dimensions,
+  // so the scan's first Eq. 2 failure depends only on the query. Same
+  // checks, same order, same messages as query::ComputeOverlapBreakdown.
+  if (region.dims() == 0) {
+    return Status::InvalidArgument("overlap: zero-dimensional box");
+  }
+  if (region.dims() != dims_) {
+    return Status::InvalidArgument(
+        StrFormat("overlap: query has %zu dims, cluster has %zu",
+                  region.dims(), dims_));
+  }
+  if (!region.valid()) {
+    return Status::InvalidArgument("overlap: invalid box (min > max)");
+  }
+  return Status::OK();
+}
+
+void ClusterIndex::CollectCandidates(const query::HyperRectangle& region,
+                                     double epsilon, Scratch* scratch) const {
+  scratch->Prepare(num_entries());
+  const uint64_t epoch = scratch->epoch;
+  for (size_t d = 0; d < dims_; ++d) {
+    const DimGrid& g = grids_[d];
+    const size_t b0 = BinOf(g, region.dim(d).lo);
+    const size_t b1 = BinOf(g, region.dim(d).hi);
+    for (size_t b = b0; b <= b1; ++b) {
+      for (uint32_t i = g.start[b]; i < g.start[b + 1]; ++i) {
+        const uint32_t e = g.items[i];
+        if (scratch->entry_epoch[e] != epoch) {
+          scratch->entry_epoch[e] = epoch;
+          scratch->entry_hits[e] = 1;
+          scratch->entry_last_dim[e] = static_cast<uint32_t>(d);
+          scratch->touched.push_back(e);
+        } else if (scratch->entry_last_dim[e] != static_cast<uint32_t>(d)) {
+          scratch->entry_last_dim[e] = static_cast<uint32_t>(d);
+          ++scratch->entry_hits[e];
+        }
+      }
+    }
+  }
+  // Keep exactly the clusters whose overlap could round up to epsilon.
+  for (const uint32_t e : scratch->touched) {
+    if (hit_bound_[scratch->entry_hits[e]] >= epsilon) {
+      scratch->candidates.push_back(e);
+    }
+  }
+  // Ascending entry id == (node, cluster) lexicographic == scan order.
+  std::sort(scratch->candidates.begin(), scratch->candidates.end());
+}
+
+Result<std::vector<std::pair<size_t, size_t>>> ClusterIndex::Candidates(
+    const query::HyperRectangle& region, double epsilon,
+    Scratch* scratch) const {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("RankNode: epsilon must be > 0");
+  }
+  QENS_RETURN_NOT_OK(ValidateQueryRegion(region));
+  Scratch local;
+  Scratch* s = scratch != nullptr ? scratch : &local;
+  std::vector<std::pair<size_t, size_t>> out;
+  if (num_entries() == 0) return out;
+  CollectCandidates(region, epsilon, s);
+  out.reserve(s->candidates.size());
+  for (const uint32_t e : s->candidates) {
+    out.emplace_back(entry_node_[e], entry_cluster_[e]);
+  }
+  return out;
+}
+
+size_t ClusterIndex::GridBytes() const {
+  size_t bytes = 0;
+  for (const DimGrid& g : grids_) {
+    bytes += g.start.capacity() * sizeof(uint32_t);
+    bytes += g.items.capacity() * sizeof(uint32_t);
+  }
+  bytes += entry_node_.capacity() * sizeof(uint32_t);
+  bytes += entry_cluster_.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+Result<std::vector<NodeRank>> RankNodesIndexed(
+    const ClusterIndex& index, const std::vector<NodeProfile>& profiles,
+    const query::RangeQuery& query, const RankingOptions& options,
+    ClusterIndex::Scratch* scratch, IndexQueryStats* stats) {
+  if (stats != nullptr) *stats = IndexQueryStats{};
+  // Option validation: the scan's checks, verbatim (RankNode).
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("RankNode: epsilon must be > 0");
+  }
+  if (options.reliability_weight < 0.0) {
+    return Status::InvalidArgument("RankNode: reliability_weight must be >= 0");
+  }
+  if (profiles.size() != index.num_nodes()) {
+    return Status::Internal(
+        StrFormat("RankNodesIndexed: index built over %zu nodes, got %zu "
+                  "profiles",
+                  index.num_nodes(), profiles.size()));
+  }
+  if (profiles.empty()) return std::vector<NodeRank>{};
+
+  QENS_RETURN_NOT_OK(index.ValidateQueryRegion(query.region));
+
+  ClusterIndex::Scratch local;
+  ClusterIndex::Scratch* s = scratch != nullptr ? scratch : &local;
+  if (index.num_entries() > 0) {
+    index.CollectCandidates(query.region, options.epsilon, s);
+  } else {
+    s->touched.clear();
+    s->candidates.clear();
+  }
+  const std::vector<uint32_t>& cands = s->candidates;
+
+  // Score candidate nodes exactly as the scan does (same per-cluster
+  // ascending accumulation order, so every double matches bit for bit);
+  // everything else becomes a zero rank without touching its geometry.
+  std::vector<NodeRank> cand_ranks;
+  std::vector<NodeRank> zero_ranks;
+  std::vector<uint32_t> cand_pos;  // Profile positions (slow-path merge).
+  std::vector<uint32_t> zero_pos;
+  zero_ranks.reserve(profiles.size());
+  size_t ci = 0;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    const NodeProfile& p = profiles[i];
+    if (p.node_id != index.node_id_at(i) ||
+        p.clusters.size() != index.node_cluster_count(i)) {
+      return Status::Internal(StrFormat(
+          "RankNodesIndexed: profile %zu does not match the index (stale "
+          "index?)",
+          i));
+    }
+    NodeRank rank;
+    rank.node_id = p.node_id;
+    rank.total_clusters = p.clusters.size();
+    rank.total_samples = p.total_samples;
+    rank.reliability = p.reliability.SuccessRate();
+    if (ci < cands.size() && index.entry_node(cands[ci]) == i) {
+      rank.cluster_scores.resize(p.clusters.size());
+      for (size_t k = 0; k < p.clusters.size(); ++k) {
+        rank.cluster_scores[k].cluster_id = k;
+      }
+      while (ci < cands.size() && index.entry_node(cands[ci]) == i) {
+        const size_t k = index.entry_cluster(cands[ci]);
+        ++ci;
+        const clustering::ClusterSummary& cluster = p.clusters[k];
+        ClusterScore& score = rank.cluster_scores[k];
+        QENS_ASSIGN_OR_RETURN(
+            score.overlap,
+            query::ComputeOverlapRate(query.region, cluster.bounds,
+                                      options.overlap_mode));
+        score.supporting = score.overlap >= options.epsilon;
+        if (score.supporting) {
+          rank.potential += score.overlap;  // Eq. 3, scan order.
+          ++rank.supporting_clusters;
+          rank.supporting_samples += cluster.size;
+        }
+      }
+      // Eq. 4 and the reliability penalty, exactly as RankNode.
+      rank.ranking = rank.potential *
+                     static_cast<double>(rank.supporting_clusters) /
+                     static_cast<double>(rank.total_clusters);
+      if (options.reliability_weight > 0.0) {
+        rank.ranking *= std::pow(rank.reliability, options.reliability_weight);
+      }
+      cand_pos.push_back(static_cast<uint32_t>(i));
+      cand_ranks.push_back(std::move(rank));
+    } else {
+      // Pruned wholesale: the scan's rank is provably all-zero (+0.0 on
+      // both paths — every term is non-negative). cluster_scores stays
+      // empty per the RankingsBitwiseEqual contract.
+      zero_pos.push_back(static_cast<uint32_t>(i));
+      zero_ranks.push_back(std::move(rank));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->touched_entries = s->touched.size();
+    stats->candidate_clusters = cands.size();
+    stats->candidate_nodes = cand_ranks.size();
+    stats->pruned_clusters = index.num_entries() - cands.size();
+  }
+
+  if (index.node_ids_strictly_increasing()) {
+    // Unique node ids make (ranking desc, id asc) a total order, so the
+    // scan's stable_sort equals: sorted positive candidates, then the two
+    // id-ascending zero lists merged by id.
+    std::stable_sort(cand_ranks.begin(), cand_ranks.end(), RankLess);
+    size_t zb = cand_ranks.size();
+    while (zb > 0 && cand_ranks[zb - 1].ranking == 0.0) --zb;
+    std::vector<NodeRank> out;
+    out.reserve(profiles.size());
+    for (size_t i = 0; i < zb; ++i) out.push_back(std::move(cand_ranks[i]));
+    size_t a = zb;
+    size_t z = 0;
+    while (a < cand_ranks.size() && z < zero_ranks.size()) {
+      if (cand_ranks[a].node_id < zero_ranks[z].node_id) {
+        out.push_back(std::move(cand_ranks[a++]));
+      } else {
+        out.push_back(std::move(zero_ranks[z++]));
+      }
+    }
+    while (a < cand_ranks.size()) out.push_back(std::move(cand_ranks[a++]));
+    while (z < zero_ranks.size()) out.push_back(std::move(zero_ranks[z++]));
+    return out;
+  }
+
+  // Duplicate or unsorted node ids: rebuild profile order and run the
+  // scan's exact stable sort (stability matters for duplicate-id ties).
+  std::vector<NodeRank> all;
+  all.reserve(profiles.size());
+  size_t a = 0;
+  size_t z = 0;
+  while (a < cand_ranks.size() || z < zero_ranks.size()) {
+    if (z >= zero_ranks.size() ||
+        (a < cand_ranks.size() && cand_pos[a] < zero_pos[z])) {
+      all.push_back(std::move(cand_ranks[a++]));
+    } else {
+      all.push_back(std::move(zero_ranks[z++]));
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), RankLess);
+  return all;
+}
+
+bool RankingsBitwiseEqual(const std::vector<NodeRank>& scan,
+                          const std::vector<NodeRank>& indexed,
+                          const RankingOptions& options, std::string* diff) {
+  auto fail = [&](const std::string& message) {
+    if (diff != nullptr) *diff = message;
+    return false;
+  };
+  if (scan.size() != indexed.size()) {
+    return fail(StrFormat("rank count: scan %zu vs indexed %zu", scan.size(),
+                          indexed.size()));
+  }
+  for (size_t i = 0; i < scan.size(); ++i) {
+    const NodeRank& sr = scan[i];
+    const NodeRank& ir = indexed[i];
+    if (sr.node_id != ir.node_id) {
+      return fail(StrFormat("position %zu: scan node %zu vs indexed node %zu",
+                            i, sr.node_id, ir.node_id));
+    }
+    if (!BitEq(sr.ranking, ir.ranking) || !BitEq(sr.potential, ir.potential) ||
+        !BitEq(sr.reliability, ir.reliability)) {
+      return fail(StrFormat(
+          "node %zu: ranking/potential/reliability mismatch "
+          "(%.17g/%.17g/%.17g vs %.17g/%.17g/%.17g)",
+          sr.node_id, sr.ranking, sr.potential, sr.reliability, ir.ranking,
+          ir.potential, ir.reliability));
+    }
+    if (sr.supporting_clusters != ir.supporting_clusters ||
+        sr.total_clusters != ir.total_clusters ||
+        sr.supporting_samples != ir.supporting_samples ||
+        sr.total_samples != ir.total_samples) {
+      return fail(StrFormat("node %zu: count fields mismatch", sr.node_id));
+    }
+    if (ir.cluster_scores.empty() && !sr.cluster_scores.empty()) {
+      // Node pruned wholesale: legal iff the scan found nothing supporting.
+      if (sr.supporting_clusters != 0) {
+        return fail(StrFormat(
+            "node %zu: pruned (no cluster scores) but scan has %zu "
+            "supporting clusters",
+            sr.node_id, sr.supporting_clusters));
+      }
+      continue;
+    }
+    if (sr.cluster_scores.size() != ir.cluster_scores.size()) {
+      return fail(StrFormat("node %zu: cluster score count %zu vs %zu",
+                            sr.node_id, sr.cluster_scores.size(),
+                            ir.cluster_scores.size()));
+    }
+    for (size_t k = 0; k < sr.cluster_scores.size(); ++k) {
+      const ClusterScore& sc = sr.cluster_scores[k];
+      const ClusterScore& ic = ir.cluster_scores[k];
+      if (sc.cluster_id != ic.cluster_id || sc.supporting != ic.supporting) {
+        return fail(StrFormat("node %zu cluster %zu: id/supporting mismatch",
+                              sr.node_id, k));
+      }
+      if (BitEq(sc.overlap, ic.overlap)) continue;
+      // Pruned cluster: indexed side may report 0.0 where the scan's exact
+      // value provably sits below the support threshold.
+      if (sc.supporting || !BitEq(ic.overlap, 0.0) ||
+          !(sc.overlap < options.epsilon)) {
+        return fail(StrFormat(
+            "node %zu cluster %zu: overlap %.17g vs %.17g (epsilon %.17g)",
+            sr.node_id, k, sc.overlap, ic.overlap, options.epsilon));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace qens::selection

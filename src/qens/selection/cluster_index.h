@@ -1,0 +1,199 @@
+#ifndef QENS_SELECTION_CLUSTER_INDEX_H_
+#define QENS_SELECTION_CLUSTER_INDEX_H_
+
+/// \file cluster_index.h
+/// Sublinear leader-side ranking: a cluster-rectangle spatial index.
+///
+/// The paper's leader ranks a query by scanning all N*K cluster
+/// hyper-rectangles (O(N K d) per query, selection/ranking.*). This index
+/// makes that sublinear in practice: an interval-per-dimension uniform grid
+/// over the cluster bounding boxes yields, per query, the small set of
+/// *candidate* clusters whose overlap rate could reach the support
+/// threshold epsilon; only candidates get the exact Eq. 2 computation.
+///
+/// Epsilon-aware pruning contract (see docs/INDEXING.md). Eq. 2 averages
+/// per-dimension ratios, so a cluster disjoint from the query in one
+/// dimension can still score up to m/d from the m dimensions where the
+/// boxes do meet — "boxes disjoint => skip" alone would be wrong. The
+/// sound rule counts, per cluster, the number of dimensions `hits` whose
+/// grid bins intersect the query's bins (a superset of true interval
+/// intersection) and prunes iff (double)hits / (double)d < epsilon. This
+/// is exact in IEEE terms: every per-dimension ratio lies in [0, 1] and is
+/// exactly 0.0 for a disjoint dimension, a rounded sum of m values <= 1.0
+/// never exceeds the representable integer m, and double division is
+/// monotone — so the scan's h_ik can never round above hits/d. A pruned
+/// cluster therefore provably fails `h_ik >= epsilon`, and the indexed
+/// ranking is bitwise identical to the scan (see RankingsBitwiseEqual for
+/// the precise contract on pruned clusters' score entries).
+///
+/// The index is immutable after Build and safe to share across threads
+/// and sessions (fl::Fleet builds one when RankingOptions::use_index is
+/// set). Per-query mutable state lives in a caller-owned Scratch.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qens/common/status.h"
+#include "qens/query/hyper_rectangle.h"
+#include "qens/query/range_query.h"
+#include "qens/selection/node_profile.h"
+#include "qens/selection/ranking.h"
+
+namespace qens::selection {
+
+/// Index construction knobs.
+struct ClusterIndexOptions {
+  /// Grid resolution per dimension (clamped into [1, 2^20]). More bins
+  /// prune harder but cost memory proportional to entries * avg bins
+  /// spanned per cluster.
+  size_t bins_per_dim = 32;
+};
+
+/// Per-query pruning diagnostics (filled by RankNodesIndexed).
+struct IndexQueryStats {
+  size_t touched_entries = 0;     ///< Clusters whose bins met the query's.
+  size_t candidate_clusters = 0;  ///< Clusters that got the exact Eq. 2.
+  size_t candidate_nodes = 0;     ///< Nodes owning >= 1 candidate cluster.
+  size_t pruned_clusters = 0;     ///< Indexed clusters skipped this query.
+};
+
+/// Immutable interval-per-dimension grid over cluster bounding boxes.
+///
+/// Build() indexes every non-empty cluster (empty clusters never score in
+/// the scan either) and rejects structurally malformed profile sets — a
+/// node with no clusters, or a non-empty cluster whose bounds box is
+/// zero-dimensional, invalid (min > max), or disagrees with the common
+/// dimensionality. The scan would fail every query against such a fleet,
+/// so nothing rankable is lost; well-formed fleets (anything produced by
+/// sim::EdgeEnvironment) always build.
+class ClusterIndex {
+ public:
+  /// Reusable per-query scratch: epoch-stamped hit counters so a query
+  /// resets in O(touched) instead of O(entries). One per ranking thread.
+  struct Scratch {
+    std::vector<uint64_t> entry_epoch;
+    std::vector<uint32_t> entry_hits;      ///< Dims hit, current epoch.
+    std::vector<uint32_t> entry_last_dim;  ///< Dedups within a dimension.
+    std::vector<uint32_t> touched;         ///< Entry ids hit this epoch.
+    std::vector<uint32_t> candidates;      ///< Ascending entry ids.
+    uint64_t epoch = 0;
+
+    void Prepare(size_t num_entries);
+  };
+
+  static Result<ClusterIndex> Build(const std::vector<NodeProfile>& profiles,
+                                    const ClusterIndexOptions& options = {});
+
+  size_t num_nodes() const { return num_nodes_; }
+  /// Indexed (non-empty) clusters across all nodes.
+  size_t num_entries() const { return entry_node_.size(); }
+  /// Common dimensionality of the indexed boxes; 0 when num_entries() == 0.
+  size_t dims() const { return dims_; }
+  size_t bins_per_dim() const { return bins_per_dim_; }
+
+  /// Profile-order position -> published node id / cluster count, as seen
+  /// at Build time (used to detect a stale index).
+  size_t node_id_at(size_t pos) const { return node_ids_[pos]; }
+  size_t node_cluster_count(size_t pos) const {
+    return node_cluster_counts_[pos];
+  }
+  /// True when node ids ascend strictly in profile order (the fleet
+  /// layout); enables the sort-free candidate/zero merge in
+  /// RankNodesIndexed.
+  bool node_ids_strictly_increasing() const {
+    return ids_strictly_increasing_;
+  }
+
+  /// Entry id -> (profile position, cluster id). Entry ids ascend in
+  /// (node, cluster) lexicographic order by construction.
+  size_t entry_node(size_t entry) const { return entry_node_[entry]; }
+  size_t entry_cluster(size_t entry) const { return entry_cluster_[entry]; }
+
+  /// Candidate (profile position, cluster id) pairs whose Eq. 2 overlap
+  /// could reach `epsilon`, ascending lexicographic — a provable superset
+  /// of the supporting set. Validates the query exactly like the ranking
+  /// path. Intended for tests and diagnostics.
+  Result<std::vector<std::pair<size_t, size_t>>> Candidates(
+      const query::HyperRectangle& region, double epsilon,
+      Scratch* scratch) const;
+
+  /// Memory footprint of the grid structures in bytes (diagnostics).
+  size_t GridBytes() const;
+
+ private:
+  friend Result<std::vector<NodeRank>> RankNodesIndexed(
+      const ClusterIndex& index, const std::vector<NodeProfile>& profiles,
+      const query::RangeQuery& query, const RankingOptions& options,
+      Scratch* scratch, IndexQueryStats* stats);
+
+  struct DimGrid {
+    double lo = 0.0;         ///< Hull minimum of this dimension.
+    double inv_width = 0.0;  ///< bins / hull span; 0 => everything in bin 0.
+    size_t bins = 1;
+    std::vector<uint32_t> start;  ///< CSR offsets, size bins + 1.
+    std::vector<uint32_t> items;  ///< Entry ids bucketed by bin.
+  };
+
+  size_t BinOf(const DimGrid& grid, double x) const;
+
+  /// Same Status (code and message) the scan would produce for this query
+  /// against the indexed fleet, OK when the query is rankable. With zero
+  /// indexed entries the scan never evaluates Eq. 2, so any query passes.
+  Status ValidateQueryRegion(const query::HyperRectangle& region) const;
+
+  /// Fills scratch->candidates (ascending entry ids) for a validated
+  /// query region.
+  void CollectCandidates(const query::HyperRectangle& region, double epsilon,
+                         Scratch* scratch) const;
+
+  size_t num_nodes_ = 0;
+  size_t dims_ = 0;
+  size_t bins_per_dim_ = 32;
+  bool ids_strictly_increasing_ = true;
+  std::vector<size_t> node_ids_;                ///< Profile order.
+  std::vector<uint32_t> node_cluster_counts_;   ///< Profile order.
+  std::vector<uint32_t> entry_node_;            ///< Entry -> profile pos.
+  std::vector<uint32_t> entry_cluster_;         ///< Entry -> cluster id.
+  std::vector<DimGrid> grids_;                  ///< One per dimension.
+  std::vector<double> hit_bound_;  ///< hit_bound_[m] = (double)m / dims_.
+};
+
+/// Rank every node against `query` through the index: bitwise identical to
+/// selection::RankNodes over the same profiles (same Status on error, same
+/// order, same tie-breaks, same per-node numbers) under the contract
+/// checked by RankingsBitwiseEqual. `profiles` must be the vector the
+/// index was built from (same order, ids, and cluster counts — geometry
+/// values are read from `profiles`, so a value-identical copy is fine);
+/// a mismatch is an Internal error. `scratch` may be null (a temporary is
+/// used); `stats` is optional.
+Result<std::vector<NodeRank>> RankNodesIndexed(
+    const ClusterIndex& index, const std::vector<NodeProfile>& profiles,
+    const query::RangeQuery& query, const RankingOptions& options,
+    ClusterIndex::Scratch* scratch = nullptr,
+    IndexQueryStats* stats = nullptr);
+
+/// The scan/index equality contract, bit-for-bit:
+///  - identical node order (ranking desc, node id asc tie-break);
+///  - per node: identical node_id, supporting/total cluster and sample
+///    counts, and bitwise-identical potential, ranking and reliability;
+///  - per cluster score: identical cluster ids and supporting flags;
+///    supporting clusters' overlaps bitwise identical. A non-supporting
+///    score may carry overlap 0.0 on the indexed side where the scan has
+///    some h < epsilon (the pruned case — the index proved the exact value
+///    cannot matter); any other overlap must be bitwise identical.
+///  - a node the index pruned wholesale has an empty cluster_scores list;
+///    that is allowed only when the scan found zero supporting clusters
+///    for it (so SupportingClusterIds() agrees: both empty).
+/// Everything downstream consumes (selection cuts, Eq. 7 weights,
+/// data-selectivity sets, tie-breaks) is covered. Returns true when equal;
+/// otherwise fills *diff (may be null) with the first difference.
+bool RankingsBitwiseEqual(const std::vector<NodeRank>& scan,
+                          const std::vector<NodeRank>& indexed,
+                          const RankingOptions& options, std::string* diff);
+
+}  // namespace qens::selection
+
+#endif  // QENS_SELECTION_CLUSTER_INDEX_H_

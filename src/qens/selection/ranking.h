@@ -31,6 +31,24 @@ struct RankingOptions {
   /// failure/straggle history. 0 (default) disables the penalty and
   /// reproduces the paper's Eq. 4 exactly.
   double reliability_weight = 0.0;
+
+  /// \name Sublinear ranking accelerators (default off = paper-exact scan)
+  /// Both paths are bitwise identical to the scan (see docs/INDEXING.md
+  /// and selection/cluster_index.h); these flags trade memory for speed,
+  /// never results. Plain fields here to avoid an include cycle — the
+  /// structures live in cluster_index.h / ranking_cache.h.
+  /// @{
+  /// Rank through the shared cluster-rectangle spatial index when one is
+  /// available (fl::Fleet::Create builds one iff this is set).
+  bool use_index = false;
+  /// Grid resolution of that index (bins per dimension).
+  size_t index_bins_per_dim = 32;
+  /// Memoize rankings per exact query rectangle in a leader-local LRU
+  /// cache (quantized-key bucketing + exact-geometry verification).
+  bool use_cache = false;
+  size_t cache_capacity = 128;  ///< LRU entries per leader.
+  double cache_quantum = 1e-3;  ///< Hash-key quantization cell size.
+  /// @}
 };
 
 /// One cluster's score against a query.

@@ -1,0 +1,96 @@
+#include "qens/selection/ranking_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qens::selection {
+namespace {
+
+double SafeQuantum(double quantum) {
+  if (!(quantum > 0.0) || !std::isfinite(quantum)) return 1.0;
+  return quantum;
+}
+
+uint64_t QuantizeCoord(double x, double quantum) {
+  if (std::isnan(x)) return 0x7ff8dead00000000ULL;  // Stable NaN sentinel.
+  const double cell = std::floor(x / quantum);
+  // Clamp into int64 range before the cast (avoids UB on huge/inf cells).
+  constexpr double kLimit = 9.0e18;
+  const double clamped = std::clamp(cell, -kLimit, kLimit);
+  return static_cast<uint64_t>(static_cast<int64_t>(clamped));
+}
+
+}  // namespace
+
+RankingCache::RankingCache(const RankingCacheOptions& options)
+    : options_(options) {
+  options_.quantum = SafeQuantum(options_.quantum);
+}
+
+uint64_t RankingCache::QuantizedKey(const query::HyperRectangle& region,
+                                    double quantum) {
+  quantum = SafeQuantum(quantum);
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(region.dims());
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+  };
+  for (const query::Interval& iv : region.intervals()) {
+    mix(QuantizeCoord(iv.lo, quantum));
+    mix(QuantizeCoord(iv.hi, quantum));
+  }
+  return h;
+}
+
+const std::vector<NodeRank>* RankingCache::Lookup(
+    const query::HyperRectangle& region) {
+  const uint64_t key = QuantizedKey(region, options_.quantum);
+  auto bucket = by_key_.find(key);
+  if (bucket != by_key_.end()) {
+    for (const EntryList::iterator& it : bucket->second) {
+      // Exact-geometry verification: quantization only picked the bucket.
+      if (it->region == region) {
+        lru_.splice(lru_.begin(), lru_, it);  // Iterators stay valid.
+        ++stats_.hits;
+        return &it->ranks;
+      }
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void RankingCache::Insert(const query::HyperRectangle& region,
+                          std::vector<NodeRank> ranks) {
+  if (options_.capacity == 0) return;
+  const uint64_t key = QuantizedKey(region, options_.quantum);
+  auto bucket = by_key_.find(key);
+  if (bucket != by_key_.end()) {
+    for (const EntryList::iterator& it : bucket->second) {
+      if (it->region == region) {
+        it->ranks = std::move(ranks);
+        lru_.splice(lru_.begin(), lru_, it);
+        return;
+      }
+    }
+  }
+  lru_.push_front(Entry{key, region, std::move(ranks)});
+  by_key_[key].push_back(lru_.begin());
+  ++stats_.insertions;
+  while (lru_.size() > options_.capacity) {
+    const EntryList::iterator last = std::prev(lru_.end());
+    std::vector<EntryList::iterator>& vec = by_key_[last->key];
+    vec.erase(std::find(vec.begin(), vec.end(), last));
+    if (vec.empty()) by_key_.erase(last->key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void RankingCache::Clear() {
+  lru_.clear();
+  by_key_.clear();
+}
+
+}  // namespace qens::selection

@@ -1,0 +1,98 @@
+#ifndef QENS_SELECTION_RANKING_CACHE_H_
+#define QENS_SELECTION_RANKING_CACHE_H_
+
+/// \file ranking_cache.h
+/// Leader-side ranking memoization keyed on quantized query rectangles.
+///
+/// Real query workloads repeat regions (replayed dashboards, polling
+/// clients, seed-replayed generators — pinned by
+/// tests/query_workload_repetition_test.cpp), so the leader can serve a
+/// repeated query's ranking without recomputing Eqs. 2-4.
+///
+/// Correctness never depends on quantization: the quantized coordinates
+/// only pick the hash bucket, and every lookup verifies the stored query
+/// rectangle against the requested one with exact (bitwise-value) interval
+/// equality before serving. Two rectangles that quantize to the same key
+/// but differ geometrically can therefore never alias — the lookup is a
+/// miss (see tests/selection_ranking_cache_test.cpp). A hit returns the
+/// exact vector that was inserted, so cached rankings are bitwise
+/// identical to recomputed ones at every cache state.
+///
+/// Eviction is strict LRU over a deterministic recency list, so cache
+/// behavior is reproducible run to run. The cache is not thread-safe; in
+/// the serving engine each QuerySession's leader owns a private one.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "qens/query/hyper_rectangle.h"
+#include "qens/selection/ranking.h"
+
+namespace qens::selection {
+
+/// Cache construction knobs.
+struct RankingCacheOptions {
+  /// Maximum cached rankings; 0 disables insertion entirely.
+  size_t capacity = 128;
+  /// Quantization cell size for the hash key (<= 0 or non-finite falls
+  /// back to 1.0). Coarser cells bucket more near-identical rectangles
+  /// together; the exact-match check keeps any choice correct.
+  double quantum = 1e-3;
+};
+
+/// Exact-match LRU cache from query rectangle to ranked node list.
+class RankingCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit RankingCache(const RankingCacheOptions& options = {});
+
+  /// The cached ranking for exactly `region`, bumping its recency, or
+  /// nullptr on miss. The pointer stays valid until the next non-const
+  /// call on this cache.
+  const std::vector<NodeRank>* Lookup(const query::HyperRectangle& region);
+
+  /// Cache `ranks` for exactly `region` (replaces an existing exact-match
+  /// entry), then evicts least-recently-used entries down to capacity.
+  void Insert(const query::HyperRectangle& region,
+              std::vector<NodeRank> ranks);
+
+  /// Drop every entry (stats survive). Called whenever the profiles a
+  /// ranking depends on change (e.g. leader reliability bookkeeping).
+  void Clear();
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return options_.capacity; }
+  const Stats& stats() const { return stats_; }
+
+  /// The hash key: each bound maps to floor(x / quantum) and the per-dim
+  /// cells are mixed. Exposed so tests can construct deliberate key
+  /// collisions (the aliasing regression).
+  static uint64_t QuantizedKey(const query::HyperRectangle& region,
+                               double quantum);
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    query::HyperRectangle region;
+    std::vector<NodeRank> ranks;
+  };
+  using EntryList = std::list<Entry>;
+
+  RankingCacheOptions options_;
+  EntryList lru_;  ///< Front = most recently used.
+  std::unordered_map<uint64_t, std::vector<EntryList::iterator>> by_key_;
+  Stats stats_;
+};
+
+}  // namespace qens::selection
+
+#endif  // QENS_SELECTION_RANKING_CACHE_H_

@@ -39,6 +39,10 @@ std::vector<RoundRecord> SampleRecords() {
   second.survivors = 1;
   second.rejected = 1;
   second.quarantined = 1;
+  second.rank_index_rankings = 2;  // Served through the cluster index.
+  second.rank_cache_hits = 1;
+  second.rank_cache_misses = 1;
+  second.rank_candidate_nodes = 5;
   second.quorum_met = false;
   second.parallel_seconds = 0.5;
   second.total_train_seconds = 0.6;
@@ -64,6 +68,10 @@ void ExpectRecordsEqual(const RoundRecord& a, const RoundRecord& b) {
   EXPECT_EQ(a.survivors, b.survivors);
   EXPECT_EQ(a.rejected, b.rejected);
   EXPECT_EQ(a.quarantined, b.quarantined);
+  EXPECT_EQ(a.rank_index_rankings, b.rank_index_rankings);
+  EXPECT_EQ(a.rank_cache_hits, b.rank_cache_hits);
+  EXPECT_EQ(a.rank_cache_misses, b.rank_cache_misses);
+  EXPECT_EQ(a.rank_candidate_nodes, b.rank_candidate_nodes);
   EXPECT_EQ(a.quorum_met, b.quorum_met);
   EXPECT_DOUBLE_EQ(a.parallel_seconds, b.parallel_seconds);
   EXPECT_DOUBLE_EQ(a.total_train_seconds, b.total_train_seconds);
@@ -113,6 +121,16 @@ TEST(RoundRecordJsonlTest, SessionFieldOnlyEmittedWhenTagged) {
   EXPECT_EQ(RoundRecordToJson(records[0]).find("\"session\""),
             std::string::npos);
   EXPECT_NE(RoundRecordToJson(records[1]).find("\"session\":3"),
+            std::string::npos);
+  // Same nonzero-only rule for the ranking-accelerator counters: scan-only
+  // records keep the pre-index schema byte-identical.
+  EXPECT_EQ(RoundRecordToJson(records[0]).find("rank_index_rankings"),
+            std::string::npos);
+  EXPECT_EQ(RoundRecordToJson(records[0]).find("rank_cache_hits"),
+            std::string::npos);
+  EXPECT_NE(RoundRecordToJson(records[1]).find("\"rank_index_rankings\":2"),
+            std::string::npos);
+  EXPECT_NE(RoundRecordToJson(records[1]).find("\"rank_candidate_nodes\":5"),
             std::string::npos);
 }
 

@@ -1,0 +1,168 @@
+// Differential test pinning the indexed ranking path to the paper-exact
+// scan: hundreds of seeded random fleets and workloads, deliberately heavy
+// on degenerate geometry (zero-width intervals, exactly-touching edges,
+// clusters straddling grid-cell boundaries, epsilon set exactly at an
+// observed overlap value), asserting bit-identical rankings — scores,
+// order, and tie-breaks — for every (fleet, query, bins, epsilon) combo.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qens/common/rng.h"
+#include "qens/selection/cluster_index.h"
+#include "qens/selection/ranking.h"
+
+namespace qens::selection {
+namespace {
+
+using qens::Rng;
+
+/// Coordinates snapped to a small integer lattice with high probability so
+/// that exactly-touching edges, duplicated bounds, and grid-cell-boundary
+/// straddling occur constantly instead of almost never.
+double Coord(Rng& rng) {
+  if (rng.Bernoulli(0.5)) {
+    return static_cast<double>(rng.UniformInt(int64_t{0}, int64_t{10}));
+  }
+  return rng.Uniform(0.0, 10.0);
+}
+
+query::Interval RandomInterval(Rng& rng) {
+  double a = Coord(rng);
+  if (rng.Bernoulli(0.15)) return query::Interval(a, a);  // Zero width.
+  double b = Coord(rng);
+  if (b < a) std::swap(a, b);
+  return query::Interval(a, b);
+}
+
+query::HyperRectangle RandomBox(Rng& rng, size_t dims) {
+  std::vector<query::Interval> intervals;
+  intervals.reserve(dims);
+  for (size_t d = 0; d < dims; ++d) intervals.push_back(RandomInterval(rng));
+  return query::HyperRectangle(std::move(intervals));
+}
+
+std::vector<NodeProfile> RandomFleet(Rng& rng, size_t dims) {
+  const size_t num_nodes = 1 + rng.UniformInt(uint64_t{40});
+  std::vector<NodeProfile> profiles;
+  profiles.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    NodeProfile profile;
+    profile.node_id = i;
+    const size_t num_clusters = 1 + rng.UniformInt(uint64_t{5});
+    for (size_t k = 0; k < num_clusters; ++k) {
+      clustering::ClusterSummary cluster;
+      if (rng.Bernoulli(0.1)) {
+        cluster.size = 0;  // Empty cluster: invalid bounds, skipped by both.
+      } else {
+        cluster.bounds = RandomBox(rng, dims);
+        cluster.size = 1 + rng.UniformInt(uint64_t{100});
+      }
+      profile.clusters.push_back(cluster);
+      profile.total_samples += cluster.size;
+    }
+    // Occasionally give the node a reliability history so the
+    // reliability_weight path is exercised too.
+    if (rng.Bernoulli(0.3)) {
+      profile.reliability.RecordCompleted();
+      if (rng.Bernoulli(0.5)) profile.reliability.RecordFailure();
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+void CheckQuery(const std::vector<NodeProfile>& profiles,
+                const ClusterIndex& index, const query::RangeQuery& q,
+                const RankingOptions& options, ClusterIndex::Scratch* scratch,
+                uint64_t seed) {
+  auto scan = RankNodes(profiles, q, options);
+  auto indexed = RankNodesIndexed(index, profiles, q, options, scratch);
+  ASSERT_EQ(scan.ok(), indexed.ok())
+      << "seed " << seed << ": scan=" << scan.status().ToString()
+      << " indexed=" << indexed.status().ToString();
+  if (!scan.ok()) {
+    EXPECT_EQ(scan.status().code(), indexed.status().code()) << "seed " << seed;
+    EXPECT_EQ(scan.status().message(), indexed.status().message())
+        << "seed " << seed;
+    return;
+  }
+  std::string diff;
+  EXPECT_TRUE(RankingsBitwiseEqual(*scan, *indexed, options, &diff))
+      << "seed " << seed << " epsilon " << options.epsilon << ": " << diff;
+}
+
+TEST(SelectionIndexDifferentialTest, IndexedRankingIsBitIdenticalToScan) {
+  const std::vector<size_t> kBins = {1, 2, 7, 32, 64};
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed);
+    const size_t dims = 1 + rng.UniformInt(uint64_t{4});
+    const std::vector<NodeProfile> profiles = RandomFleet(rng, dims);
+
+    ClusterIndexOptions index_options;
+    index_options.bins_per_dim = kBins[seed % kBins.size()];
+    auto index = ClusterIndex::Build(profiles, index_options);
+    ASSERT_TRUE(index.ok()) << "seed " << seed << ": "
+                            << index.status().ToString();
+    ClusterIndex::Scratch scratch;
+
+    const size_t num_queries = 2 + rng.UniformInt(uint64_t{4});
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      query::RangeQuery q;
+      q.id = qi;
+      q.region = RandomBox(rng, dims);
+
+      RankingOptions options;
+      options.epsilon = rng.Uniform(0.05, 0.95);
+      if (rng.Bernoulli(0.25)) options.reliability_weight = rng.Uniform(0.5, 2.0);
+      if (rng.Bernoulli(0.2)) {
+        options.overlap_mode = query::OverlapMode::kNormalizedIntersection;
+      }
+      CheckQuery(profiles, *index, q, options, &scratch, seed);
+
+      // Re-rank with epsilon set EXACTLY at an overlap value observed in
+      // the scan, so the h >= epsilon comparison sits on the boundary and
+      // any index-side rounding slack would flip support decisions.
+      auto scan = RankNodes(profiles, q, options);
+      ASSERT_TRUE(scan.ok());
+      double boundary = 0.0;
+      for (const auto& rank : *scan) {
+        for (const auto& score : rank.cluster_scores) {
+          if (score.overlap > 0.0) {
+            boundary = score.overlap;
+            break;
+          }
+        }
+        if (boundary > 0.0) break;
+      }
+      if (boundary > 0.0) {
+        RankingOptions at_boundary = options;
+        at_boundary.epsilon = boundary;
+        CheckQuery(profiles, *index, q, at_boundary, &scratch, seed);
+      }
+    }
+
+    // Negative paths must error identically through either entry point.
+    if (seed % 10 == 0) {
+      query::RangeQuery bad;
+      bad.id = 999;
+      bad.region = RandomBox(rng, dims + 1);  // Dimensional mismatch.
+      CheckQuery(profiles, *index, bad, RankingOptions{}, &scratch, seed);
+      bad.region = RandomBox(rng, dims);
+      bad.region.dim(0) = query::Interval(5.0, 1.0);  // min > max.
+      CheckQuery(profiles, *index, bad, RankingOptions{}, &scratch, seed);
+      RankingOptions bad_eps;
+      bad_eps.epsilon = -1.0;
+      query::RangeQuery ok_query;
+      ok_query.region = RandomBox(rng, dims);
+      CheckQuery(profiles, *index, ok_query, bad_eps, &scratch, seed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qens::selection

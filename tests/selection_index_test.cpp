@@ -1,0 +1,350 @@
+// Unit tests for the cluster-rectangle spatial index (selection/
+// cluster_index.*): build-time validation, the epsilon-aware pruning
+// contract (candidates are a provable superset of the supporting set),
+// bitwise scan/index ranking equality on hand-built geometry, stale-index
+// detection, and the RankingsBitwiseEqual checker itself.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qens/selection/cluster_index.h"
+#include "qens/selection/ranking.h"
+
+namespace qens::selection {
+namespace {
+
+clustering::ClusterSummary MakeCluster(const std::vector<double>& flat,
+                                       size_t size) {
+  clustering::ClusterSummary cluster;
+  if (size > 0) {
+    cluster.bounds = query::HyperRectangle::FromFlatBounds(flat).value();
+  }
+  cluster.size = size;
+  return cluster;
+}
+
+NodeProfile MakeProfile(size_t node_id,
+                        std::vector<clustering::ClusterSummary> clusters) {
+  NodeProfile profile;
+  profile.node_id = node_id;
+  profile.clusters = std::move(clusters);
+  for (const auto& c : profile.clusters) profile.total_samples += c.size;
+  return profile;
+}
+
+query::RangeQuery MakeQuery(const std::vector<double>& flat, uint64_t id = 1) {
+  query::RangeQuery q;
+  q.id = id;
+  q.region = query::HyperRectangle::FromFlatBounds(flat).value();
+  return q;
+}
+
+/// Two nodes, two dims, assorted geometry (touching edges, containment,
+/// disjoint dims).
+std::vector<NodeProfile> SmallFleet() {
+  std::vector<NodeProfile> profiles;
+  profiles.push_back(MakeProfile(
+      0, {MakeCluster({0, 2, 0, 2}, 10), MakeCluster({2, 4, 2, 4}, 5)}));
+  profiles.push_back(MakeProfile(
+      1, {MakeCluster({1, 3, 1, 3}, 8), MakeCluster({8, 9, 8, 9}, 3)}));
+  return profiles;
+}
+
+void ExpectBitwiseEqualRankings(const std::vector<NodeProfile>& profiles,
+                                const query::RangeQuery& q,
+                                const RankingOptions& options,
+                                const ClusterIndex& index,
+                                ClusterIndex::Scratch* scratch = nullptr) {
+  auto scan = RankNodes(profiles, q, options);
+  auto indexed = RankNodesIndexed(index, profiles, q, options, scratch);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  std::string diff;
+  EXPECT_TRUE(RankingsBitwiseEqual(*scan, *indexed, options, &diff)) << diff;
+}
+
+TEST(ClusterIndexBuildTest, RejectsNodeWithoutClusters) {
+  std::vector<NodeProfile> profiles = {MakeProfile(7, {})};
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_FALSE(index.ok());
+  EXPECT_TRUE(index.status().IsInvalidArgument());
+  EXPECT_EQ(index.status().message(), "ClusterIndex: node 7 has no clusters");
+}
+
+TEST(ClusterIndexBuildTest, RejectsZeroDimensionalNonEmptyCluster) {
+  clustering::ClusterSummary degenerate;  // 0-dim bounds but size > 0.
+  degenerate.size = 4;
+  std::vector<NodeProfile> profiles = {MakeProfile(0, {degenerate})};
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_FALSE(index.ok());
+  EXPECT_TRUE(index.status().IsInvalidArgument());
+}
+
+TEST(ClusterIndexBuildTest, RejectsMixedDimensionalities) {
+  std::vector<NodeProfile> profiles = {
+      MakeProfile(0, {MakeCluster({0, 1, 0, 1}, 2)}),
+      MakeProfile(1, {MakeCluster({0, 1}, 2)})};
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_FALSE(index.ok());
+  EXPECT_TRUE(index.status().IsInvalidArgument());
+}
+
+TEST(ClusterIndexBuildTest, RejectsInvalidBoundsBox) {
+  clustering::ClusterSummary bad;
+  bad.bounds = query::HyperRectangle({query::Interval(3.0, 1.0)});
+  bad.size = 2;
+  std::vector<NodeProfile> profiles = {MakeProfile(0, {bad})};
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_FALSE(index.ok());
+  EXPECT_TRUE(index.status().IsInvalidArgument());
+}
+
+TEST(ClusterIndexBuildTest, SkipsEmptyClustersAndRecordsShape) {
+  std::vector<NodeProfile> profiles = {
+      MakeProfile(3, {MakeCluster({0, 1, 0, 1}, 5), MakeCluster({}, 0)}),
+      MakeProfile(9, {MakeCluster({1, 2, 1, 2}, 7)})};
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->num_nodes(), 2u);
+  EXPECT_EQ(index->num_entries(), 2u);  // The empty cluster is not indexed.
+  EXPECT_EQ(index->dims(), 2u);
+  EXPECT_EQ(index->node_id_at(0), 3u);
+  EXPECT_EQ(index->node_id_at(1), 9u);
+  EXPECT_EQ(index->node_cluster_count(0), 2u);
+  EXPECT_TRUE(index->node_ids_strictly_increasing());
+  EXPECT_GT(index->GridBytes(), 0u);
+}
+
+TEST(ClusterIndexTest, CandidatesAreSupersetOfSupporting) {
+  const std::vector<NodeProfile> profiles = SmallFleet();
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_TRUE(index.ok());
+  RankingOptions options;
+  options.epsilon = 0.3;
+  ClusterIndex::Scratch scratch;
+  const std::vector<query::RangeQuery> queries = {
+      MakeQuery({0, 1, 0, 1}), MakeQuery({2, 2, 2, 2}),  // Point query.
+      MakeQuery({4, 8, 4, 8}),                           // Touching edges.
+      MakeQuery({-5, 20, -5, 20}),                       // Everything.
+      MakeQuery({50, 60, 50, 60})};                      // Nothing.
+  for (const auto& q : queries) {
+    auto scan = RankNodes(profiles, q, options);
+    ASSERT_TRUE(scan.ok());
+    auto candidates = index->Candidates(q.region, options.epsilon, &scratch);
+    ASSERT_TRUE(candidates.ok()) << candidates.status().ToString();
+    for (const auto& rank : *scan) {
+      for (const auto& score : rank.cluster_scores) {
+        if (!score.supporting) continue;
+        const std::pair<size_t, size_t> want{rank.node_id, score.cluster_id};
+        bool found = false;
+        for (const auto& c : *candidates) found = found || c == want;
+        EXPECT_TRUE(found) << "supporting cluster (" << want.first << ", "
+                           << want.second << ") missing from candidates";
+      }
+    }
+  }
+}
+
+TEST(ClusterIndexTest, PruningIsEpsilonAware) {
+  // Clusters disjoint from the query in dim 1 but (potentially) fully
+  // matched in dim 0: Eq. 2 averages to h up to 0.5, so such a cluster can
+  // support any epsilon <= 0.5 and a box-disjointness prune would be
+  // WRONG. The second cluster widens the dim-1 hull to [0, 9] so the
+  // query's dim-1 bins are interior ones nobody occupies.
+  std::vector<NodeProfile> profiles = {
+      MakeProfile(0, {MakeCluster({0, 1, 0, 1}, 4)}),
+      MakeProfile(1, {MakeCluster({0, 1, 8, 9}, 4)})};
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_TRUE(index.ok());
+  const query::RangeQuery q = MakeQuery({0, 1, 4, 5});
+  ClusterIndex::Scratch scratch;
+
+  RankingOptions supporting;
+  supporting.epsilon = 0.5;  // h = (1 + 0)/2 = 0.5: both clusters support.
+  auto candidates = index->Candidates(q.region, supporting.epsilon, &scratch);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates->size(), 2u);  // Kept despite disjoint boxes.
+  ExpectBitwiseEqualRankings(profiles, q, supporting, *index, &scratch);
+
+  RankingOptions pruning;
+  pruning.epsilon = 0.6;  // h can be at most 1/2 < 0.6: provably prunable.
+  candidates = index->Candidates(q.region, pruning.epsilon, &scratch);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());
+  ExpectBitwiseEqualRankings(profiles, q, pruning, *index, &scratch);
+}
+
+TEST(ClusterIndexTest, IndexedMatchesScanOnFixedFleet) {
+  const std::vector<NodeProfile> profiles = SmallFleet();
+  for (const size_t bins : {size_t{1}, size_t{2}, size_t{32}}) {
+    ClusterIndexOptions index_options;
+    index_options.bins_per_dim = bins;
+    auto index = ClusterIndex::Build(profiles, index_options);
+    ASSERT_TRUE(index.ok());
+    ClusterIndex::Scratch scratch;
+    for (const double epsilon : {0.05, 0.3, 0.5, 0.99}) {
+      RankingOptions options;
+      options.epsilon = epsilon;
+      for (const auto& q :
+           {MakeQuery({0, 2, 0, 2}), MakeQuery({2, 4, 0, 2}),
+            MakeQuery({3, 3, 3, 3}), MakeQuery({8, 9, 0, 9}),
+            MakeQuery({-1, 10, -1, 10}), MakeQuery({30, 40, 30, 40})}) {
+        ExpectBitwiseEqualRankings(profiles, q, options, *index, &scratch);
+      }
+    }
+  }
+}
+
+TEST(ClusterIndexTest, AllEmptyClusterFleetRanksLikeScan) {
+  // Every cluster empty: the scan never evaluates Eq. 2, so even a
+  // dimensionally mismatched query succeeds with all-zero ranks. The
+  // indexed path must mirror that exactly.
+  std::vector<NodeProfile> profiles = {
+      MakeProfile(0, {MakeCluster({}, 0)}),
+      MakeProfile(1, {MakeCluster({}, 0), MakeCluster({}, 0)})};
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_entries(), 0u);
+  RankingOptions options;
+  for (const auto& q : {MakeQuery({0, 1}), MakeQuery({0, 1, 0, 1, 0, 1})}) {
+    ExpectBitwiseEqualRankings(profiles, q, options, *index);
+  }
+}
+
+TEST(ClusterIndexTest, DuplicateNodeIdsKeepScanOrder) {
+  // Duplicate ids force the stable-sort fallback; ties must preserve the
+  // scan's profile-order stability bit for bit.
+  std::vector<NodeProfile> profiles = {
+      MakeProfile(5, {MakeCluster({0, 2, 0, 2}, 4)}),
+      MakeProfile(5, {MakeCluster({0, 2, 0, 2}, 6)}),
+      MakeProfile(2, {MakeCluster({10, 12, 10, 12}, 3)})};
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->node_ids_strictly_increasing());
+  RankingOptions options;
+  for (const auto& q : {MakeQuery({0, 2, 0, 2}), MakeQuery({50, 51, 50, 51}),
+                        MakeQuery({0, 20, 0, 20})}) {
+    ExpectBitwiseEqualRankings(profiles, q, options, *index);
+  }
+}
+
+TEST(ClusterIndexTest, ErrorPathsIdenticalToScan) {
+  const std::vector<NodeProfile> profiles = SmallFleet();
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_TRUE(index.ok());
+
+  struct Case {
+    query::RangeQuery query;
+    RankingOptions options;
+  };
+  std::vector<Case> cases;
+  {
+    Case bad_epsilon{MakeQuery({0, 1, 0, 1}), {}};
+    bad_epsilon.options.epsilon = 0.0;
+    cases.push_back(bad_epsilon);
+    Case bad_weight{MakeQuery({0, 1, 0, 1}), {}};
+    bad_weight.options.reliability_weight = -1.0;
+    cases.push_back(bad_weight);
+    cases.push_back(Case{MakeQuery({0, 1}), {}});        // Dim mismatch.
+    cases.push_back(Case{MakeQuery({0, 1, 0, 1, 0, 1}), {}});
+    Case invalid{MakeQuery({0, 1, 0, 1}), {}};
+    invalid.query.region.dim(0) = query::Interval(2.0, 1.0);  // min > max.
+    cases.push_back(invalid);
+    Case zero_dim{MakeQuery({0, 1, 0, 1}), {}};
+    zero_dim.query.region = query::HyperRectangle();
+    cases.push_back(zero_dim);
+  }
+  for (const Case& c : cases) {
+    auto scan = RankNodes(profiles, c.query, c.options);
+    auto indexed = RankNodesIndexed(*index, profiles, c.query, c.options);
+    ASSERT_FALSE(scan.ok());
+    ASSERT_FALSE(indexed.ok());
+    EXPECT_EQ(scan.status().code(), indexed.status().code());
+    EXPECT_EQ(scan.status().message(), indexed.status().message());
+  }
+}
+
+TEST(ClusterIndexTest, StaleIndexIsAnInternalError) {
+  std::vector<NodeProfile> profiles = SmallFleet();
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_TRUE(index.ok());
+  const query::RangeQuery q = MakeQuery({0, 1, 0, 1});
+
+  std::vector<NodeProfile> fewer = {profiles[0]};
+  auto wrong_count = RankNodesIndexed(*index, fewer, q, RankingOptions{});
+  ASSERT_FALSE(wrong_count.ok());
+
+  std::vector<NodeProfile> renamed = profiles;
+  renamed[1].node_id = 42;
+  auto wrong_id = RankNodesIndexed(*index, renamed, q, RankingOptions{});
+  ASSERT_FALSE(wrong_id.ok());
+
+  std::vector<NodeProfile> reshaped = profiles;
+  reshaped[0].clusters.push_back(MakeCluster({0, 1, 0, 1}, 1));
+  auto wrong_shape = RankNodesIndexed(*index, reshaped, q, RankingOptions{});
+  ASSERT_FALSE(wrong_shape.ok());
+}
+
+TEST(ClusterIndexTest, StatsAccountForEveryIndexedCluster) {
+  const std::vector<NodeProfile> profiles = SmallFleet();
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_TRUE(index.ok());
+  RankingOptions options;
+  options.epsilon = 0.3;
+  ClusterIndex::Scratch scratch;
+  IndexQueryStats stats;
+  auto ranks = RankNodesIndexed(*index, profiles, MakeQuery({0, 2, 0, 2}),
+                                options, &scratch, &stats);
+  ASSERT_TRUE(ranks.ok());
+  EXPECT_EQ(stats.candidate_clusters + stats.pruned_clusters,
+            index->num_entries());
+  EXPECT_GT(stats.candidate_nodes, 0u);
+  EXPECT_LE(stats.candidate_clusters, stats.touched_entries + 0u);
+}
+
+TEST(RankingsBitwiseEqualTest, FlagsEveryContractViolation) {
+  const std::vector<NodeProfile> profiles = SmallFleet();
+  RankingOptions options;
+  options.epsilon = 0.3;
+  auto scan = RankNodes(profiles, MakeQuery({0, 2, 0, 2}), options);
+  ASSERT_TRUE(scan.ok());
+  std::string diff;
+  ASSERT_TRUE(RankingsBitwiseEqual(*scan, *scan, options, &diff)) << diff;
+
+  auto mutate = [&](auto fn) {
+    std::vector<NodeRank> copy = *scan;
+    fn(&copy);
+    EXPECT_FALSE(RankingsBitwiseEqual(*scan, copy, options, &diff));
+  };
+  mutate([](std::vector<NodeRank>* r) { r->pop_back(); });
+  mutate([](std::vector<NodeRank>* r) { (*r)[0].ranking += 1e-16; });
+  mutate([](std::vector<NodeRank>* r) { (*r)[0].node_id += 1; });
+  mutate([](std::vector<NodeRank>* r) { (*r)[0].supporting_samples += 1; });
+  mutate([](std::vector<NodeRank>* r) {
+    (*r)[0].cluster_scores[0].supporting =
+        !(*r)[0].cluster_scores[0].supporting;
+  });
+  // Dropping cluster scores is only legal for nodes without support.
+  mutate([](std::vector<NodeRank>* r) {
+    for (auto& rank : *r) {
+      if (rank.supporting_clusters > 0) {
+        rank.cluster_scores.clear();
+        break;
+      }
+    }
+  });
+  // A pruned (zeroed) overlap on a non-supporting cluster IS legal.
+  std::vector<NodeRank> pruned = *scan;
+  for (auto& rank : pruned) {
+    for (auto& score : rank.cluster_scores) {
+      if (!score.supporting) score.overlap = 0.0;
+    }
+  }
+  EXPECT_TRUE(RankingsBitwiseEqual(*scan, pruned, options, &diff)) << diff;
+}
+
+}  // namespace
+}  // namespace qens::selection

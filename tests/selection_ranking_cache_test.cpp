@@ -1,0 +1,235 @@
+// Tests for the leader-side ranking cache: hit and miss paths are bitwise
+// identical to the uncached leader, quantization-boundary queries that share
+// a hash key never alias (exact-geometry verification), LRU eviction order
+// is pinned, and RecordRoundResult invalidates the cache because
+// reliability feeds every NodeRank.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qens/fl/leader.h"
+#include "qens/selection/cluster_index.h"
+#include "qens/selection/ranking.h"
+#include "qens/selection/ranking_cache.h"
+
+namespace qens::selection {
+namespace {
+
+clustering::ClusterSummary MakeCluster(const std::vector<double>& flat,
+                                       size_t size) {
+  clustering::ClusterSummary cluster;
+  cluster.bounds = query::HyperRectangle::FromFlatBounds(flat).value();
+  cluster.size = size;
+  return cluster;
+}
+
+std::vector<NodeProfile> MakeProfiles() {
+  std::vector<NodeProfile> profiles(3);
+  profiles[0].node_id = 0;
+  profiles[0].clusters = {MakeCluster({0, 2, 0, 2}, 10)};
+  profiles[1].node_id = 1;
+  profiles[1].clusters = {MakeCluster({1, 3, 1, 3}, 6),
+                          MakeCluster({4, 6, 4, 6}, 4)};
+  profiles[2].node_id = 2;
+  profiles[2].clusters = {MakeCluster({5, 9, 5, 9}, 12)};
+  for (auto& p : profiles) {
+    for (const auto& c : p.clusters) p.total_samples += c.size;
+  }
+  return profiles;
+}
+
+query::RangeQuery MakeQuery(const std::vector<double>& flat, uint64_t id = 1) {
+  query::RangeQuery q;
+  q.id = id;
+  q.region = query::HyperRectangle::FromFlatBounds(flat).value();
+  return q;
+}
+
+query::HyperRectangle MakeRegion(const std::vector<double>& flat) {
+  return query::HyperRectangle::FromFlatBounds(flat).value();
+}
+
+std::vector<NodeRank> MarkerRanks(size_t node_id) {
+  NodeRank rank;
+  rank.node_id = node_id;
+  rank.ranking = static_cast<double>(node_id) + 0.5;
+  return {rank};
+}
+
+TEST(RankingCacheTest, HitAndMissPathsAreBitwiseIdenticalThroughLeader) {
+  RankingOptions cached_options;
+  cached_options.use_cache = true;
+  fl::Leader cached(MakeProfiles(), cached_options, QueryDrivenOptions{});
+  fl::Leader plain(MakeProfiles(), RankingOptions{}, QueryDrivenOptions{});
+  ASSERT_NE(cached.ranking_cache(), nullptr);
+  ASSERT_EQ(plain.ranking_cache(), nullptr);
+
+  const query::RangeQuery q = MakeQuery({0.5, 2.5, 0.5, 2.5});
+  for (int round = 0; round < 3; ++round) {  // Miss, then two hits.
+    auto from_cache = cached.Rank(q);
+    auto from_scan = plain.Rank(q);
+    ASSERT_TRUE(from_cache.ok());
+    ASSERT_TRUE(from_scan.ok());
+    std::string diff;
+    EXPECT_TRUE(RankingsBitwiseEqual(*from_scan, *from_cache,
+                                     cached_options, &diff))
+        << diff;
+  }
+  EXPECT_EQ(cached.ranking_telemetry().cache_misses, 1u);
+  EXPECT_EQ(cached.ranking_telemetry().cache_hits, 2u);
+  EXPECT_EQ(plain.ranking_telemetry().cache_hits, 0u);
+}
+
+TEST(RankingCacheTest, QuantizationBoundaryQueriesDoNotAlias) {
+  // With quantum 1.0 both regions quantize to identical cell coordinates,
+  // so they share a hash key — the exact-geometry check must still keep
+  // them apart.
+  RankingCacheOptions options;
+  options.quantum = 1.0;
+  const query::HyperRectangle a = MakeRegion({0.1, 0.9});
+  const query::HyperRectangle b = MakeRegion({0.2, 0.8});
+  ASSERT_EQ(RankingCache::QuantizedKey(a, options.quantum),
+            RankingCache::QuantizedKey(b, options.quantum));
+
+  RankingCache cache(options);
+  cache.Insert(a, MarkerRanks(10));
+  EXPECT_EQ(cache.Lookup(b), nullptr);  // Same key, different geometry.
+  cache.Insert(b, MarkerRanks(20));
+  const auto* got_a = cache.Lookup(a);
+  const auto* got_b = cache.Lookup(b);
+  ASSERT_NE(got_a, nullptr);
+  ASSERT_NE(got_b, nullptr);
+  EXPECT_EQ((*got_a)[0].node_id, 10u);
+  EXPECT_EQ((*got_b)[0].node_id, 20u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(RankingCacheTest, EvictionOrderIsPinnedLru) {
+  RankingCacheOptions options;
+  options.capacity = 2;
+  const query::HyperRectangle a = MakeRegion({0, 1});
+  const query::HyperRectangle b = MakeRegion({1, 2});
+  const query::HyperRectangle c = MakeRegion({2, 3});
+
+  {
+    RankingCache cache(options);
+    cache.Insert(a, MarkerRanks(1));
+    cache.Insert(b, MarkerRanks(2));
+    cache.Insert(c, MarkerRanks(3));  // Evicts a (least recently used).
+    EXPECT_EQ(cache.Lookup(a), nullptr);
+    EXPECT_NE(cache.Lookup(b), nullptr);
+    EXPECT_NE(cache.Lookup(c), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+  }
+  {
+    RankingCache cache(options);
+    cache.Insert(a, MarkerRanks(1));
+    cache.Insert(b, MarkerRanks(2));
+    ASSERT_NE(cache.Lookup(a), nullptr);  // Touch a: now b is LRU.
+    cache.Insert(c, MarkerRanks(3));      // Evicts b.
+    EXPECT_NE(cache.Lookup(a), nullptr);
+    EXPECT_EQ(cache.Lookup(b), nullptr);
+    EXPECT_NE(cache.Lookup(c), nullptr);
+  }
+}
+
+TEST(RankingCacheTest, ReinsertReplacesInPlace) {
+  RankingCache cache(RankingCacheOptions{});
+  const query::HyperRectangle a = MakeRegion({0, 1});
+  cache.Insert(a, MarkerRanks(1));
+  cache.Insert(a, MarkerRanks(2));  // Same exact region: replace, not grow.
+  EXPECT_EQ(cache.size(), 1u);
+  const auto* got = cache.Lookup(a);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ((*got)[0].node_id, 2u);
+}
+
+TEST(RankingCacheTest, CapacityZeroNeverStores) {
+  RankingCacheOptions options;
+  options.capacity = 0;
+  RankingCache cache(options);
+  const query::HyperRectangle a = MakeRegion({0, 1});
+  cache.Insert(a, MarkerRanks(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+}
+
+TEST(RankingCacheTest, ClearKeepsStats) {
+  RankingCache cache(RankingCacheOptions{});
+  const query::HyperRectangle a = MakeRegion({0, 1});
+  cache.Insert(a, MarkerRanks(1));
+  ASSERT_NE(cache.Lookup(a), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(RankingCacheTest, RecordRoundResultInvalidatesLeaderCache) {
+  RankingOptions options;
+  options.use_cache = true;
+  options.reliability_weight = 1.0;  // Make reliability bite the ranking.
+  fl::Leader leader(MakeProfiles(), options, QueryDrivenOptions{});
+  const query::RangeQuery q = MakeQuery({0.5, 2.5, 0.5, 2.5});
+
+  auto before = leader.Rank(q);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(leader.Rank(q).ok());  // Warm hit.
+  EXPECT_EQ(leader.ranking_telemetry().cache_hits, 1u);
+
+  // Node 0 fails a round: its SuccessRate drops, so the cached ranking is
+  // stale and must not be served again.
+  leader.RecordRoundResult(0, fl::Leader::RoundResult::kFailed);
+  auto after = leader.Rank(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(leader.ranking_telemetry().cache_hits, 1u);  // Miss, recompute.
+  EXPECT_EQ(leader.ranking_telemetry().cache_misses, 2u);
+  bool reliability_changed = false;
+  for (const auto& rank : *after) {
+    if (rank.node_id == 0) reliability_changed = rank.reliability < 1.0;
+  }
+  EXPECT_TRUE(reliability_changed);
+
+  // Unknown node ids are ignored AND still conservatively clear nothing
+  // observable: ranking stays self-consistent on the next request.
+  ASSERT_TRUE(leader.Rank(q).ok());
+  std::string diff;
+  auto again = leader.Rank(q);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(RankingsBitwiseEqual(*after, *again, options, &diff)) << diff;
+}
+
+TEST(RankingCacheTest, CachedIndexedAndScanAgree) {
+  // All three serving paths at once: scan leader vs index+cache leader.
+  const std::vector<NodeProfile> profiles = MakeProfiles();
+  auto index = ClusterIndex::Build(profiles);
+  ASSERT_TRUE(index.ok());
+  RankingOptions accel;
+  accel.use_index = true;
+  accel.use_cache = true;
+  fl::Leader fast(profiles, accel, QueryDrivenOptions{},
+                  std::make_shared<const ClusterIndex>(std::move(*index)));
+  fl::Leader slow(profiles, RankingOptions{}, QueryDrivenOptions{});
+  for (const auto& q :
+       {MakeQuery({0, 9, 0, 9}), MakeQuery({4, 6, 4, 6}),
+        MakeQuery({0, 9, 0, 9}), MakeQuery({20, 30, 20, 30})}) {
+    auto a = fast.Rank(q);
+    auto b = slow.Rank(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    std::string diff;
+    EXPECT_TRUE(RankingsBitwiseEqual(*b, *a, accel, &diff)) << diff;
+  }
+  EXPECT_GT(fast.ranking_telemetry().index_rankings, 0u);
+  EXPECT_GT(fast.ranking_telemetry().cache_hits, 0u);  // Repeated region.
+}
+
+}  // namespace
+}  // namespace qens::selection

@@ -34,6 +34,10 @@ BENCH_REQUIREMENTS = {
         "sections": {"equality", "throughput"},
         "record_values": {"queries"},
     },
+    "bench_x9_ranking_scalability": {
+        "sections": {"equality", "scaling"},
+        "record_values": {"nodes"},
+    },
 }
 
 
