@@ -13,6 +13,7 @@
 
 #include "qens/common/config.h"
 #include "qens/fl/experiment.h"
+#include "qens/ml/model_codec.h"
 #include "qens/fl/query_server.h"
 #include "qens/obs/export.h"
 #include "qens/obs/metrics.h"
@@ -87,6 +88,12 @@ aggregator = fedavg-parameters ; fedavg-parameters | coordinate-median |
                                ; trimmed-mean | norm-clipped-fedavg
 trim_beta = 0.1
 clip_norm = 1.0
+
+[wire]
+enabled = false          ; binary wire format + codec byte accounting
+codec = raw              ; raw | q8 | q4 | q2 | topk (docs/WIRE_FORMAT.md)
+top_k_fraction = 0.1     ; fraction of delta coords kept by topk
+strong_seed_mix = false  ; 64-bit model-init seed mixer (collision-free)
 
 [metrics]
 enabled = false
@@ -239,6 +246,15 @@ Result<fl::ExperimentConfig> BuildConfig(const Config& ini) {
                         ini.GetDouble("byzantine.trim_beta", 0.1));
   QENS_ASSIGN_OR_RETURN(byz.clip_norm,
                         ini.GetDouble("byzantine.clip_norm", 1.0));
+
+  ml::WireOptions& wire = config.federation.wire;
+  QENS_ASSIGN_OR_RETURN(wire.enabled, ini.GetBool("wire.enabled", false));
+  QENS_ASSIGN_OR_RETURN(
+      wire.codec, ml::ParseWireCodecKind(ini.GetString("wire.codec", "raw")));
+  QENS_ASSIGN_OR_RETURN(wire.top_k_fraction,
+                        ini.GetDouble("wire.top_k_fraction", 0.1));
+  QENS_ASSIGN_OR_RETURN(config.federation.strong_seed_mix,
+                        ini.GetBool("wire.strong_seed_mix", false));
   return config;
 }
 

@@ -5,6 +5,8 @@
 
 #include "qens/common/rng.h"
 #include "qens/common/string_util.h"
+#include "qens/fl/seed_derivation.h"
+#include "qens/ml/model_codec.h"
 #include "qens/ml/model_io.h"
 #include "qens/query/selectivity_estimator.h"
 
@@ -44,21 +46,34 @@ Result<QueryPlan> PlanQuery(
       std::vector<selection::NodeRank> selected,
       selection::SelectQueryDriven(ranks, options.selection));
 
-  // Size of the model that would be broadcast. The serialized size depends
-  // on the weight digits, so with a session seed we rebuild the exact model
-  // the session's init stream would produce; otherwise a representative
-  // fixed-seed instance.
-  size_t model_bytes = 0;
+  // Size of the model that would be broadcast / returned. Under the text
+  // serializer the size depends on the weight digits, so with a session
+  // seed we rebuild the exact model the session's init stream would
+  // produce; otherwise a representative fixed-seed instance. Under the
+  // binary codec both directions are closed-form from the architecture
+  // alone — exact regardless of the seed.
+  size_t down_bytes = 0;
+  size_t up_bytes = 0;
   if (!profiles.empty() && !profiles[0].clusters.empty()) {
     const size_t input_features = profiles[0].clusters[0].centroid.size();
     if (input_features > 0) {
       Rng rng(options.session_seed.has_value()
-                  ? *options.session_seed * 1000003 + query.id
+                  ? ModelInitSeed(*options.session_seed, query.id,
+                                  options.strong_seed_mix)
                   : 1);
       QENS_ASSIGN_OR_RETURN(ml::SequentialModel model,
                             ml::BuildModel(options.hyper, input_features,
                                            &rng));
-      model_bytes = ml::SerializedModelBytes(model);
+      if (options.wire.enabled) {
+        down_bytes = ml::EncodedModelBytes(model,
+                                           ml::DownlinkKind(options.wire),
+                                           options.wire.top_k_fraction);
+        up_bytes = ml::EncodedModelBytes(model, ml::UplinkKind(options.wire),
+                                         options.wire.top_k_fraction);
+      } else {
+        down_bytes = ml::SerializedModelBytes(model);
+        up_bytes = down_bytes;  // Same text format both ways.
+      }
     }
   }
 
@@ -96,7 +111,7 @@ Result<QueryPlan> PlanQuery(
 
     plan.total_supporting_samples += node.supporting_samples;
     plan.total_estimated_rows += node.estimated_rows;
-    plan.est_comm_bytes += 2 * model_bytes;  // Down + up (same format).
+    plan.est_comm_bytes += down_bytes + up_bytes;
     plan.nodes.push_back(std::move(node));
   }
 
@@ -104,7 +119,7 @@ Result<QueryPlan> PlanQuery(
   if (plan.executable) {
     // Participants train in parallel; transfers are per node.
     plan.est_round_seconds =
-        max_train + cost.RoundTripSeconds(model_bytes, model_bytes) *
+        max_train + cost.RoundTripSeconds(down_bytes, up_bytes) *
                         static_cast<double>(plan.nodes.size());
   }
   return plan;

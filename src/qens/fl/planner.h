@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "qens/common/status.h"
+#include "qens/ml/model_codec.h"
 #include "qens/ml/model_factory.h"
 #include "qens/query/range_query.h"
 #include "qens/selection/node_profile.h"
@@ -39,12 +40,19 @@ struct PlannerOptions {
   ml::HyperParams hyper = ml::PaperHyperParams(ml::ModelKind::kLinearRegression);
   sim::CostModelOptions cost;
   /// Session seed the query would run under. When set, the plan prices the
-  /// EXACT model the session would broadcast (init stream
-  /// `seed * 1000003 + query.id`), so est_comm_bytes matches the executed
-  /// transfer byte-for-byte — the serialized size depends on the weight
-  /// digits. Unset = a representative fixed-seed instance (close, not
-  /// exact).
+  /// EXACT model the session would broadcast (init stream from
+  /// fl::ModelInitSeed), so est_comm_bytes matches the executed transfer
+  /// byte-for-byte — under the text serializer the size depends on the
+  /// weight digits. Unset = a representative fixed-seed instance (close,
+  /// not exact). With `wire.enabled` the codec size is
+  /// architecture-determined, so the estimate is exact either way.
   std::optional<uint64_t> session_seed;
+  /// Must match FederationOptions::wire of the session that will execute
+  /// the query: prices both link directions with the codec's closed-form
+  /// sizes (down-link absolute codec, up-link delta codec).
+  ml::WireOptions wire;
+  /// Must match FederationOptions::strong_seed_mix (see fl/seed_derivation.h).
+  bool strong_seed_mix = false;
 };
 
 /// One selected node's predicted contribution.

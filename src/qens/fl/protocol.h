@@ -15,6 +15,7 @@
 
 #include "qens/fl/aggregation.h"
 #include "qens/fl/update_validator.h"
+#include "qens/ml/model_codec.h"
 #include "qens/ml/model_factory.h"
 #include "qens/obs/round_record.h"
 #include "qens/query/range_query.h"
@@ -112,6 +113,16 @@ struct FederationOptions {
   FaultToleranceOptions fault_tolerance;
   /// Update validation, quarantine, and robust aggregation (opt-in).
   ByzantineOptions byzantine;
+  /// Binary wire format + update compression (opt-in; docs/WIRE_FORMAT.md).
+  /// With it off, byte accounting uses the historical text serializer and
+  /// all outputs stay byte-identical to the pre-wire protocol.
+  ml::WireOptions wire;
+  /// Derive per-query model-init seeds through a full 64-bit mixer instead
+  /// of the historical `seed * 1000003 + query.id` affine map (which
+  /// collides across sessions once ids reach 1000003 — see
+  /// fl/seed_derivation.h). Opt-in: the default keeps every historical
+  /// output byte-identical.
+  bool strong_seed_mix = false;
   uint64_t seed = 17;
 };
 

@@ -9,7 +9,9 @@
 #include "qens/data/splitter.h"
 #include "qens/fl/aggregation.h"
 #include "qens/fl/round_engine.h"
+#include "qens/fl/seed_derivation.h"
 #include "qens/ml/loss.h"
+#include "qens/ml/model_codec.h"
 #include "qens/ml/model_io.h"
 #include "qens/obs/metrics.h"
 #include "qens/obs/trace.h"
@@ -394,13 +396,22 @@ Result<QueryOutcome> QuerySession::RunQueryMultiRound(
   };
 
   // Broadcast the initial global model w.
-  Rng init_rng(seed_ * 1000003 + query.id);
+  Rng init_rng(ModelInitSeed(seed_, query.id, options.strong_seed_mix));
   QENS_ASSIGN_OR_RETURN(
       ml::SequentialModel global,
       ml::BuildModel(options.hyper,
                      environment.node(0).local_data().NumFeatures(),
                      &init_rng));
-  const size_t model_bytes = ml::SerializedModelBytes(global);
+  // Down-link price per broadcast. Under the binary codec the size is
+  // closed-form from the architecture, so one number is EXACT for every
+  // round — which also fixes the historical down/up asymmetry (the text
+  // down-link reused the initial model's size across rounds while the
+  // up-link remeasured each trained model's drifting hex-float length).
+  const ml::WireOptions& wire = options.wire;
+  const size_t model_bytes =
+      wire.enabled ? ml::EncodedModelBytes(global, ml::DownlinkKind(wire),
+                                           wire.top_k_fraction)
+                   : ml::SerializedModelBytes(global);
 
   LocalTrainOptions local_options;
   local_options.hyper = options.hyper;

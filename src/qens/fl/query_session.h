@@ -19,7 +19,8 @@
 ///
 /// Seed contract: all per-query randomness derives from the session seed
 /// exactly as the historical Federation derived it from
-/// `FederationOptions::seed` (model init `seed * 1000003 + query.id`,
+/// `FederationOptions::seed` (model init `fl::ModelInitSeed(seed, query.id)`
+/// — the historical `seed * 1000003 + query.id` map, see seed_derivation.h,
 /// local training `seed + query.id`, Random policy
 /// `Rng(seed ^ 0x5eed).Fork(stream)`, dropout `Rng(seed ^ 0xd20f)`,
 /// stochastic `seed ^ 0xfa12`, GT `seed + query.id`). A session seeded

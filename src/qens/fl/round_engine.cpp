@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "qens/fl/aggregation.h"
+#include "qens/ml/model_codec.h"
 #include "qens/ml/model_io.h"
 #include "qens/obs/metrics.h"
 #include "qens/obs/trace.h"
@@ -89,6 +90,19 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
   const ByzantineOptions& byz = options.byzantine;
   const bool byz_on = byz.enabled;
 
+  // Wire layer (opt-in): with it off, no codec is ever invoked and byte
+  // accounting uses the historical text-serializer sizes. With it on, both
+  // link directions are priced by the codec's closed-form size — O(layers),
+  // architecture-determined, identical for every trained model — which is
+  // what lets the planner pin its estimates exactly.
+  const ml::WireOptions& wire = options.wire;
+  const bool wire_on = wire.enabled;
+  const ml::WireCodecKind down_kind = ml::DownlinkKind(wire);
+  const ml::WireCodecKind up_kind = ml::UplinkKind(wire);
+  const size_t wire_up_bytes =
+      wire_on ? ml::EncodedModelBytes(global, up_kind, wire.top_k_fraction)
+              : 0;
+
   // Per-job fate this round, precomputed from the injector's pure schedule
   // so training can still fan out in parallel.
   struct JobFate {
@@ -122,6 +136,22 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
     double round_parallel = 0.0;
     double round_train = 0.0;
     double round_comm = 0.0;
+    size_t round_wire_down = 0;  ///< Bytes offered down-link (wire layer).
+    size_t round_wire_up = 0;    ///< Bytes offered up-link (wire layer).
+
+    // Under a lossy down-link codec the participants train on exactly what
+    // the wire delivers: decode(encode(global)). Raw keeps `global` itself
+    // (bit-exact round-trip), so the fault-free raw run matches the
+    // wire-off run in everything but byte accounting.
+    const ml::SequentialModel* broadcast = &global;
+    ml::SequentialModel broadcast_storage;
+    if (wire_on && ml::WireCodecIsLossy(down_kind)) {
+      QENS_ASSIGN_OR_RETURN(
+          const std::string encoded,
+          ml::EncodeModel(global, down_kind, wire.top_k_fraction));
+      QENS_ASSIGN_OR_RETURN(broadcast_storage, ml::DecodeModel(encoded));
+      broadcast = &broadcast_storage;
+    }
 
     obs::RoundRecord record;
     if (obs_on) {
@@ -195,11 +225,11 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
         job_options.poison_labels = true;
       }
       if (job.selective) {
-        return TrainOnSupportingClusters(node, global, job.supporting,
+        return TrainOnSupportingClusters(node, *broadcast, job.supporting,
                                          job_options,
                                          environment.cost_model());
       }
-      return TrainOnFullData(node, global, job_options,
+      return TrainOnFullData(node, *broadcast, job_options,
                              environment.cost_model());
     };
     std::vector<std::optional<Result<LocalTrainResult>>> results(jobs.size());
@@ -269,6 +299,7 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
       for (size_t attempt = 0; attempt < fate.down_attempts; ++attempt) {
         const bool lost =
             attempt + 1 < fate.down_attempts || !fate.down_delivered;
+        if (wire_on && obs_on) round_wire_down += model_bytes;
         down_seconds += ctx_.transport->Send(
             leader_id, node_id, model_bytes,
             lost ? "model-down-lost" : "model-down");
@@ -301,10 +332,12 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
       LocalTrainResult& result = results[j]->value();
       if (injector && fate.corruption != sim::CorruptionKind::kNone) {
         // Byzantine node: the model that goes on the wire is the corrupted
-        // one (upload bytes and all downstream screening see it).
+        // one (upload bytes and all downstream screening see it). The
+        // corruption is applied node-side, so its reference is the model
+        // the node actually received (the decoded broadcast).
         ApplyModelCorruption(&result.model, fate.corruption,
                              injector->plan().options().corruption_gamma,
-                             global);
+                             *broadcast);
       }
       if (round == 0) outcome->samples_used += result.samples_used;
       const double train_seconds = result.sim_train_seconds * fate.slowdown;
@@ -327,8 +360,12 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
         continue;
       }
 
-      // Model-up transfer(s), with the same retry/backoff policy.
-      const size_t up_bytes = ml::SerializedModelBytes(result.model);
+      // Model-up transfer(s), with the same retry/backoff policy. Under the
+      // codec the size is closed-form and shared by every trained model
+      // (architecture-determined); the historical text path must measure
+      // each model because hex-float lengths drift with the values.
+      const size_t up_bytes =
+          wire_on ? wire_up_bytes : ml::SerializedModelBytes(result.model);
       bool up_delivered = true;
       size_t up_attempts = 1;
       if (injector) {
@@ -346,6 +383,7 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
       double up_seconds = 0.0;
       for (size_t attempt = 0; attempt < up_attempts; ++attempt) {
         const bool lost = attempt + 1 < up_attempts || !up_delivered;
+        if (wire_on && obs_on) round_wire_up += up_bytes;
         up_seconds += ctx_.transport->Send(
             node_id, leader_id, up_bytes, lost ? "model-up-lost" : "model-up");
         if (lost) {
@@ -405,6 +443,18 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
       record_node(node_id, obs::NodeFate::kCompleted, train_seconds,
                   down_seconds + up_seconds, result.samples_used,
                   fate.slowdown > 1.0);
+      if (wire_on && ml::WireCodecIsLossy(up_kind)) {
+        // What the leader aggregates is what the wire delivered: the
+        // broadcast plus the decoded (quantized / sparsified) delta. Note a
+        // quantized delta cannot transmit NaN/Inf — non-finite coordinates
+        // collapse to the broadcast value (top-k sends them verbatim).
+        QENS_ASSIGN_OR_RETURN(
+            const std::string encoded,
+            ml::EncodeModelDelta(result.model, *broadcast, up_kind,
+                                 wire.top_k_fraction));
+        QENS_ASSIGN_OR_RETURN(result.model,
+                              ml::DecodeModelDelta(encoded, *broadcast));
+      }
       final_alive[j] = true;
       local_models.push_back(result.model);
       eq7_weights.push_back(rank_weight);
@@ -494,6 +544,8 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
       record.parallel_seconds = round_parallel;
       record.total_train_seconds = round_train;
       record.comm_seconds = round_comm;
+      record.wire_down_bytes = round_wire_down;
+      record.wire_up_bytes = round_wire_up;
       obs::Observe("federation.round.parallel_seconds", round_parallel);
       outcome->round_records.push_back(std::move(record));
     }

@@ -1,0 +1,45 @@
+#ifndef QENS_FL_SEED_DERIVATION_H_
+#define QENS_FL_SEED_DERIVATION_H_
+
+/// \file seed_derivation.h
+/// The one place the per-query model-initialization seed is derived — the
+/// planner and the session MUST agree on it bit-for-bit, or the planner's
+/// dry-run model (and therefore its byte estimates under the text
+/// serializer) would diverge from the model the session actually trains.
+///
+/// The historical derivation is the affine map `seed * 1000003 + query_id`.
+/// It is NOT injective across sessions: (seed, id) and (seed + 1,
+/// id - 1000003) collide whenever ids reach 1000003, so two different
+/// sessions can initialize identical models for different queries. A full
+/// 64-bit finalizer (SplitMix64's mixer: every input bit avalanches into
+/// every output bit, and the map is bijective per seed) fixes that, but
+/// changes every historical output — so it sits behind the opt-in
+/// `strong_seed_mix` flag (FederationOptions / PlannerOptions) and the
+/// default remains byte-identical to the historical behavior.
+
+#include <cstdint>
+
+namespace qens::fl {
+
+/// Seed for the global model's weight initialization for `query_id` under
+/// `session_seed`. Both the QuerySession round driver and the Planner's
+/// dry-run must call this — never inline the formula.
+inline uint64_t ModelInitSeed(uint64_t session_seed, uint64_t query_id,
+                              bool strong_mix = false) {
+  if (!strong_mix) {
+    // Historical affine map (collision-prone across sessions, kept for
+    // byte-identical default outputs).
+    return session_seed * 1000003ull + query_id;
+  }
+  // SplitMix64 finalizer over the golden-ratio-separated pair: bijective in
+  // each argument, full avalanche, no cross-session collisions for
+  // distinct (seed, id) pairs within a session's id space.
+  uint64_t z = session_seed + 0x9e3779b97f4a7c15ull * (query_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace qens::fl
+
+#endif  // QENS_FL_SEED_DERIVATION_H_

@@ -2,11 +2,13 @@
 #define QENS_ML_MODEL_IO_H_
 
 /// \file model_io.h
-/// Text serialization of SequentialModel — the wire format exchanged between
-/// the leader and the participants in the federation (and used by the
-/// network substrate to account transferred bytes).
+/// Text serialization of SequentialModel — the historical wire format
+/// exchanged between the leader and the participants in the federation (and
+/// used by the network substrate to account transferred bytes when the
+/// binary codec is off; see model_codec.h for the opt-in binary format).
 ///
-/// Format (line oriented, '#'-prefixed comments ignored):
+/// Format (line oriented, '#'-prefixed comments ignored; anything after the
+/// parameter block other than whitespace is rejected):
 ///   qens-model v1
 ///   layers <n>
 ///   layer <in> <out> <activation>      (n times)
@@ -34,8 +36,19 @@ Status SaveModel(const SequentialModel& model, const std::string& path);
 Result<SequentialModel> LoadModel(const std::string& path);
 
 /// Size in bytes of the serialized form — the communication cost of sending
-/// this model over the (simulated) network.
+/// this model over the (simulated) network when the binary codec is off.
+/// Computed by counting formatted lengths, never by building the serialized
+/// string; returns exactly SerializeModel(model).size().
 size_t SerializedModelBytes(const SequentialModel& model);
+
+namespace internal {
+
+/// Times SerializeModel has fully materialized a serialized string in this
+/// process. Test-only: lets regression tests assert that the byte-accounting
+/// path (SerializedModelBytes) performs no full serialization.
+size_t SerializeCallCountForTest();
+
+}  // namespace internal
 
 }  // namespace qens::ml
 

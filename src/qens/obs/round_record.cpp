@@ -118,6 +118,16 @@ std::string RoundRecordToJson(const RoundRecord& record) {
     root.Set("rank_candidate_nodes",
              JsonValue::Number(static_cast<double>(record.rank_candidate_nodes)));
   }
+  // Wire-layer byte counters: nonzero-only, same byte-compatibility
+  // contract (the wire layer is opt-in; with it off nothing is emitted).
+  if (record.wire_down_bytes > 0) {
+    root.Set("wire_down_bytes",
+             JsonValue::Number(static_cast<double>(record.wire_down_bytes)));
+  }
+  if (record.wire_up_bytes > 0) {
+    root.Set("wire_up_bytes",
+             JsonValue::Number(static_cast<double>(record.wire_up_bytes)));
+  }
   root.Set("parallel_seconds", JsonValue::Number(record.parallel_seconds));
   root.Set("total_train_seconds",
            JsonValue::Number(record.total_train_seconds));
@@ -200,6 +210,10 @@ Result<RoundRecord> ParseRoundRecordJson(const std::string& line) {
       parse_optional_count("rank_cache_misses", &record.rank_cache_misses));
   QENS_RETURN_NOT_OK(parse_optional_count("rank_candidate_nodes",
                                           &record.rank_candidate_nodes));
+  QENS_RETURN_NOT_OK(
+      parse_optional_count("wire_down_bytes", &record.wire_down_bytes));
+  QENS_RETURN_NOT_OK(
+      parse_optional_count("wire_up_bytes", &record.wire_up_bytes));
   QENS_ASSIGN_OR_RETURN(record.parallel_seconds,
                         root.GetNumber("parallel_seconds"));
   QENS_ASSIGN_OR_RETURN(record.total_train_seconds,
@@ -241,8 +255,10 @@ namespace {
 constexpr char kCsvHeader[] =
     "session,query_id,round,policy,aggregation,engaged,survivors,rejected,"
     "quarantined,rank_index_rankings,rank_cache_hits,rank_cache_misses,"
-    "rank_candidate_nodes,quorum_met,parallel_seconds,total_train_seconds,"
-    "comm_seconds,has_loss,loss,nodes";
+    "rank_candidate_nodes,wire_down_bytes,wire_up_bytes,quorum_met,"
+    "parallel_seconds,total_train_seconds,comm_seconds,has_loss,loss,nodes";
+
+constexpr size_t kCsvColumns = 22;
 
 std::string NodesCell(const std::vector<NodeRoundStat>& nodes) {
   std::string out;
@@ -286,13 +302,14 @@ std::string RoundRecordsToCsv(const std::vector<RoundRecord>& records) {
   out.push_back('\n');
   for (const RoundRecord& r : records) {
     out += StrFormat(
-        "%llu,%llu,%zu,%s,%s,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%d,%s,%s,%s,"
-        "%d,%s,%s\n",
+        "%llu,%llu,%zu,%s,%s,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%d,"
+        "%s,%s,%s,%d,%s,%s\n",
         static_cast<unsigned long long>(r.session),
         static_cast<unsigned long long>(r.query_id), r.round,
         r.policy.c_str(), r.aggregation.c_str(), r.engaged, r.survivors,
         r.rejected, r.quarantined, r.rank_index_rankings, r.rank_cache_hits,
-        r.rank_cache_misses, r.rank_candidate_nodes, r.quorum_met ? 1 : 0,
+        r.rank_cache_misses, r.rank_candidate_nodes, r.wire_down_bytes,
+        r.wire_up_bytes, r.quorum_met ? 1 : 0,
         JsonNumber(r.parallel_seconds).c_str(),
         JsonNumber(r.total_train_seconds).c_str(),
         JsonNumber(r.comm_seconds).c_str(), r.has_loss ? 1 : 0,
@@ -321,9 +338,10 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text) {
       continue;
     }
     const std::vector<std::string> cells = Split(line, ',');
-    if (cells.size() != 20) {
+    if (cells.size() != kCsvColumns) {
       return Status::InvalidArgument(
-          StrFormat("round csv: expected 20 cells, got %zu", cells.size()));
+          StrFormat("round csv: expected %zu cells, got %zu", kCsvColumns,
+                    cells.size()));
     }
     RoundRecord r;
     r.session = std::strtoull(cells[0].c_str(), nullptr, 10);
@@ -346,13 +364,17 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text) {
         static_cast<size_t>(std::strtoull(cells[11].c_str(), nullptr, 10));
     r.rank_candidate_nodes =
         static_cast<size_t>(std::strtoull(cells[12].c_str(), nullptr, 10));
-    r.quorum_met = cells[13] == "1";
-    r.parallel_seconds = std::strtod(cells[14].c_str(), nullptr);
-    r.total_train_seconds = std::strtod(cells[15].c_str(), nullptr);
-    r.comm_seconds = std::strtod(cells[16].c_str(), nullptr);
-    r.has_loss = cells[17] == "1";
-    r.loss = std::strtod(cells[18].c_str(), nullptr);
-    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[19]));
+    r.wire_down_bytes =
+        static_cast<size_t>(std::strtoull(cells[13].c_str(), nullptr, 10));
+    r.wire_up_bytes =
+        static_cast<size_t>(std::strtoull(cells[14].c_str(), nullptr, 10));
+    r.quorum_met = cells[15] == "1";
+    r.parallel_seconds = std::strtod(cells[16].c_str(), nullptr);
+    r.total_train_seconds = std::strtod(cells[17].c_str(), nullptr);
+    r.comm_seconds = std::strtod(cells[18].c_str(), nullptr);
+    r.has_loss = cells[19] == "1";
+    r.loss = std::strtod(cells[20].c_str(), nullptr);
+    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[21]));
     records.push_back(std::move(r));
   }
   return records;

@@ -80,6 +80,14 @@ struct RoundRecord {
   size_t rank_cache_misses = 0;     ///< Cache lookups that had to compute.
   size_t rank_candidate_nodes = 0;  ///< Nodes the index actually scored.
   /// @}
+  /// \name Wire-layer byte counters (docs/WIRE_FORMAT.md)
+  /// Bytes offered to the transport this round, per direction, retries
+  /// included. Populated only when FederationOptions::wire is enabled;
+  /// both zero — and omitted from JSON for byte-compatibility — otherwise.
+  /// @{
+  size_t wire_down_bytes = 0;  ///< Leader -> participants broadcast bytes.
+  size_t wire_up_bytes = 0;    ///< Participants -> leader update bytes.
+  /// @}
   bool quorum_met = true;   ///< False for below-quorum (degraded) rounds.
   /// Leader-side critical path: max over engaged nodes of the capped
   /// per-node wait (never exceeds the round deadline when one is set).

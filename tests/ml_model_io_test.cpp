@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "qens/common/rng.h"
 
@@ -105,10 +106,51 @@ TEST(ModelIoTest, LoadMissingFileFails) {
   EXPECT_TRUE(LoadModel("/nonexistent/dir/model.txt").status().IsIOError());
 }
 
+TEST(ModelIoTest, RejectsTrailingGarbage) {
+  SequentialModel m = RandomNet(8);
+  const std::string text = SerializeModel(m);
+  // Any non-whitespace after the parameter block is an error ...
+  EXPECT_FALSE(DeserializeModel(text + "extra").ok());
+  EXPECT_FALSE(DeserializeModel(text + "\n0.5\n").ok());
+  EXPECT_FALSE(DeserializeModel(text + "# comment\n").ok());
+  EXPECT_FALSE(DeserializeModel(text + text).ok());
+  // ... but trailing whitespace is fine.
+  EXPECT_TRUE(DeserializeModel(text + "  \n\t\n").ok());
+}
+
 TEST(ModelIoTest, SerializedBytesMatchesTextSize) {
   SequentialModel m = RandomNet(6);
   EXPECT_EQ(SerializedModelBytes(m), SerializeModel(m).size());
   EXPECT_GT(SerializedModelBytes(m), 0u);
+}
+
+TEST(ModelIoTest, SerializedBytesMatchesTextSizeOnSpecials) {
+  // The byte count is computed without materializing the string; it must
+  // stay exact for every hex-float width, specials included.
+  SequentialModel m;
+  ASSERT_TRUE(m.AddLayer(3, 2, Activation::kTanh).ok());
+  ASSERT_TRUE(m
+                  .SetParameters({std::numeric_limits<double>::quiet_NaN(),
+                                  std::numeric_limits<double>::infinity(),
+                                  -std::numeric_limits<double>::infinity(),
+                                  std::numeric_limits<double>::denorm_min(),
+                                  -0.0, 0.0, 1e308, -1e-308})
+                  .ok());
+  EXPECT_EQ(SerializedModelBytes(m), SerializeModel(m).size());
+  SequentialModel empty;
+  EXPECT_EQ(SerializedModelBytes(empty), SerializeModel(empty).size());
+}
+
+TEST(ModelIoTest, ByteAccountingDoesNotSerialize) {
+  // Regression: SerializedModelBytes used to build the full text just to
+  // take .size(), turning the per-node accounting path into O(params)
+  // string churn. It must not invoke the serializer at all.
+  SequentialModel m = RandomNet(9);
+  const size_t before = internal::SerializeCallCountForTest();
+  for (int i = 0; i < 16; ++i) (void)SerializedModelBytes(m);
+  EXPECT_EQ(internal::SerializeCallCountForTest(), before);
+  (void)SerializeModel(m);
+  EXPECT_EQ(internal::SerializeCallCountForTest(), before + 1);
 }
 
 TEST(ModelIoTest, BiggerModelSerializesBigger) {

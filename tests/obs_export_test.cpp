@@ -43,6 +43,8 @@ std::vector<RoundRecord> SampleRecords() {
   second.rank_cache_hits = 1;
   second.rank_cache_misses = 1;
   second.rank_candidate_nodes = 5;
+  second.wire_down_bytes = 1024;  // Wire layer on: codec-priced transfers.
+  second.wire_up_bytes = 212;
   second.quorum_met = false;
   second.parallel_seconds = 0.5;
   second.total_train_seconds = 0.6;
@@ -72,6 +74,8 @@ void ExpectRecordsEqual(const RoundRecord& a, const RoundRecord& b) {
   EXPECT_EQ(a.rank_cache_hits, b.rank_cache_hits);
   EXPECT_EQ(a.rank_cache_misses, b.rank_cache_misses);
   EXPECT_EQ(a.rank_candidate_nodes, b.rank_candidate_nodes);
+  EXPECT_EQ(a.wire_down_bytes, b.wire_down_bytes);
+  EXPECT_EQ(a.wire_up_bytes, b.wire_up_bytes);
   EXPECT_EQ(a.quorum_met, b.quorum_met);
   EXPECT_DOUBLE_EQ(a.parallel_seconds, b.parallel_seconds);
   EXPECT_DOUBLE_EQ(a.total_train_seconds, b.total_train_seconds);
@@ -131,6 +135,13 @@ TEST(RoundRecordJsonlTest, SessionFieldOnlyEmittedWhenTagged) {
   EXPECT_NE(RoundRecordToJson(records[1]).find("\"rank_index_rankings\":2"),
             std::string::npos);
   EXPECT_NE(RoundRecordToJson(records[1]).find("\"rank_candidate_nodes\":5"),
+            std::string::npos);
+  // And for the wire-layer byte counters (wire off = pre-wire schema).
+  EXPECT_EQ(RoundRecordToJson(records[0]).find("wire_down_bytes"),
+            std::string::npos);
+  EXPECT_NE(RoundRecordToJson(records[1]).find("\"wire_down_bytes\":1024"),
+            std::string::npos);
+  EXPECT_NE(RoundRecordToJson(records[1]).find("\"wire_up_bytes\":212"),
             std::string::npos);
 }
 

@@ -38,6 +38,10 @@ BENCH_REQUIREMENTS = {
         "sections": {"equality", "scaling"},
         "record_values": {"nodes"},
     },
+    "bench_x10_wire_format": {
+        "sections": {"sweep", "pinning"},
+        "record_values": {"queries"},
+    },
 }
 
 
