@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "qens/common/config.h"
+#include "qens/common/string_util.h"
 #include "qens/fl/experiment.h"
 #include "qens/ml/model_codec.h"
 #include "qens/fl/query_server.h"
@@ -94,6 +95,24 @@ enabled = false          ; binary wire format + codec byte accounting
 codec = raw              ; raw | q8 | q4 | q2 | topk (docs/WIRE_FORMAT.md)
 top_k_fraction = 0.1     ; fraction of delta coords kept by topk
 strong_seed_mix = false  ; 64-bit model-init seed mixer (collision-free)
+
+[churn]
+enabled = false          ; dynamic fleet: nodes leave and rejoin mid-stream
+seed = 4242
+rate = 0.0               ; fraction of nodes that churn
+horizon = 64             ; rounds the presence schedule covers
+min_down_rounds = 1      ; shortest absence
+max_down_rounds = 4      ; longest absence
+min_up_rounds = 2        ; shortest stay between absences
+max_up_rounds = 8        ; longest stay between absences
+
+[drift]
+enabled = false          ; dynamic fleet: seeded per-round data drift
+seed = 0
+rate = 0.0               ; per-(node, round) drift event probability
+feature_shift = 0.05     ; max offset as a fraction of each dim's span
+refresh = false          ; online cluster refresh (docs/ROBUSTNESS.md)
+refresh_threshold = 0.1  ; unpublished |offset|/span that trips a refresh
 
 [metrics]
 enabled = false
@@ -255,7 +274,63 @@ Result<fl::ExperimentConfig> BuildConfig(const Config& ini) {
                         ini.GetDouble("wire.top_k_fraction", 0.1));
   QENS_ASSIGN_OR_RETURN(config.federation.strong_seed_mix,
                         ini.GetBool("wire.strong_seed_mix", false));
+
+  // Dynamic-fleet layer: [churn] and [drift] each have their own enable so
+  // churn-only and drift-only deployments read naturally; the layer itself
+  // switches on when either does.
+  fl::DynamicFleetOptions& dyn = config.federation.dynamic;
+  QENS_ASSIGN_OR_RETURN(bool churn_enabled,
+                        ini.GetBool("churn.enabled", false));
+  QENS_ASSIGN_OR_RETURN(int64_t churn_seed, ini.GetInt("churn.seed", 4242));
+  dyn.churn.seed = static_cast<uint64_t>(churn_seed);
+  QENS_ASSIGN_OR_RETURN(dyn.churn.churn_rate,
+                        ini.GetDouble("churn.rate", 0.0));
+  QENS_ASSIGN_OR_RETURN(int64_t churn_horizon,
+                        ini.GetInt("churn.horizon", 64));
+  dyn.churn.churn_horizon = static_cast<size_t>(churn_horizon);
+  QENS_ASSIGN_OR_RETURN(int64_t min_down,
+                        ini.GetInt("churn.min_down_rounds", 1));
+  dyn.churn.min_down_rounds = static_cast<size_t>(min_down);
+  QENS_ASSIGN_OR_RETURN(int64_t max_down,
+                        ini.GetInt("churn.max_down_rounds", 4));
+  dyn.churn.max_down_rounds = static_cast<size_t>(max_down);
+  QENS_ASSIGN_OR_RETURN(int64_t min_up, ini.GetInt("churn.min_up_rounds", 2));
+  dyn.churn.min_up_rounds = static_cast<size_t>(min_up);
+  QENS_ASSIGN_OR_RETURN(int64_t max_up, ini.GetInt("churn.max_up_rounds", 8));
+  dyn.churn.max_up_rounds = static_cast<size_t>(max_up);
+  if (!churn_enabled) dyn.churn.churn_rate = 0.0;
+  QENS_ASSIGN_OR_RETURN(bool drift_enabled,
+                        ini.GetBool("drift.enabled", false));
+  QENS_ASSIGN_OR_RETURN(int64_t drift_seed, ini.GetInt("drift.seed", 0));
+  dyn.drift.seed = static_cast<uint64_t>(drift_seed);
+  QENS_ASSIGN_OR_RETURN(dyn.drift.rate, ini.GetDouble("drift.rate", 0.0));
+  QENS_ASSIGN_OR_RETURN(dyn.drift.feature_shift,
+                        ini.GetDouble("drift.feature_shift", 0.05));
+  QENS_ASSIGN_OR_RETURN(dyn.refresh, ini.GetBool("drift.refresh", false));
+  QENS_ASSIGN_OR_RETURN(dyn.refresh_threshold,
+                        ini.GetDouble("drift.refresh_threshold", 0.1));
+  if (!drift_enabled) dyn.drift.rate = 0.0;
+  dyn.enabled = churn_enabled || drift_enabled;
   return config;
+}
+
+/// The default template doubles as the key schema: any key the template
+/// does not know is a typo (wrong section or misspelled name), and typos
+/// must not silently fall back to defaults.
+Status ValidateConfigKeys(const Config& ini) {
+  QENS_ASSIGN_OR_RETURN(const Config known, Config::Parse(kDefaultConfig));
+  for (const std::string& key : ini.Keys()) {
+    if (known.Has(key)) continue;
+    const size_t dot = key.find('.');
+    const std::string section =
+        dot == std::string::npos ? "" : key.substr(0, dot);
+    const std::string name =
+        dot == std::string::npos ? key : key.substr(dot + 1);
+    return Status::InvalidArgument(
+        StrFormat("unknown config key '%s' in section [%s]", name.c_str(),
+                  section.c_str()));
+  }
+  return Status::OK();
 }
 
 Result<MetricsOutputs> BuildMetricsOutputs(const Config& ini) {
@@ -295,6 +370,7 @@ int main(int argc, char** argv) {
   }
 
   Config ini = Die(Config::Load(argv[1]), "load config");
+  Check(ValidateConfigKeys(ini), "validate config");
   fl::ExperimentConfig config = Die(BuildConfig(ini), "build config");
   const int64_t rounds = Die(ini.GetInt("federation.rounds", 1), "rounds");
   const MetricsOutputs metrics = Die(BuildMetricsOutputs(ini), "metrics");
@@ -391,6 +467,11 @@ int main(int argc, char** argv) {
         Die(server.Serve(specs), "serve sessions");
     size_t total_run = 0, total_skipped = 0, total_bytes = 0;
     for (const fl::SessionResult& result : served) {
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "  session %llu failed: %s\n",
+                     static_cast<unsigned long long>(result.session_id),
+                     result.status.ToString().c_str());
+      }
       std::printf(
           "  session %llu: %zu run, %zu skipped, %zu msgs, %zu bytes, "
           "%.4fs comm\n",

@@ -108,9 +108,27 @@ Result<Dataset> AirQualityGenerator::GenerateStation(size_t index) const {
     return Status::InvalidArgument(
         "GenerateStation: samples_per_station must be > 0");
   }
+  if (options_.drift_phases == 0) {
+    return Status::InvalidArgument(
+        "GenerateStation: drift_phases must be >= 1");
+  }
   const StationProfile& p = profiles_[index];
   // Independent stream per station, derived from the master seed.
   Rng rng = Rng(options_.seed).Fork(index + 1);
+
+  // Piecewise-stationary drift offsets, one per phase, drawn from a
+  // separate stream so the legacy (drift-off) byte stream is untouched.
+  const bool drift_on =
+      options_.drift_phases > 1 && options_.drift_shift != 0.0;
+  std::vector<double> phase_offset;
+  if (drift_on) {
+    Rng drift_rng = Rng(options_.drift_seed).Fork(index + 1);
+    phase_offset.resize(options_.drift_phases, 0.0);
+    for (size_t ph = 1; ph < options_.drift_phases; ++ph) {
+      phase_offset[ph] =
+          drift_rng.Uniform(-options_.drift_shift, options_.drift_shift);
+    }
+  }
 
   const size_t m = options_.samples_per_station;
   const size_t d = options_.single_feature ? 1 : 4;
@@ -129,8 +147,11 @@ Result<Dataset> AirQualityGenerator::GenerateStation(size_t index) const {
         14.0 + 13.0 * std::sin(2.0 * std::numbers::pi * t / kHoursPerYear);
     const double diurnal =
         4.0 * std::sin(2.0 * std::numbers::pi * t / kHoursPerDay);
-    const double temp = season + diurnal + p.temp_offset +
-                        rng.Gaussian(0.0, 2.0 * p.noise_scale);
+    double temp = season + diurnal + p.temp_offset +
+                  rng.Gaussian(0.0, 2.0 * p.noise_scale);
+    if (drift_on) {
+      temp += phase_offset[i * options_.drift_phases / m];
+    }
     const double pres = 1013.0 - 0.9 * (temp - 14.0) + p.pres_offset +
                         rng.Gaussian(0.0, 3.0 * p.noise_scale);
     const double dewp =

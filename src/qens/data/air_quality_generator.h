@@ -80,6 +80,15 @@ struct AirQualityOptions {
   /// When true, emit only TEMP as the feature (the paper "focused on one
   /// important feature and labels"); otherwise TEMP, PRES, DEWP, WSPM.
   bool single_feature = false;
+  /// Piecewise-stationary drift: the station's sample range is split into
+  /// `drift_phases` contiguous segments; each segment after the first adds a
+  /// fresh temperature offset drawn uniformly from ±drift_shift (deg C),
+  /// which cascades into PRES/DEWP/PM2.5 through the physical model. Drift
+  /// draws come from a SEPARATE Rng stream keyed by drift_seed, so the
+  /// default (1 phase / zero shift) is byte-identical to the legacy output.
+  size_t drift_phases = 1;
+  double drift_shift = 0.0;
+  uint64_t drift_seed = 0;
 };
 
 /// Deterministic multi-station air-quality data generator.

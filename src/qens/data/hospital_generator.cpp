@@ -66,15 +66,37 @@ Result<Dataset> HospitalGenerator::GenerateHospital(size_t index) const {
     return Status::InvalidArgument(
         "GenerateHospital: patients_per_hospital must be > 0");
   }
+  if (options_.drift_phases == 0) {
+    return Status::InvalidArgument(
+        "GenerateHospital: drift_phases must be >= 1");
+  }
   const HospitalProfile& p = profiles_[index];
   Rng rng = Rng(options_.seed).Fork(index + 101);
+
+  // Per-phase age-center shifts from a separate stream so the legacy
+  // (drift-off) byte stream is untouched.
+  const bool drift_on =
+      options_.drift_phases > 1 && options_.drift_shift != 0.0;
+  std::vector<double> phase_offset;
+  if (drift_on) {
+    Rng drift_rng = Rng(options_.drift_seed).Fork(index + 101);
+    phase_offset.resize(options_.drift_phases, 0.0);
+    for (size_t ph = 1; ph < options_.drift_phases; ++ph) {
+      phase_offset[ph] =
+          drift_rng.Uniform(-options_.drift_shift, options_.drift_shift);
+    }
+  }
 
   const size_t m = options_.patients_per_hospital;
   Matrix features(m, 3);
   Matrix targets(m, 1);
   for (size_t i = 0; i < m; ++i) {
+    double center = p.age_center;
+    if (drift_on) {
+      center += phase_offset[i * options_.drift_phases / m];
+    }
     const double age =
-        std::clamp(rng.Gaussian(p.age_center, p.age_spread), 0.0, 100.0);
+        std::clamp(rng.Gaussian(center, p.age_spread), 0.0, 100.0);
     const double bmi = std::clamp(
         18.0 + 0.12 * age + rng.Gaussian(0.0, 3.0 * p.noise_scale), 14.0,
         50.0);

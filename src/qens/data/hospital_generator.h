@@ -49,6 +49,15 @@ struct HospitalOptions {
   /// when false, every hospital sees the same general population.
   bool specialized = true;
   uint64_t seed = 77;
+  /// Piecewise-stationary drift: the patient range splits into
+  /// `drift_phases` contiguous cohorts; each cohort after the first shifts
+  /// the hospital's age center by a fresh ±drift_shift (years) draw, which
+  /// cascades into BMI/SBP/RISK through the record model. Drift draws come
+  /// from a SEPARATE Rng stream keyed by drift_seed; the default (1 phase /
+  /// zero shift) is byte-identical to the legacy output.
+  size_t drift_phases = 1;
+  double drift_shift = 0.0;
+  uint64_t drift_seed = 0;
 };
 
 /// Deterministic multi-hospital records generator.

@@ -1,5 +1,6 @@
 #include "qens/fl/leader.h"
 
+#include "qens/common/string_util.h"
 #include "qens/obs/metrics.h"
 #include "qens/obs/trace.h"
 
@@ -24,6 +25,10 @@ Result<std::vector<selection::NodeRank>> Leader::Rank(
   obs::TraceSpan span("leader.rank");
   obs::Count("leader.rankings");
   if (cache_.has_value()) {
+    // Bind the cache to the live epoch: a refresh changed the geometry
+    // every cached ranking was computed over, so those entries are dropped
+    // (no-op while the epoch is unchanged).
+    cache_->SetEpoch(fleet_epoch_);
     if (const std::vector<selection::NodeRank>* hit =
             cache_->Lookup(query.region)) {
       ++telemetry_.cache_hits;
@@ -34,7 +39,13 @@ Result<std::vector<selection::NodeRank>> Leader::Rank(
     obs::Count("leader.rank_cache_misses");
   }
   Result<std::vector<selection::NodeRank>> ranks = [&] {
-    if (ranking_options_.use_index && index_ != nullptr) {
+    // The index is consulted only while its epoch matches the live fleet
+    // state — an index built over pre-refresh geometry would silently rank
+    // the old boxes. PublishRefreshedProfile rebuilds it in lockstep, so a
+    // mismatch (only possible with a hand-wired stale index) falls back to
+    // the always-correct scan.
+    if (ranking_options_.use_index && index_ != nullptr &&
+        index_->epoch() == fleet_epoch_) {
       selection::IndexQueryStats stats;
       auto r = selection::RankNodesIndexed(*index_, profiles_, query,
                                            ranking_options_, &scratch_,
@@ -72,6 +83,46 @@ Result<SelectionDecision> Leader::Decide(
   obs::Count("leader.decisions");
   obs::Count("leader.nodes_selected", decision.selected.size());
   return decision;
+}
+
+void Leader::SetStaleRounds(size_t node_id, size_t stale_rounds) {
+  for (auto& profile : profiles_) {
+    if (profile.node_id != node_id) continue;
+    if (profile.stale_rounds == stale_rounds) return;
+    profile.stale_rounds = stale_rounds;
+    // stale_rounds is part of every NodeRank (and the ranking itself when
+    // staleness_weight > 0): cached rankings are now stale.
+    if (cache_.has_value()) cache_->Clear();
+    return;
+  }
+}
+
+Status Leader::PublishRefreshedProfile(const selection::NodeProfile& fresh) {
+  for (auto& profile : profiles_) {
+    if (profile.node_id != fresh.node_id) continue;
+    profile.clusters = fresh.clusters;
+    profile.total_samples = fresh.total_samples;
+    profile.stale_rounds = 0;  // The digest matches the data again.
+    // Reliability history is the leader's own observation — it survives.
+    ++fleet_epoch_;
+    if (cache_.has_value()) cache_->SetEpoch(fleet_epoch_);
+    if (index_ != nullptr) {
+      // Rebuild the session-local index over the updated geometry, stamped
+      // with the new epoch so Rank() trusts it again.
+      selection::ClusterIndexOptions index_options;
+      index_options.bins_per_dim = index_->bins_per_dim();
+      index_options.epoch = fleet_epoch_;
+      QENS_ASSIGN_OR_RETURN(
+          selection::ClusterIndex rebuilt,
+          selection::ClusterIndex::Build(profiles_, index_options));
+      index_ = std::make_shared<const selection::ClusterIndex>(
+          std::move(rebuilt));
+    }
+    obs::Count("leader.profile_refreshes");
+    return Status::OK();
+  }
+  return Status::NotFound(StrFormat(
+      "PublishRefreshedProfile: unknown node id %zu", fresh.node_id));
 }
 
 void Leader::RecordRoundResult(size_t node_id, RoundResult result) {

@@ -57,15 +57,19 @@ class Leader {
   /// `index` (optional) must have been built over exactly `profiles` (same
   /// order, ids, and cluster counts); it is consulted only when
   /// ranking_options.use_index is set. The cache is created here iff
-  /// ranking_options.use_cache.
+  /// ranking_options.use_cache. `fleet_epoch` is the fleet state version
+  /// the profiles (and index) represent; it advances on every
+  /// PublishRefreshedProfile.
   Leader(std::vector<selection::NodeProfile> profiles,
          selection::RankingOptions ranking_options,
          selection::QueryDrivenOptions selection_options,
-         std::shared_ptr<const selection::ClusterIndex> index = nullptr)
+         std::shared_ptr<const selection::ClusterIndex> index = nullptr,
+         uint64_t fleet_epoch = 0)
       : profiles_(std::move(profiles)),
         ranking_options_(ranking_options),
         selection_options_(selection_options),
-        index_(std::move(index)) {
+        index_(std::move(index)),
+        fleet_epoch_(fleet_epoch) {
     if (ranking_options_.use_cache && ranking_options_.cache_capacity > 0) {
       selection::RankingCacheOptions cache_options;
       cache_options.capacity = ranking_options_.cache_capacity;
@@ -100,6 +104,29 @@ class Leader {
   /// part of every NodeRank, so stale entries must never be served.
   void RecordRoundResult(size_t node_id, RoundResult result);
 
+  /// \name Dynamic-fleet state (fl/dynamic_fleet.h)
+  /// @{
+  /// The fleet-state version this leader's profiles represent. Starts at
+  /// the Fleet's base epoch and advances monotonically on every published
+  /// refresh; the index is consulted only while its epoch matches, and the
+  /// ranking cache is re-bound (dropping stale entries) on every change.
+  uint64_t fleet_epoch() const { return fleet_epoch_; }
+
+  /// Update a node's rounds-of-unpublished-drift counter. stale_rounds is
+  /// part of every NodeRank (and scales the ranking when staleness_weight
+  /// > 0), so a change invalidates the ranking cache. Unknown ids are
+  /// ignored.
+  void SetStaleRounds(size_t node_id, size_t stale_rounds);
+
+  /// Publish a node's refreshed digest (online cluster refresh): replaces
+  /// the stored clusters/sample counts, keeps the observed reliability
+  /// history, zeroes stale_rounds, and bumps fleet_epoch. When this leader
+  /// ranks through an index, a fresh session-local index is rebuilt over
+  /// the updated profiles and stamped with the new epoch. Fails on an
+  /// unknown node id or an index rebuild error.
+  Status PublishRefreshedProfile(const selection::NodeProfile& fresh);
+  /// @}
+
   /// The shared spatial index this leader ranks through, or nullptr.
   const selection::ClusterIndex* cluster_index() const { return index_.get(); }
   /// The leader-local ranking cache, or nullptr when use_cache is off.
@@ -113,6 +140,7 @@ class Leader {
   selection::RankingOptions ranking_options_;
   selection::QueryDrivenOptions selection_options_;
   std::shared_ptr<const selection::ClusterIndex> index_;
+  uint64_t fleet_epoch_ = 0;
   /// Rank() is logically const; the accelerators below are memoization
   /// and diagnostics only (never observable in results).
   mutable selection::ClusterIndex::Scratch scratch_;

@@ -24,6 +24,7 @@
 #include "qens/selection/policies.h"
 #include "qens/selection/ranking.h"
 #include "qens/selection/stochastic.h"
+#include "qens/sim/churn.h"
 #include "qens/sim/edge_environment.h"
 #include "qens/sim/fault_injection.h"
 
@@ -71,6 +72,36 @@ struct ByzantineOptions {
   double clip_norm = 1.0;
 };
 
+/// Seeded per-round data drift applied to node copies inside a session
+/// (see fl/dynamic_fleet.h). A drift event adds a constant per-dimension
+/// feature offset to the node's local data, pulling it away from the
+/// cluster digest the node last published.
+struct DriftInjectionOptions {
+  /// Per-node per-round probability of a drift event.
+  double rate = 0.0;
+  /// Magnitude of each per-dimension offset, as a fraction of that
+  /// dimension's global feature span (drawn uniformly in ±this).
+  double feature_shift = 0.05;
+  uint64_t seed = 0;
+};
+
+/// Dynamic-fleet policy (opt-in). Strictly additive: with `enabled ==
+/// false` no churn plan is drawn, no node copies are made, and the round
+/// flow is byte-identical to the static-fleet protocol.
+struct DynamicFleetOptions {
+  bool enabled = false;
+  /// Seeded join/leave/rejoin schedule (sim/churn.h).
+  sim::ChurnPlanOptions churn;
+  /// Seeded local data drift (dynamic_fleet.h).
+  DriftInjectionOptions drift;
+  /// Online cluster refresh: a present node whose accumulated drift
+  /// exceeds refresh_threshold re-runs k-means on its current data and
+  /// publishes new cluster summaries (bumping the session's fleet epoch).
+  bool refresh = false;
+  /// Detector threshold: max per-dimension |unpublished offset| / span.
+  double refresh_threshold = 0.1;
+};
+
 /// Federation-wide configuration.
 struct FederationOptions {
   sim::EnvironmentOptions environment;
@@ -113,6 +144,8 @@ struct FederationOptions {
   FaultToleranceOptions fault_tolerance;
   /// Update validation, quarantine, and robust aggregation (opt-in).
   ByzantineOptions byzantine;
+  /// Node churn, data drift, online cluster refresh (opt-in).
+  DynamicFleetOptions dynamic;
   /// Binary wire format + update compression (opt-in; docs/WIRE_FORMAT.md).
   /// With it off, byte accounting uses the historical text serializer and
   /// all outputs stay byte-identical to the pre-wire protocol.
@@ -205,6 +238,15 @@ struct QueryOutcome {
   /// Final answer under ByzantineOptions::aggregator (raw target units).
   bool has_loss_robust = false;
   double loss_robust = 0.0;
+  /// @}
+
+  /// \name Dynamic-fleet accounting
+  /// Populated when FederationOptions::dynamic is enabled.
+  /// @{
+  size_t nodes_joined = 0;     ///< (node, round) rejoin events.
+  size_t nodes_left = 0;       ///< (node, round) departure events.
+  size_t fleet_refreshes = 0;  ///< Cluster refreshes published.
+  uint64_t fleet_epoch = 0;    ///< Leader's epoch after the final round.
   /// @}
 
   /// Per-round telemetry (schema in docs/OBSERVABILITY.md). Populated only

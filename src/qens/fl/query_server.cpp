@@ -25,25 +25,36 @@ uint64_t QueryServer::SessionSeed(uint64_t base_seed, uint64_t session_id) {
   return Rng(base_seed ^ 0x5e5510ull).Fork(session_id).Next();
 }
 
-Result<SessionResult> QueryServer::RunSession(const SessionSpec& spec,
-                                              uint64_t session_id) const {
+SessionResult QueryServer::RunSession(const SessionSpec& spec,
+                                      uint64_t session_id) const {
+  SessionResult result;
+  result.session_id = session_id;
+
   QuerySessionOptions session_options;
   session_options.session_id = session_id;
   session_options.seed =
       SessionSeed(options_.seed.value_or(fleet_->options.seed), session_id);
   session_options.network.record_messages = options_.record_session_messages;
-  QENS_ASSIGN_OR_RETURN(QuerySession session,
-                        QuerySession::Create(fleet_, session_options));
+  Result<QuerySession> session_or =
+      QuerySession::Create(fleet_, session_options);
+  if (!session_or.ok()) {
+    result.status = session_or.status();
+    return result;
+  }
+  QuerySession& session = session_or.value();
 
   Stopwatch watch;
-  SessionResult result;
-  result.session_id = session_id;
   result.outcomes.reserve(spec.queries.size());
   for (const query::RangeQuery& query : spec.queries) {
-    QENS_ASSIGN_OR_RETURN(
-        QueryOutcome outcome,
-        session.RunQueryMultiRound(query, spec.policy, spec.data_selectivity,
-                                   spec.rounds));
+    Result<QueryOutcome> outcome_or = session.RunQueryMultiRound(
+        query, spec.policy, spec.data_selectivity, spec.rounds);
+    if (!outcome_or.ok()) {
+      // The stream stops at the failing query; everything already run is
+      // kept so callers can see how far the session got.
+      result.status = outcome_or.status();
+      break;
+    }
+    QueryOutcome& outcome = outcome_or.value();
     if (outcome.skipped) {
       ++result.queries_skipped;
     } else {
@@ -60,31 +71,25 @@ Result<SessionResult> QueryServer::RunSession(const SessionSpec& spec,
 
 Result<std::vector<SessionResult>> QueryServer::Serve(
     const std::vector<SessionSpec>& specs) {
-  std::vector<Result<SessionResult>> raw;
-  raw.reserve(specs.size());
+  std::vector<SessionResult> results;
+  results.reserve(specs.size());
   if (options_.num_workers <= 1 || specs.size() <= 1) {
     for (size_t i = 0; i < specs.size(); ++i) {
-      raw.push_back(RunSession(specs[i], /*session_id=*/i + 1));
+      results.push_back(RunSession(specs[i], /*session_id=*/i + 1));
     }
   } else {
     // One task per session; futures are collected in submission order so
-    // the result vector (and any error propagation) is independent of
-    // completion order.
+    // the result vector is independent of completion order. A session
+    // failure stays inside its own SessionResult::status — the other
+    // streams run to completion regardless.
     common::ThreadPool pool(std::min(options_.num_workers, specs.size()));
-    std::vector<std::future<Result<SessionResult>>> futures;
+    std::vector<std::future<SessionResult>> futures;
     futures.reserve(specs.size());
     for (size_t i = 0; i < specs.size(); ++i) {
       futures.push_back(pool.Submit(
           [this, &spec = specs[i], i] { return RunSession(spec, i + 1); }));
     }
-    for (auto& future : futures) raw.push_back(future.get());
-  }
-
-  std::vector<SessionResult> results;
-  results.reserve(raw.size());
-  for (Result<SessionResult>& r : raw) {
-    QENS_RETURN_NOT_OK(r.status());
-    results.push_back(std::move(r.value()));
+    for (auto& future : futures) results.push_back(future.get());
   }
   return results;
 }

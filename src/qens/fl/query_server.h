@@ -49,6 +49,10 @@ struct ServingOptions {
 /// Everything recorded about one served session.
 struct SessionResult {
   uint64_t session_id = 0;  ///< 1-based; matches RoundRecord::session.
+  /// How this session's stream ended. A failed session keeps the outcomes
+  /// of the queries that completed before the error; the other sessions in
+  /// the batch are unaffected (fault isolation between streams).
+  Status status = Status::OK();
   std::vector<QueryOutcome> outcomes;  ///< One per query, in spec order.
   size_t queries_run = 0;
   size_t queries_skipped = 0;
@@ -74,8 +78,10 @@ class QueryServer {
   /// Run one session per spec (session ids 1..specs.size(), in order) and
   /// return their results in spec order. With num_workers > 1 the sessions
   /// run concurrently; outcomes are bit-identical to sequential execution.
-  /// Fails on the first session error (remaining in-flight sessions still
-  /// complete before the error returns).
+  /// One session failing does NOT fail the batch: every spec gets a
+  /// SessionResult, and a failed session carries the error in its `status`
+  /// (plus whatever queries completed before it). The call itself only
+  /// errors on setup-level problems.
   Result<std::vector<SessionResult>> Serve(
       const std::vector<SessionSpec>& specs);
 
@@ -86,9 +92,9 @@ class QueryServer {
   QueryServer(std::shared_ptr<const Fleet> fleet, ServingOptions options)
       : fleet_(std::move(fleet)), options_(options) {}
 
-  /// Build and run the session for `specs[index]` start to finish.
-  Result<SessionResult> RunSession(const SessionSpec& spec,
-                                   uint64_t session_id) const;
+  /// Build and run the session for `specs[index]` start to finish. Errors
+  /// land in the returned result's `status`, never escape it.
+  SessionResult RunSession(const SessionSpec& spec, uint64_t session_id) const;
 
   std::shared_ptr<const Fleet> fleet_;
   ServingOptions options_;

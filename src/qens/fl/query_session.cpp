@@ -163,7 +163,7 @@ Result<QuerySession> QuerySession::Create(std::shared_ptr<const Fleet> fleet,
   QENS_ASSIGN_OR_RETURN(std::vector<selection::NodeProfile> profiles,
                         fleet->environment.Profiles());
   Leader leader(std::move(profiles), fopts.ranking, fopts.query_driven,
-                fleet->ranking_index);
+                fleet->ranking_index, fleet->fleet_epoch);
 
   std::unique_ptr<sim::Network> own_network;
   sim::Network* network = shared_network;
@@ -219,6 +219,11 @@ Result<QuerySession> QuerySession::Create(std::shared_ptr<const Fleet> fleet,
                           UpdateValidator::Create(byz.validator));
     session.validator_.emplace(std::move(validator));
     session.quarantine_until_.assign(num_nodes, 0);
+  }
+  if (fopts.dynamic.enabled) {
+    QENS_ASSIGN_OR_RETURN(DynamicFleet dynamic,
+                          DynamicFleet::Create(session.fleet_));
+    session.dynamic_.emplace(std::move(dynamic));
   }
   return session;
 }
@@ -345,8 +350,12 @@ Result<QueryOutcome> QuerySession::RunQueryMultiRound(
   QENS_ASSIGN_OR_RETURN(query::RangeQuery internal,
                         fleet_->InternalQuery(query));
 
-  // Ground truth: pooled held-out rows inside the query region.
-  Result<data::Dataset> test = fleet_->QueryRegionTestData(query);
+  // Ground truth: pooled held-out rows inside the query region. Under the
+  // dynamic layer the held-out rows drift with their devices, so the query
+  // is answered against the fleet's current reality.
+  Result<data::Dataset> test = dynamic_.has_value()
+                                   ? dynamic_->QueryRegionTestData(query)
+                                   : fleet_->QueryRegionTestData(query);
   if (!test.ok()) {
     obs::Count("federation.queries.skipped");
     outcome.skipped = true;
@@ -456,6 +465,7 @@ Result<QueryOutcome> QuerySession::RunQueryMultiRound(
   ctx.byz_round = &byz_round_;
   ctx.pool = &pool_;
   ctx.session_id = session_id_;
+  ctx.dynamic = dynamic_.has_value() ? &*dynamic_ : nullptr;
   RoundEngine engine(ctx);
   QENS_ASSIGN_OR_RETURN(
       RoundEngine::RoundSetResult rr,

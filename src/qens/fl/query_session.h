@@ -36,6 +36,7 @@
 #include "qens/common/thread_pool.h"
 #include "qens/data/dataset.h"
 #include "qens/data/normalizer.h"
+#include "qens/fl/dynamic_fleet.h"
 #include "qens/fl/leader.h"
 #include "qens/fl/protocol.h"
 #include "qens/fl/transport.h"
@@ -58,6 +59,10 @@ struct Fleet {
   /// Immutable, shared read-only by every session's leader; each session
   /// keeps its own scratch and ranking cache.
   std::shared_ptr<const selection::ClusterIndex> ranking_index;
+  /// Base fleet-state version. Each session's leader starts its epoch
+  /// here; online cluster refresh advances the leader's copy (the shared
+  /// Fleet itself never changes — see fl/dynamic_fleet.h).
+  uint64_t fleet_epoch = 0;
 
   /// Split every node's dataset into train/test, normalize when configured,
   /// and build the environment on the train shards. Fails on empty input or
@@ -136,6 +141,12 @@ class QuerySession {
     return fault_injector_.has_value() ? &*fault_injector_ : nullptr;
   }
 
+  /// The session's dynamic-fleet state (churn/drift/refresh), or nullptr
+  /// when FederationOptions::dynamic is off.
+  const DynamicFleet* dynamic_fleet() const {
+    return dynamic_.has_value() ? &*dynamic_ : nullptr;
+  }
+
   /// Global round counter the fault schedule is evaluated against (advances
   /// once per executed round when fault tolerance is on, so crashes persist
   /// across the session's queries).
@@ -170,6 +181,7 @@ class QuerySession {
   std::optional<selection::StochasticSelector> stochastic_;  ///< Lazy.
   std::optional<sim::FaultInjector> fault_injector_;  ///< When enabled.
   size_t fault_round_ = 0;  ///< Rounds executed under fault injection.
+  std::optional<DynamicFleet> dynamic_;  ///< When dynamic.enabled.
   std::optional<UpdateValidator> validator_;  ///< When byzantine.enabled.
   /// Shared worker pool for parallel local training; created lazily on the
   /// first parallel round, then reused across rounds and queries.

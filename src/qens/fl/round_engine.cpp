@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "qens/fl/aggregation.h"
+#include "qens/fl/dynamic_fleet.h"
 #include "qens/ml/model_codec.h"
 #include "qens/ml/model_io.h"
 #include "qens/obs/metrics.h"
@@ -90,6 +91,11 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
   const ByzantineOptions& byz = options.byzantine;
   const bool byz_on = byz.enabled;
 
+  // Dynamic-fleet layer (opt-in): churn presence, drifted node data, and
+  // online refresh. Like the fault layer, a departed node fails its round
+  // and the quorum gate decides whether the partial update commits.
+  const bool dyn_on = ctx_.dynamic != nullptr;
+
   // Wire layer (opt-in): with it off, no codec is ever invoked and byte
   // accounting uses the historical text-serializer sizes. With it on, both
   // link directions are priced by the codec's closed-form size — O(layers),
@@ -128,6 +134,18 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
   for (size_t round = 0; round < rounds; ++round) {
     obs::TraceSpan round_span("federation.round");
     obs::Count("federation.rounds");
+
+    // Advance the dynamic fleet before any node work: churn transitions,
+    // drift events, and (when enabled) profile refreshes all land here, on
+    // the driving thread, so the trajectory is worker-count independent.
+    DynamicFleet::RoundStats dyn_stats;
+    if (dyn_on) {
+      QENS_ASSIGN_OR_RETURN(dyn_stats, ctx_.dynamic->BeginRound(ctx_.leader));
+      outcome->nodes_joined += dyn_stats.nodes_joined;
+      outcome->nodes_left += dyn_stats.nodes_left;
+      outcome->fleet_refreshes += dyn_stats.refreshes;
+      outcome->fleet_epoch = dyn_stats.fleet_epoch;
+    }
     local_models.clear();
     eq7_weights.clear();
     fedavg_weights.clear();
@@ -188,10 +206,20 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
         }
       }
     }
+    if (dyn_on) {
+      // Churn: a selected node that is absent this round simply fails it
+      // (no transfer is attempted — the device is gone, not slow).
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        if (fates[j].quarantined) continue;
+        if (!ctx_.dynamic->IsPresent(jobs[j].node_id)) {
+          fates[j].unavailable = true;
+        }
+      }
+    }
     if (injector) {
       for (size_t j = 0; j < jobs.size(); ++j) {
         JobFate& fate = fates[j];
-        if (fate.quarantined) continue;
+        if (fate.quarantined || fate.unavailable) continue;
         if (!injector->IsAvailable(jobs[j].node_id, fault_round)) {
           fate.unavailable = true;
           continue;
@@ -219,7 +247,11 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
     // the results in job order so outcomes stay deterministic.
     auto run_job = [&](const TrainJob& job, sim::CorruptionKind corruption)
         -> Result<LocalTrainResult> {
-      const sim::EdgeNode& node = environment.node(job.node_id);
+      // Under the dynamic layer training reads the session's drifted copy
+      // of the node (identical to the fleet's until its first drift event).
+      const sim::EdgeNode& node = ctx_.dynamic != nullptr
+                                      ? ctx_.dynamic->node(job.node_id)
+                                      : environment.node(job.node_id);
       LocalTrainOptions job_options = local_options;
       if (corruption == sim::CorruptionKind::kLabelFlipPoisoning) {
         job_options.poison_labels = true;
@@ -266,7 +298,8 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
     for (size_t j = 0; j < jobs.size(); ++j) {
       const TrainJob& job = jobs[j];
       const size_t node_id = job.node_id;
-      const sim::EdgeNode& node = environment.node(node_id);
+      const sim::EdgeNode& node =
+          dyn_on ? ctx_.dynamic->node(node_id) : environment.node(node_id);
       if (round == 0) outcome->samples_selected += node.NumSamples();
       const double rank_weight = job.rank_weight;
       const JobFate& fate = fates[j];
@@ -539,8 +572,13 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
     if (obs_on) {
       record.survivors = local_models.size();
       record.quorum_met =
-          (!injector && !byz_on) ||
+          (!injector && !byz_on && !dyn_on) ||
           MeetsQuorum(local_models.size(), jobs.size(), ft.min_quorum_frac);
+      record.fleet_epoch = dyn_stats.fleet_epoch;
+      record.nodes_joined = dyn_stats.nodes_joined;
+      record.nodes_left = dyn_stats.nodes_left;
+      record.refreshes = dyn_stats.refreshes;
+      record.stale_rounds = dyn_stats.stale_rounds;
       record.parallel_seconds = round_parallel;
       record.total_train_seconds = round_train;
       record.comm_seconds = round_comm;
@@ -550,7 +588,7 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
       outcome->round_records.push_back(std::move(record));
     }
 
-    if ((injector || byz_on) &&
+    if ((injector || byz_on || dyn_on) &&
         !MeetsQuorum(local_models.size(), jobs.size(), ft.min_quorum_frac)) {
       // Below quorum: discard the partial update; the previous global
       // model carries into the next round (or becomes the final answer).
@@ -564,7 +602,7 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
       continue;
     }
     if (local_models.empty()) {
-      if (!injector && !byz_on) break;
+      if (!injector && !byz_on && !dyn_on) break;
       continue;  // A later round may still gather survivors.
     }
     if (round + 1 < rounds) {
@@ -581,7 +619,7 @@ Result<RoundEngine::RoundSetResult> RoundEngine::Run(
     }
   }
 
-  if ((injector || byz_on) && local_models.empty()) {
+  if ((injector || byz_on || dyn_on) && local_models.empty()) {
     // Graceful degradation: answer with the last committed global model
     // rather than failing the query outright.
     local_models.push_back(global.Clone());

@@ -29,6 +29,8 @@
 
 namespace qens::fl {
 
+class DynamicFleet;
+
 /// Everything one round set needs, borrowed from the owning session. All
 /// pointers must outlive the engine. `injector`/`validator` are null when
 /// the corresponding opt-in layer is off; `quarantine_until` is non-null
@@ -49,6 +51,11 @@ struct RoundEngineContext {
   UpdateValidator* validator = nullptr;
   std::vector<size_t>* quarantine_until = nullptr;
   size_t* byz_round = nullptr;
+  /// Dynamic-fleet layer (null = off). BeginRound is called once per
+  /// executed round on the driving thread; absent nodes fail their round
+  /// through the quorum-gated partial-aggregation path, and training reads
+  /// each node through the session's drifted copy.
+  DynamicFleet* dynamic = nullptr;
   /// Slot for the session's lazily-created training pool (created on the
   /// first parallel round, reused across rounds and queries).
   std::unique_ptr<common::ThreadPool>* pool = nullptr;

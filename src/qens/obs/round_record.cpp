@@ -128,6 +128,28 @@ std::string RoundRecordToJson(const RoundRecord& record) {
     root.Set("wire_up_bytes",
              JsonValue::Number(static_cast<double>(record.wire_up_bytes)));
   }
+  // Dynamic-fleet counters: nonzero-only, same byte-compatibility contract
+  // (with the dynamic layer off every one of these is zero).
+  if (record.fleet_epoch > 0) {
+    root.Set("fleet_epoch",
+             JsonValue::Number(static_cast<double>(record.fleet_epoch)));
+  }
+  if (record.nodes_joined > 0) {
+    root.Set("nodes_joined",
+             JsonValue::Number(static_cast<double>(record.nodes_joined)));
+  }
+  if (record.nodes_left > 0) {
+    root.Set("nodes_left",
+             JsonValue::Number(static_cast<double>(record.nodes_left)));
+  }
+  if (record.refreshes > 0) {
+    root.Set("refreshes",
+             JsonValue::Number(static_cast<double>(record.refreshes)));
+  }
+  if (record.stale_rounds > 0) {
+    root.Set("stale_rounds",
+             JsonValue::Number(static_cast<double>(record.stale_rounds)));
+  }
   root.Set("parallel_seconds", JsonValue::Number(record.parallel_seconds));
   root.Set("total_train_seconds",
            JsonValue::Number(record.total_train_seconds));
@@ -214,6 +236,19 @@ Result<RoundRecord> ParseRoundRecordJson(const std::string& line) {
       parse_optional_count("wire_down_bytes", &record.wire_down_bytes));
   QENS_RETURN_NOT_OK(
       parse_optional_count("wire_up_bytes", &record.wire_up_bytes));
+  if (const JsonValue* epoch = root.Find("fleet_epoch")) {
+    if (!epoch->is_number()) {
+      return Status::InvalidArgument(
+          "round record: fleet_epoch is not a number");
+    }
+    record.fleet_epoch = static_cast<uint64_t>(epoch->AsNumber());
+  }
+  QENS_RETURN_NOT_OK(
+      parse_optional_count("nodes_joined", &record.nodes_joined));
+  QENS_RETURN_NOT_OK(parse_optional_count("nodes_left", &record.nodes_left));
+  QENS_RETURN_NOT_OK(parse_optional_count("refreshes", &record.refreshes));
+  QENS_RETURN_NOT_OK(
+      parse_optional_count("stale_rounds", &record.stale_rounds));
   QENS_ASSIGN_OR_RETURN(record.parallel_seconds,
                         root.GetNumber("parallel_seconds"));
   QENS_ASSIGN_OR_RETURN(record.total_train_seconds,
@@ -255,10 +290,11 @@ namespace {
 constexpr char kCsvHeader[] =
     "session,query_id,round,policy,aggregation,engaged,survivors,rejected,"
     "quarantined,rank_index_rankings,rank_cache_hits,rank_cache_misses,"
-    "rank_candidate_nodes,wire_down_bytes,wire_up_bytes,quorum_met,"
+    "rank_candidate_nodes,wire_down_bytes,wire_up_bytes,fleet_epoch,"
+    "nodes_joined,nodes_left,refreshes,stale_rounds,quorum_met,"
     "parallel_seconds,total_train_seconds,comm_seconds,has_loss,loss,nodes";
 
-constexpr size_t kCsvColumns = 22;
+constexpr size_t kCsvColumns = 27;
 
 std::string NodesCell(const std::vector<NodeRoundStat>& nodes) {
   std::string out;
@@ -302,15 +338,16 @@ std::string RoundRecordsToCsv(const std::vector<RoundRecord>& records) {
   out.push_back('\n');
   for (const RoundRecord& r : records) {
     out += StrFormat(
-        "%llu,%llu,%zu,%s,%s,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%d,"
-        "%s,%s,%s,%d,%s,%s\n",
+        "%llu,%llu,%zu,%s,%s,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%llu,"
+        "%zu,%zu,%zu,%zu,%d,%s,%s,%s,%d,%s,%s\n",
         static_cast<unsigned long long>(r.session),
         static_cast<unsigned long long>(r.query_id), r.round,
         r.policy.c_str(), r.aggregation.c_str(), r.engaged, r.survivors,
         r.rejected, r.quarantined, r.rank_index_rankings, r.rank_cache_hits,
         r.rank_cache_misses, r.rank_candidate_nodes, r.wire_down_bytes,
-        r.wire_up_bytes, r.quorum_met ? 1 : 0,
-        JsonNumber(r.parallel_seconds).c_str(),
+        r.wire_up_bytes, static_cast<unsigned long long>(r.fleet_epoch),
+        r.nodes_joined, r.nodes_left, r.refreshes, r.stale_rounds,
+        r.quorum_met ? 1 : 0, JsonNumber(r.parallel_seconds).c_str(),
         JsonNumber(r.total_train_seconds).c_str(),
         JsonNumber(r.comm_seconds).c_str(), r.has_loss ? 1 : 0,
         JsonNumber(r.loss).c_str(), NodesCell(r.nodes).c_str());
@@ -368,13 +405,22 @@ Result<std::vector<RoundRecord>> ParseRoundRecordsCsv(const std::string& text) {
         static_cast<size_t>(std::strtoull(cells[13].c_str(), nullptr, 10));
     r.wire_up_bytes =
         static_cast<size_t>(std::strtoull(cells[14].c_str(), nullptr, 10));
-    r.quorum_met = cells[15] == "1";
-    r.parallel_seconds = std::strtod(cells[16].c_str(), nullptr);
-    r.total_train_seconds = std::strtod(cells[17].c_str(), nullptr);
-    r.comm_seconds = std::strtod(cells[18].c_str(), nullptr);
-    r.has_loss = cells[19] == "1";
-    r.loss = std::strtod(cells[20].c_str(), nullptr);
-    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[21]));
+    r.fleet_epoch = std::strtoull(cells[15].c_str(), nullptr, 10);
+    r.nodes_joined =
+        static_cast<size_t>(std::strtoull(cells[16].c_str(), nullptr, 10));
+    r.nodes_left =
+        static_cast<size_t>(std::strtoull(cells[17].c_str(), nullptr, 10));
+    r.refreshes =
+        static_cast<size_t>(std::strtoull(cells[18].c_str(), nullptr, 10));
+    r.stale_rounds =
+        static_cast<size_t>(std::strtoull(cells[19].c_str(), nullptr, 10));
+    r.quorum_met = cells[20] == "1";
+    r.parallel_seconds = std::strtod(cells[21].c_str(), nullptr);
+    r.total_train_seconds = std::strtod(cells[22].c_str(), nullptr);
+    r.comm_seconds = std::strtod(cells[23].c_str(), nullptr);
+    r.has_loss = cells[24] == "1";
+    r.loss = std::strtod(cells[25].c_str(), nullptr);
+    QENS_ASSIGN_OR_RETURN(r.nodes, ParseNodesCell(cells[26]));
     records.push_back(std::move(r));
   }
   return records;

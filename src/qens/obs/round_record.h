@@ -88,6 +88,17 @@ struct RoundRecord {
   size_t wire_down_bytes = 0;  ///< Leader -> participants broadcast bytes.
   size_t wire_up_bytes = 0;    ///< Participants -> leader update bytes.
   /// @}
+  /// \name Dynamic-fleet counters (docs/ROBUSTNESS.md)
+  /// Churn / drift / refresh accounting for this round. Populated only when
+  /// FederationOptions::dynamic is enabled; all zero — and omitted from
+  /// JSON for byte-compatibility — otherwise.
+  /// @{
+  uint64_t fleet_epoch = 0;  ///< Leader's epoch after this round's refreshes.
+  size_t nodes_joined = 0;   ///< Nodes that rejoined at this round.
+  size_t nodes_left = 0;     ///< Nodes that departed at this round.
+  size_t refreshes = 0;      ///< Profiles refreshed this round.
+  size_t stale_rounds = 0;   ///< Sum of per-node unpublished-drift ages.
+  /// @}
   bool quorum_met = true;   ///< False for below-quorum (degraded) rounds.
   /// Leader-side critical path: max over engaged nodes of the capped
   /// per-node wait (never exceeds the round deadline when one is set).

@@ -43,6 +43,7 @@ Result<ClusterIndex> ClusterIndex::Build(
   index.num_nodes_ = profiles.size();
   index.bins_per_dim_ =
       std::clamp<size_t>(options.bins_per_dim, 1, size_t{1} << 20);
+  index.epoch_ = options.epoch;
   index.node_ids_.reserve(profiles.size());
   index.node_cluster_counts_.reserve(profiles.size());
 
@@ -257,6 +258,9 @@ Result<std::vector<NodeRank>> RankNodesIndexed(
   if (options.reliability_weight < 0.0) {
     return Status::InvalidArgument("RankNode: reliability_weight must be >= 0");
   }
+  if (options.staleness_weight < 0.0) {
+    return Status::InvalidArgument("RankNode: staleness_weight must be >= 0");
+  }
   if (profiles.size() != index.num_nodes()) {
     return Status::Internal(
         StrFormat("RankNodesIndexed: index built over %zu nodes, got %zu "
@@ -300,6 +304,7 @@ Result<std::vector<NodeRank>> RankNodesIndexed(
     rank.total_clusters = p.clusters.size();
     rank.total_samples = p.total_samples;
     rank.reliability = p.reliability.SuccessRate();
+    rank.stale_rounds = p.stale_rounds;
     if (ci < cands.size() && index.entry_node(cands[ci]) == i) {
       rank.cluster_scores.resize(p.clusters.size());
       for (size_t k = 0; k < p.clusters.size(); ++k) {
@@ -327,6 +332,11 @@ Result<std::vector<NodeRank>> RankNodesIndexed(
                      static_cast<double>(rank.total_clusters);
       if (options.reliability_weight > 0.0) {
         rank.ranking *= std::pow(rank.reliability, options.reliability_weight);
+      }
+      if (options.staleness_weight > 0.0) {
+        rank.ranking *=
+            std::pow(1.0 / (1.0 + static_cast<double>(rank.stale_rounds)),
+                     options.staleness_weight);
       }
       cand_pos.push_back(static_cast<uint32_t>(i));
       cand_ranks.push_back(std::move(rank));
@@ -417,7 +427,8 @@ bool RankingsBitwiseEqual(const std::vector<NodeRank>& scan,
     if (sr.supporting_clusters != ir.supporting_clusters ||
         sr.total_clusters != ir.total_clusters ||
         sr.supporting_samples != ir.supporting_samples ||
-        sr.total_samples != ir.total_samples) {
+        sr.total_samples != ir.total_samples ||
+        sr.stale_rounds != ir.stale_rounds) {
       return fail(StrFormat("node %zu: count fields mismatch", sr.node_id));
     }
     if (ir.cluster_scores.empty() && !sr.cluster_scores.empty()) {

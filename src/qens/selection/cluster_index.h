@@ -50,6 +50,11 @@ struct ClusterIndexOptions {
   /// prune harder but cost memory proportional to entries * avg bins
   /// spanned per cluster.
   size_t bins_per_dim = 32;
+  /// Fleet epoch this index was built against (see fl/query_session.h). A
+  /// leader refuses to rank through an index whose epoch trails its live
+  /// fleet_epoch — under online cluster refresh a stale index would
+  /// silently serve rankings over the OLD geometry. 0 = static fleet.
+  uint64_t epoch = 0;
 };
 
 /// Per-query pruning diagnostics (filled by RankNodesIndexed).
@@ -93,6 +98,8 @@ class ClusterIndex {
   /// Common dimensionality of the indexed boxes; 0 when num_entries() == 0.
   size_t dims() const { return dims_; }
   size_t bins_per_dim() const { return bins_per_dim_; }
+  /// Fleet epoch the index was built against (ClusterIndexOptions::epoch).
+  uint64_t epoch() const { return epoch_; }
 
   /// Profile-order position -> published node id / cluster count, as seen
   /// at Build time (used to detect a stale index).
@@ -152,6 +159,7 @@ class ClusterIndex {
   size_t num_nodes_ = 0;
   size_t dims_ = 0;
   size_t bins_per_dim_ = 32;
+  uint64_t epoch_ = 0;
   bool ids_strictly_increasing_ = true;
   std::vector<size_t> node_ids_;                ///< Profile order.
   std::vector<uint32_t> node_cluster_counts_;   ///< Profile order.

@@ -49,6 +49,12 @@ struct NodeProfile {
   /// Observed failure/straggle history (leader-side, never serialized).
   ReliabilityStats reliability;
 
+  /// Rounds since the node's local data started drifting away from this
+  /// digest without a refresh (leader-side, never serialized; maintained by
+  /// the dynamic-fleet layer, 0 in static fleets). Feeds the opt-in
+  /// staleness discount in RankingOptions::staleness_weight.
+  size_t stale_rounds = 0;
+
   size_t num_clusters() const { return clusters.size(); }
 
   /// Bytes the node ships to the leader for ranking (all summaries).

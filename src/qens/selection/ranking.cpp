@@ -25,6 +25,10 @@ Result<NodeRank> RankNode(const NodeProfile& profile,
     return Status::InvalidArgument(
         "RankNode: reliability_weight must be >= 0");
   }
+  if (options.staleness_weight < 0.0) {
+    return Status::InvalidArgument(
+        "RankNode: staleness_weight must be >= 0");
+  }
   if (profile.clusters.empty()) {
     return Status::InvalidArgument(
         StrFormat("RankNode: node %zu has no clusters", profile.node_id));
@@ -69,6 +73,16 @@ Result<NodeRank> RankNode(const NodeProfile& profile,
   rank.reliability = profile.reliability.SuccessRate();
   if (options.reliability_weight > 0.0) {
     rank.ranking *= std::pow(rank.reliability, options.reliability_weight);
+  }
+
+  // Stale-digest discount: a node whose data drifted s rounds ago without a
+  // refresh is ranked on geometry that no longer matches its samples; decay
+  // its score by (1/(1+s))^w. Weight 0 (default) leaves Eq. 4 untouched.
+  rank.stale_rounds = profile.stale_rounds;
+  if (options.staleness_weight > 0.0) {
+    rank.ranking *=
+        std::pow(1.0 / (1.0 + static_cast<double>(rank.stale_rounds)),
+                 options.staleness_weight);
   }
   return rank;
 }

@@ -31,6 +31,12 @@ struct RankingOptions {
   /// failure/straggle history. 0 (default) disables the penalty and
   /// reproduces the paper's Eq. 4 exactly.
   double reliability_weight = 0.0;
+  /// Stale-digest discount exponent (>= 0): the final ranking is scaled by
+  /// (1 / (1 + stale_rounds))^staleness_weight, where stale_rounds counts
+  /// rounds since the node's data drifted away from its published digest
+  /// without a cluster refresh (see fl/dynamic_fleet.h). 0 (default)
+  /// disables the discount and reproduces the paper's Eq. 4 exactly.
+  double staleness_weight = 0.0;
 
   /// \name Sublinear ranking accelerators (default off = paper-exact scan)
   /// Both paths are bitwise identical to the scan (see docs/INDEXING.md
@@ -66,6 +72,7 @@ struct NodeRank {
   size_t supporting_clusters = 0;  ///< K'.
   size_t total_clusters = 0;       ///< K.
   double reliability = 1.0;        ///< Observed success rate (1 = clean).
+  size_t stale_rounds = 0;         ///< Rounds of unpublished drift (0 = fresh).
   std::vector<ClusterScore> cluster_scores;  ///< One per cluster, in order.
 
   /// Ids of supporting clusters (the data-selectivity set).

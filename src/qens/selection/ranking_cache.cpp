@@ -93,4 +93,10 @@ void RankingCache::Clear() {
   by_key_.clear();
 }
 
+void RankingCache::SetEpoch(uint64_t epoch) {
+  if (epoch == epoch_) return;
+  epoch_ = epoch;
+  Clear();
+}
+
 }  // namespace qens::selection

@@ -69,6 +69,15 @@ class RankingCache {
   /// ranking depends on change (e.g. leader reliability bookkeeping).
   void Clear();
 
+  /// Bind the cache to a fleet epoch: when `epoch` differs from the last
+  /// bound value, every entry is dropped (stats survive) — cached rankings
+  /// were computed over the previous geometry and must not be served after
+  /// an online cluster refresh. Idempotent for an unchanged epoch.
+  void SetEpoch(uint64_t epoch);
+
+  /// The fleet epoch the current contents are valid for.
+  uint64_t epoch() const { return epoch_; }
+
   size_t size() const { return lru_.size(); }
   size_t capacity() const { return options_.capacity; }
   const Stats& stats() const { return stats_; }
@@ -88,6 +97,7 @@ class RankingCache {
   using EntryList = std::list<Entry>;
 
   RankingCacheOptions options_;
+  uint64_t epoch_ = 0;
   EntryList lru_;  ///< Front = most recently used.
   std::unordered_map<uint64_t, std::vector<EntryList::iterator>> by_key_;
   Stats stats_;

@@ -18,6 +18,18 @@ Status EdgeNode::Quantize(const clustering::KMeansOptions& options) {
   return Status::OK();
 }
 
+Status EdgeNode::ReplaceLocalData(data::Dataset data) {
+  if (data.NumSamples() != data_.NumSamples() ||
+      data.NumFeatures() != data_.NumFeatures()) {
+    return Status::InvalidArgument(StrFormat(
+        "node %zu: ReplaceLocalData shape mismatch (%zux%zu -> %zux%zu)",
+        id_, data_.NumSamples(), data_.NumFeatures(), data.NumSamples(),
+        data.NumFeatures()));
+  }
+  data_ = std::move(data);
+  return Status::OK();
+}
+
 Result<const selection::NodeProfile*> EdgeNode::profile() const {
   if (!quantized_) {
     return Status::FailedPrecondition(

@@ -38,6 +38,13 @@ class EdgeNode {
   /// profile()/ClusterData(). K and seeding come from `options`.
   Status Quantize(const clustering::KMeansOptions& options);
 
+  /// Swap the node's private data in place (models local data drift). The
+  /// replacement must keep the same shape (rows × features). The existing
+  /// quantized state is deliberately KEPT: the published digest goes stale
+  /// until Quantize() is re-run, which is exactly the drift scenario the
+  /// dynamic-fleet layer exercises.
+  Status ReplaceLocalData(data::Dataset data);
+
   bool quantized() const { return quantized_; }
 
   /// The published digest. Fails when Quantize has not run.

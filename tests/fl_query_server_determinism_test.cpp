@@ -85,6 +85,7 @@ void ExpectIdenticalOutcomes(const QueryOutcome& a, const QueryOutcome& b) {
 void ExpectIdenticalSessionResults(const SessionResult& a,
                                    const SessionResult& b) {
   EXPECT_EQ(a.session_id, b.session_id);
+  EXPECT_EQ(a.status.ok(), b.status.ok());
   EXPECT_EQ(a.queries_run, b.queries_run);
   EXPECT_EQ(a.queries_skipped, b.queries_skipped);
   EXPECT_EQ(a.comm_messages, b.comm_messages);
@@ -186,6 +187,41 @@ TEST(QueryServerTest, SessionsAreIsolatedFromEachOther) {
         spec.queries[q], spec.policy, spec.data_selectivity, spec.rounds);
     ASSERT_TRUE(outcome.ok());
     ExpectIdenticalOutcomes((*all)[1].outcomes[q], *outcome);
+  }
+}
+
+TEST(QueryServerTest, SessionFailureIsIsolatedToItsResult) {
+  // One bad spec must not fail the batch: the broken session carries the
+  // error in its own SessionResult::status while every other stream runs
+  // to completion, at any worker count.
+  auto fleet = Fleet::Create(MakeNodes(), FastOptions());
+  ASSERT_TRUE(fleet.ok());
+  std::vector<SessionSpec> specs = MakeSpecs();
+  specs[1].rounds = 0;  // Session 2's first query fails validation.
+
+  for (size_t workers : {size_t{0}, size_t{4}}) {
+    ServingOptions options;
+    options.num_workers = workers;
+    auto server = QueryServer::Create(*fleet, options);
+    ASSERT_TRUE(server.ok());
+    auto results = server->Serve(specs);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), specs.size());
+    for (size_t s = 0; s < results->size(); ++s) {
+      const SessionResult& session = (*results)[s];
+      EXPECT_EQ(session.session_id, s + 1);
+      if (s == 1) {
+        EXPECT_FALSE(session.status.ok());
+        EXPECT_NE(session.status.ToString().find("rounds"), std::string::npos)
+            << session.status.ToString();
+        EXPECT_TRUE(session.outcomes.empty());
+        EXPECT_EQ(session.queries_run, 0u);
+      } else {
+        EXPECT_TRUE(session.status.ok()) << session.status.ToString();
+        EXPECT_EQ(session.outcomes.size(), specs[s].queries.size());
+        EXPECT_GT(session.queries_run, 0u);
+      }
+    }
   }
 }
 

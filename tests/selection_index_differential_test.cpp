@@ -71,6 +71,10 @@ std::vector<NodeProfile> RandomFleet(Rng& rng, size_t dims) {
       profile.reliability.RecordCompleted();
       if (rng.Bernoulli(0.5)) profile.reliability.RecordFailure();
     }
+    // And a staleness age, so the staleness_weight discount is exercised.
+    if (rng.Bernoulli(0.3)) {
+      profile.stale_rounds = static_cast<size_t>(rng.UniformInt(uint64_t{6}));
+    }
     profiles.push_back(std::move(profile));
   }
   return profiles;
@@ -101,7 +105,7 @@ TEST(SelectionIndexDifferentialTest, IndexedRankingIsBitIdenticalToScan) {
   for (uint64_t seed = 1; seed <= 300; ++seed) {
     Rng rng(seed);
     const size_t dims = 1 + rng.UniformInt(uint64_t{4});
-    const std::vector<NodeProfile> profiles = RandomFleet(rng, dims);
+    std::vector<NodeProfile> profiles = RandomFleet(rng, dims);
 
     ClusterIndexOptions index_options;
     index_options.bins_per_dim = kBins[seed % kBins.size()];
@@ -119,6 +123,7 @@ TEST(SelectionIndexDifferentialTest, IndexedRankingIsBitIdenticalToScan) {
       RankingOptions options;
       options.epsilon = rng.Uniform(0.05, 0.95);
       if (rng.Bernoulli(0.25)) options.reliability_weight = rng.Uniform(0.5, 2.0);
+      if (rng.Bernoulli(0.25)) options.staleness_weight = rng.Uniform(0.5, 2.0);
       if (rng.Bernoulli(0.2)) {
         options.overlap_mode = query::OverlapMode::kNormalizedIntersection;
       }
@@ -143,6 +148,41 @@ TEST(SelectionIndexDifferentialTest, IndexedRankingIsBitIdenticalToScan) {
         RankingOptions at_boundary = options;
         at_boundary.epsilon = boundary;
         CheckQuery(profiles, *index, q, at_boundary, &scratch, seed);
+      }
+    }
+
+    // Mid-sequence online refresh: rewrite a node's geometry (what
+    // Leader::PublishRefreshedProfile does to the leader's profiles),
+    // rebuild the index at the bumped epoch, and require the differential
+    // to keep holding over the new geometry.
+    ClusterIndexOptions refresh_options = index_options;
+    const size_t refresh_events = 1 + rng.UniformInt(uint64_t{2});
+    for (size_t e = 0; e < refresh_events; ++e) {
+      const size_t victim = static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(profiles.size())));
+      NodeProfile& refreshed = profiles[victim];
+      for (auto& cluster : refreshed.clusters) {
+        if (cluster.size > 0) cluster.bounds = RandomBox(rng, dims);
+      }
+      refreshed.stale_rounds = 0;
+      ++refresh_options.epoch;
+      auto rebuilt = ClusterIndex::Build(profiles, refresh_options);
+      ASSERT_TRUE(rebuilt.ok()) << "seed " << seed << ": "
+                                << rebuilt.status().ToString();
+      EXPECT_EQ(rebuilt->epoch(), refresh_options.epoch);
+      for (size_t qi = 0; qi < 2; ++qi) {
+        query::RangeQuery q;
+        q.id = 1000 + 10 * e + qi;
+        q.region = RandomBox(rng, dims);
+        RankingOptions options;
+        options.epsilon = rng.Uniform(0.05, 0.95);
+        if (rng.Bernoulli(0.5)) {
+          options.staleness_weight = rng.Uniform(0.5, 2.0);
+        }
+        if (rng.Bernoulli(0.25)) {
+          options.reliability_weight = rng.Uniform(0.5, 2.0);
+        }
+        CheckQuery(profiles, *rebuilt, q, options, &scratch, seed);
       }
     }
 

@@ -172,6 +172,32 @@ TEST(RankingCacheTest, ClearKeepsStats) {
   EXPECT_EQ(cache.stats().insertions, 1u);
 }
 
+TEST(RankingCacheTest, SetEpochInvalidatesOnlyOnChange) {
+  RankingCache cache(RankingCacheOptions{});
+  const query::HyperRectangle a = MakeRegion({0, 1});
+  const query::HyperRectangle b = MakeRegion({1, 2});
+  EXPECT_EQ(cache.epoch(), 0u);
+  cache.Insert(a, MarkerRanks(1));
+  cache.Insert(b, MarkerRanks(2));
+
+  cache.SetEpoch(0);  // Unchanged epoch: no-op, entries survive.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(a), nullptr);
+
+  cache.SetEpoch(3);  // Online refresh happened: old geometry is invalid.
+  EXPECT_EQ(cache.epoch(), 3u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 2u);  // Stats survive, like Clear.
+
+  cache.Insert(a, MarkerRanks(7));  // Refills normally at the new epoch.
+  cache.SetEpoch(3);
+  const auto* got = cache.Lookup(a);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ((*got)[0].node_id, 7u);
+}
+
 TEST(RankingCacheTest, RecordRoundResultInvalidatesLeaderCache) {
   RankingOptions options;
   options.use_cache = true;

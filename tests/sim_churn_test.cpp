@@ -1,0 +1,153 @@
+// Pins the ChurnPlan contract: option validation, determinism (one seed ->
+// one trajectory, regardless of query order), the round-0 full-fleet
+// guarantee, interval-length bounds, and the post-horizon freeze.
+
+#include <gtest/gtest.h>
+
+#include "qens/sim/churn.h"
+
+namespace qens::sim {
+namespace {
+
+ChurnPlanOptions ChurnyOptions(uint64_t seed = 7) {
+  ChurnPlanOptions options;
+  options.seed = seed;
+  options.churn_rate = 0.6;
+  options.churn_horizon = 40;
+  return options;
+}
+
+TEST(ChurnPlanTest, ValidatesOptions) {
+  ChurnPlanOptions bad_rate;
+  bad_rate.churn_rate = 1.5;
+  EXPECT_FALSE(ChurnPlan::Create(4, bad_rate).ok());
+  bad_rate.churn_rate = -0.1;
+  EXPECT_FALSE(ChurnPlan::Create(4, bad_rate).ok());
+
+  ChurnPlanOptions bad_horizon = ChurnyOptions();
+  bad_horizon.churn_horizon = 0;
+  EXPECT_FALSE(ChurnPlan::Create(4, bad_horizon).ok());
+
+  ChurnPlanOptions bad_down = ChurnyOptions();
+  bad_down.min_down_rounds = 5;
+  bad_down.max_down_rounds = 2;
+  EXPECT_FALSE(ChurnPlan::Create(4, bad_down).ok());
+  bad_down.min_down_rounds = 0;
+  EXPECT_FALSE(ChurnPlan::Create(4, bad_down).ok());
+
+  ChurnPlanOptions bad_up = ChurnyOptions();
+  bad_up.min_up_rounds = 9;
+  bad_up.max_up_rounds = 3;
+  EXPECT_FALSE(ChurnPlan::Create(4, bad_up).ok());
+
+  // A zero-rate plan skips the interval checks entirely (nothing is drawn).
+  ChurnPlanOptions off;
+  off.churn_rate = 0.0;
+  off.churn_horizon = 0;
+  EXPECT_TRUE(ChurnPlan::Create(4, off).ok());
+}
+
+TEST(ChurnPlanTest, ZeroRateMeansStaticFleet) {
+  ChurnPlanOptions options;
+  options.churn_rate = 0.0;
+  auto plan = ChurnPlan::Create(6, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->NumChurners(), 0u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_FALSE(plan->node(i).churner);
+    for (size_t round = 0; round < 100; ++round) {
+      EXPECT_TRUE(plan->IsPresent(i, round));
+    }
+  }
+}
+
+TEST(ChurnPlanTest, SameSeedSamePlanDifferentSeedDifferentPlan) {
+  auto a = ChurnPlan::Create(12, ChurnyOptions(7));
+  auto b = ChurnPlan::Create(12, ChurnyOptions(7));
+  auto c = ChurnPlan::Create(12, ChurnyOptions(8));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  size_t differences = 0;
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(a->node(i).churner, b->node(i).churner);
+    EXPECT_EQ(a->node(i).transitions, b->node(i).transitions);
+    if (a->node(i).transitions != c->node(i).transitions) ++differences;
+  }
+  EXPECT_GT(differences, 0u);
+}
+
+TEST(ChurnPlanTest, EveryNodeIsPresentAtRoundZero) {
+  ChurnPlanOptions options = ChurnyOptions();
+  options.churn_rate = 1.0;  // Every node churns.
+  auto plan = ChurnPlan::Create(16, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->NumChurners(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(plan->IsPresent(i, 0)) << "node " << i;
+  }
+}
+
+TEST(ChurnPlanTest, IntervalLengthsRespectBounds) {
+  ChurnPlanOptions options = ChurnyOptions(21);
+  options.churn_rate = 1.0;
+  options.min_down_rounds = 2;
+  options.max_down_rounds = 3;
+  options.min_up_rounds = 4;
+  options.max_up_rounds = 5;
+  auto plan = ChurnPlan::Create(10, options);
+  ASSERT_TRUE(plan.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    const std::vector<size_t>& t = plan->node(i).transitions;
+    ASSERT_FALSE(t.empty());
+    // transitions[0] ends the first up interval, which starts at round 0.
+    EXPECT_GE(t[0], options.min_up_rounds);
+    for (size_t j = 0; j + 1 < t.size(); ++j) {
+      ASSERT_LT(t[j], t[j + 1]);
+      const size_t len = t[j + 1] - t[j];
+      if (j % 2 == 0) {  // Down interval.
+        EXPECT_GE(len, options.min_down_rounds);
+        EXPECT_LE(len, options.max_down_rounds);
+      } else {  // Up interval (the last one may be cut by the horizon).
+        EXPECT_GE(len, 1u);
+        EXPECT_LE(len, options.max_up_rounds);
+      }
+    }
+  }
+}
+
+TEST(ChurnPlanTest, PresenceMatchesTransitionParityAndFreezesPastHorizon) {
+  ChurnPlanOptions options = ChurnyOptions(3);
+  options.churn_rate = 1.0;
+  auto plan = ChurnPlan::Create(8, options);
+  ASSERT_TRUE(plan.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    const std::vector<size_t>& t = plan->node(i).transitions;
+    for (size_t round = 0; round < options.churn_horizon + 20; ++round) {
+      size_t flips = 0;
+      for (size_t flip : t) {
+        if (flip <= round) ++flips;
+      }
+      EXPECT_EQ(plan->IsPresent(i, round), flips % 2 == 0)
+          << "node " << i << " round " << round;
+    }
+    // Far past the horizon the state never changes again.
+    const bool frozen = plan->IsPresent(i, options.churn_horizon + 100);
+    EXPECT_EQ(plan->IsPresent(i, options.churn_horizon + 1000), frozen);
+  }
+}
+
+TEST(ChurnPlanTest, DescribeMentionsSchedule) {
+  auto off = ChurnPlan::Create(4, ChurnPlanOptions{});
+  ASSERT_TRUE(off.ok());
+  EXPECT_NE(off->Describe().find("no churners"), std::string::npos);
+
+  ChurnPlanOptions options = ChurnyOptions();
+  options.churn_rate = 1.0;
+  auto plan = ChurnPlan::Create(4, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->Describe().find("down@"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qens::sim

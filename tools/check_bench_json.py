@@ -42,6 +42,10 @@ BENCH_REQUIREMENTS = {
         "sections": {"sweep", "pinning"},
         "record_values": {"queries"},
     },
+    "bench_x11_churn_drift": {
+        "sections": {"baseline", "sweep"},
+        "record_values": {"avg_loss", "queries_run"},
+    },
 }
 
 
